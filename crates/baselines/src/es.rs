@@ -1,0 +1,99 @@
+use gcnrl::{RunHistory, SizingEnv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// A (µ, λ) evolution strategy with Gaussian mutation and 1/5th-rule style
+/// step-size adaptation (the paper's "ES" baseline, CMA-ES tutorial of
+/// Hansen).
+///
+/// `budget` counts simulator evaluations, so the comparison against the RL
+/// methods is simulation-for-simulation fair.
+pub fn evolution_strategy(env: &SizingEnv, budget: usize, seed: u64) -> RunHistory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut history = RunHistory::new("ES");
+    let d = env.num_unit_parameters();
+
+    let lambda = 4 + (3.0 * (d as f64).ln()).floor() as usize;
+    let mu = (lambda / 2).max(1);
+    let mut sigma = 0.3;
+
+    // Initial mean at the centre of the unit cube.
+    let mut mean = vec![0.5; d];
+    let mut evaluations = 0;
+    let mut best_parent_fom = f64::NEG_INFINITY;
+
+    while evaluations < budget {
+        let normal: Normal<f64> = Normal::new(0.0, 1.0).expect("valid sigma");
+        let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(lambda);
+        for _ in 0..lambda {
+            if evaluations >= budget {
+                break;
+            }
+            let candidate: Vec<f64> = mean
+                .iter()
+                .map(|m| (m + sigma * normal.sample(&mut rng)).clamp(0.0, 1.0))
+                .collect();
+            let outcome = env.evaluate_unit(&candidate);
+            history.record(outcome.fom, &outcome.params, &outcome.report);
+            scored.push((outcome.fom, candidate));
+            evaluations += 1;
+        }
+        if scored.is_empty() {
+            break;
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let elite = &scored[..mu.min(scored.len())];
+        // Recombine: new mean is the average of the elite.
+        for (i, m) in mean.iter_mut().enumerate() {
+            *m = elite.iter().map(|(_, c)| c[i]).sum::<f64>() / elite.len() as f64;
+        }
+        // Step-size adaptation: grow when the generation improved on the
+        // previous parent, shrink otherwise.
+        let gen_best = elite[0].0;
+        if gen_best > best_parent_fom {
+            sigma = (sigma * 1.15).min(0.5);
+            best_parent_fom = gen_best;
+        } else {
+            sigma = (sigma * 0.85).max(0.01);
+        }
+        // A little exploration noise on the mean keeps the search from
+        // collapsing prematurely.
+        if rng.gen::<f64>() < 0.05 {
+            for m in &mut mean {
+                *m = (*m + 0.05 * normal.sample(&mut rng)).clamp(0.0, 1.0);
+            }
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl::FomConfig;
+    use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+    #[test]
+    fn es_respects_budget_and_is_deterministic() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::Ldo, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::Ldo, &node, fom);
+        let h = evolution_strategy(&env, 30, 3);
+        assert_eq!(h.len(), 30);
+        assert_eq!(h.method, "ES");
+        assert_eq!(
+            evolution_strategy(&env, 12, 4).best_curve(),
+            evolution_strategy(&env, 12, 4).best_curve()
+        );
+    }
+
+    #[test]
+    fn es_best_curve_is_monotone() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 6, 0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        let h = evolution_strategy(&env, 20, 0);
+        assert!(h.best_curve().windows(2).all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,122 @@
+use gcnrl::{RunHistory, SizingEnv};
+use gcnrl_circuit::{benchmarks::Benchmark, ComponentKind, ComponentParams, MosSizing, ParamVector};
+
+/// A deterministic "human expert" sizing for each benchmark circuit.
+///
+/// The paper's human rows come from unpublished Stanford design-contest
+/// entries; as a reproducible stand-in we encode the gm/Id-style hand rules a
+/// designer would apply (long channels where gain matters, wide input devices
+/// for noise, moderate mirrors, a large pass device for the LDO), expressed as
+/// fractions of each parameter's legal range.
+pub fn human_expert(env: &SizingEnv) -> RunHistory {
+    let circuit = env.circuit();
+    let space = env.design_space();
+    let benchmark = env.benchmark();
+
+    let params: Vec<ComponentParams> = circuit
+        .components()
+        .iter()
+        .enumerate()
+        .map(|(idx, comp)| {
+            let bounds = space.bounds(idx);
+            let unit = expert_unit(benchmark, &comp.name, comp.kind);
+            match comp.kind {
+                ComponentKind::Nmos | ComponentKind::Pmos => ComponentParams::Mos(MosSizing::new(
+                    bounds[0].from_unit(unit[0]),
+                    bounds[1].from_unit(unit[1]),
+                    bounds[2].from_unit(unit[2]).round() as u32,
+                )),
+                ComponentKind::Resistor => ComponentParams::Resistance(bounds[0].from_unit(unit[0])),
+                ComponentKind::Capacitor => {
+                    ComponentParams::Capacitance(bounds[0].from_unit(unit[0]))
+                }
+            }
+        })
+        .collect();
+
+    let outcome = env.evaluate_params(ParamVector::new(params));
+    let mut history = RunHistory::new("Human");
+    history.record(outcome.fom, &outcome.params, &outcome.report);
+    history
+}
+
+/// Hand-tuned per-device unit settings `[w, l, m]` (or `[value, _, _]` for
+/// passives).  Values are fractions of the legal range.
+fn expert_unit(benchmark: Benchmark, name: &str, kind: ComponentKind) -> [f64; 3] {
+    let default_mos = [0.25, 0.15, 0.2];
+    let default_passive = [0.5, 0.0, 0.0];
+    match benchmark {
+        Benchmark::TwoStageTia => match name {
+            "T1" => [0.2, 0.1, 0.1],
+            "T2" => [0.5, 0.1, 0.3],
+            "T3" | "T4" => [0.35, 0.15, 0.2],
+            "T5" => [0.2, 0.1, 0.1],
+            "T6" => [0.5, 0.08, 0.3],
+            "R6" => [0.45, 0.0, 0.0],
+            "RF" => [0.62, 0.0, 0.0],
+            "CL" => [0.2, 0.0, 0.0],
+            _ => default_mos,
+        },
+        Benchmark::TwoStageVoltageAmp => match name {
+            "T1" | "T2" => [0.55, 0.35, 0.4],
+            "T3" | "T4" => [0.35, 0.4, 0.25],
+            "T5" => [0.55, 0.2, 0.4],
+            "T6" => [0.3, 0.25, 0.3],
+            "TB1" | "TB2" => [0.2, 0.3, 0.15],
+            "CC" => [0.3, 0.0, 0.0],
+            "CL" => [0.25, 0.0, 0.0],
+            "CS" => [0.6, 0.0, 0.0],
+            "CF" => [0.3, 0.0, 0.0],
+            _ => default_mos,
+        },
+        Benchmark::ThreeStageTia => match name {
+            "T0" => [0.25, 0.35, 0.2],
+            "T1" => [0.2, 0.1, 0.1],
+            "T2" | "T3" | "T4" => [0.45, 0.1, 0.3],
+            "T16" => [0.5, 0.08, 0.35],
+            "RB" => [0.55, 0.0, 0.0],
+            _ if kind == ComponentKind::Resistor => default_passive,
+            _ => [0.3, 0.12, 0.2],
+        },
+        Benchmark::Ldo => match name {
+            "T1" | "T2" => [0.5, 0.35, 0.35],
+            "T3" | "T4" => [0.35, 0.35, 0.25],
+            "T5" | "T6" | "T7" => [0.25, 0.3, 0.2],
+            "T8" => [0.95, 0.05, 0.95],
+            "R1" => [0.45, 0.0, 0.0],
+            "R2" => [0.45, 0.0, 0.0],
+            "CL" => [0.75, 0.0, 0.0],
+            _ => default_mos,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl::FomConfig;
+    use gcnrl_circuit::TechnologyNode;
+
+    #[test]
+    fn expert_design_is_legal_and_scores_for_every_benchmark() {
+        let node = TechnologyNode::tsmc180();
+        for b in Benchmark::ALL {
+            let fom = FomConfig::calibrated(b, &node, 8, 0);
+            let env = SizingEnv::new(b, &node, fom);
+            let h = human_expert(&env);
+            assert_eq!(h.len(), 1);
+            assert_eq!(h.method, "Human");
+            let params = h.best_params.as_ref().expect("one design recorded");
+            assert!(env.design_space().validate(params), "{b} expert design illegal");
+            assert!(h.best_fom().is_finite());
+        }
+    }
+
+    #[test]
+    fn expert_is_deterministic() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        assert_eq!(human_expert(&env).best_fom(), human_expert(&env).best_fom());
+    }
+}

@@ -1,0 +1,165 @@
+use gcnrl_linalg::{Cholesky, Matrix};
+
+/// A Gaussian-process regressor with a squared-exponential kernel, used as the
+/// surrogate model in [`bayesian_optimization`](crate::bayesian_optimization)
+/// and [`mace`](crate::mace).
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    lengthscale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Option<Cholesky>,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Creates a GP with the given squared-exponential hyper-parameters.
+    pub fn new(lengthscale: f64, signal_var: f64, noise_var: f64) -> Self {
+        GaussianProcess {
+            lengthscale,
+            signal_var,
+            noise_var,
+            x: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            y_mean: 0.0,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+        self.signal_var * (-0.5 * sq / (self.lengthscale * self.lengthscale)).exp()
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` if the GP has no training data.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Fits the GP to `(x, y)` pairs (re-fits from scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        self.x = xs.to_vec();
+        if xs.is_empty() {
+            self.chol = None;
+            self.alpha.clear();
+            return;
+        }
+        let n = xs.len();
+        self.y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - self.y_mean).collect();
+        let k = Matrix::from_fn(n, n, |i, j| {
+            self.kernel(&xs[i], &xs[j]) + if i == j { self.noise_var } else { 0.0 }
+        });
+        let chol = Cholesky::new(&k).expect("kernel matrix is positive definite");
+        self.alpha = chol.solve(&centered).expect("dimensions match");
+        self.chol = Some(chol);
+    }
+
+    /// Predictive mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let Some(chol) = &self.chol else {
+            return (self.y_mean, self.signal_var);
+        };
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel(xi, x)).collect();
+        let mean = self.y_mean
+            + k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = chol.solve(&k_star).expect("dimensions match");
+        let var = self.kernel(x, x) - k_star.iter().zip(&v).map(|(k, vi)| k * vi).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+}
+
+/// Standard-normal probability density.
+pub(crate) fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard-normal cumulative distribution (Abramowitz–Stegun erf approximation).
+pub(crate) fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| < 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of a maximisation problem at predictive `(mean, var)`
+/// over the incumbent `best`.
+pub(crate) fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / std;
+    (mean - best) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 1.0, 0.0];
+        let mut gp = GaussianProcess::new(0.3, 1.0, 1e-6);
+        gp.fit(&xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs {y}");
+            assert!(v < 0.05);
+        }
+        // Far from data, the variance grows back towards the prior.
+        let (_, v_far) = gp.predict(&[5.0]);
+        assert!(v_far > 0.5);
+        assert_eq!(gp.len(), 3);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn empty_gp_returns_prior() {
+        let gp = GaussianProcess::new(0.3, 2.0, 1e-6);
+        let (m, v) = gp.predict(&[0.3]);
+        assert_eq!(m, 0.0);
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn normal_functions_are_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(5.0) > 0.999);
+        assert!(normal_cdf(-5.0) < 0.001);
+        assert!((normal_pdf(0.0) - 0.3989).abs() < 1e-3);
+    }
+
+    #[test]
+    fn expected_improvement_prefers_high_mean_and_high_variance() {
+        let ei_good_mean = expected_improvement(1.0, 0.01, 0.5);
+        let ei_bad_mean = expected_improvement(0.0, 0.01, 0.5);
+        assert!(ei_good_mean > ei_bad_mean);
+        let ei_high_var = expected_improvement(0.4, 1.0, 0.5);
+        let ei_low_var = expected_improvement(0.4, 0.0001, 0.5);
+        assert!(ei_high_var > ei_low_var);
+    }
+}

@@ -1,0 +1,29 @@
+//! Black-box sizing baselines from the paper's Table I.
+//!
+//! All baselines drive the same [`SizingEnv`](gcnrl::SizingEnv) through its
+//! flat unit-vector interface (`[0, 1]^d`), so their FoM trajectories are
+//! directly comparable to the RL methods:
+//!
+//! * [`random_search`] — uniform sampling.
+//! * [`evolution_strategy`] — a (µ, λ) ES with Gaussian mutation and
+//!   CMA-style step-size adaptation.
+//! * [`bayesian_optimization`] — a Gaussian-process surrogate with an
+//!   expected-improvement acquisition.
+//! * [`mace`] — batch BO with a multi-objective acquisition ensemble
+//!   (EI + PI + UCB), after Lyu et al. (ICML 2018).
+//! * [`human_expert`] — a deterministic gm/Id-style hand sizing used as the
+//!   fixed "Human" reference row.
+
+mod bo;
+mod es;
+mod expert;
+mod gp;
+mod mace;
+mod random;
+
+pub use bo::bayesian_optimization;
+pub use es::evolution_strategy;
+pub use expert::human_expert;
+pub use gp::GaussianProcess;
+pub use mace::mace;
+pub use random::random_search;

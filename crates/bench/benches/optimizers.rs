@@ -1,0 +1,37 @@
+//! End-to-end optimiser throughput at a tiny, fixed simulation budget: the
+//! relative per-step cost of every Table I method (the paper's observation
+//! that BO/MACE are compute-bound while RL/ES are simulation-bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcnrl_bench::{run_method, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use std::hint::black_box;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        budget: 20,
+        warmup: 8,
+        seeds: 1,
+        calibration: 6,
+    };
+    let node = TechnologyNode::tsmc180();
+    let mut group = c.benchmark_group("optimizer_20_steps");
+    group.sample_size(10);
+    for method in ["Random", "ES", "BO", "MACE", "NG-RL", "GCN-RL"] {
+        group.bench_function(method, |b| {
+            b.iter(|| {
+                black_box(run_method(
+                    method,
+                    Benchmark::TwoStageTia,
+                    &node,
+                    black_box(&cfg),
+                    0,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

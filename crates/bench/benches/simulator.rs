@@ -1,0 +1,27 @@
+//! Micro-benchmarks of the analog simulator: one full performance evaluation
+//! per benchmark circuit (the quantity that dominates every optimisation run,
+//! standing in for the paper's SPICE calls).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_sim::evaluators::evaluator_for;
+use std::hint::black_box;
+
+fn bench_evaluators(c: &mut Criterion) {
+    let node = TechnologyNode::tsmc180();
+    let mut group = c.benchmark_group("simulator_evaluate");
+    group.sample_size(20);
+    for b in Benchmark::ALL {
+        let eval = evaluator_for(b, &node);
+        let circuit = b.circuit();
+        let space = circuit.design_space(&node);
+        let pv = space.nominal();
+        group.bench_function(b.paper_name(), |bench| {
+            bench.iter(|| black_box(eval.evaluate(black_box(&pv))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 5: learning curves (best FoM vs simulation count) of every method
+//! on the four benchmark circuits.
+
+use gcnrl_bench::{budget_from_env, print_series, run_all_methods, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    println!("Figure 5 — learning curves (budget={}, seeds={})", cfg.budget, cfg.seeds);
+
+    let mut dump = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let results = run_all_methods(benchmark, &node, &cfg);
+        let series: Vec<SeriesSummary> = results
+            .iter()
+            .map(|r| SeriesSummary {
+                label: r.method.clone(),
+                curve: r.best_curve.clone(),
+            })
+            .collect();
+        print_series(&format!("{benchmark}"), &series);
+        dump.push((benchmark.paper_name().to_string(), series));
+    }
+    write_json("fig5", &dump);
+}

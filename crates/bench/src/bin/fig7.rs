@@ -1,0 +1,51 @@
+//! Figure 7: node-transfer learning curves on the Three-TIA — the agent
+//! trained at 180 nm is fine-tuned at 45/65/130/250 nm and compared against
+//! training from scratch with the same small budget and the same seeds.
+
+use gcnrl::transfer::pretrain_and_transfer;
+use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::{budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let source = TechnologyNode::tsmc180();
+    let benchmark = Benchmark::ThreeStageTia;
+    let finetune_budget = (cfg.budget / 2).max(10);
+    let warmup = (finetune_budget / 3).max(3);
+
+    println!(
+        "Figure 7 — Three-TIA node-transfer curves (finetune budget={}, warm-up={})",
+        finetune_budget, warmup
+    );
+
+    let mut dump = Vec::new();
+    for target in [
+        TechnologyNode::n45(),
+        TechnologyNode::n65(),
+        TechnologyNode::n130(),
+        TechnologyNode::n250(),
+    ] {
+        let fine_cfg = DdpgConfig::default().with_seed(1).with_budget(finetune_budget, warmup);
+        let pre_cfg = DdpgConfig::default()
+            .with_seed(1)
+            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+
+        let scratch = GcnRlDesigner::with_kind(make_env(benchmark, &target, &cfg), fine_cfg, AgentKind::Gcn).run();
+        let (_, transferred, _) = pretrain_and_transfer(
+            make_env(benchmark, &source, &cfg),
+            make_env(benchmark, &target, &cfg),
+            AgentKind::Gcn,
+            pre_cfg,
+            fine_cfg,
+        );
+        let series = vec![
+            SeriesSummary { label: "No Transfer".into(), curve: scratch.best_curve() },
+            SeriesSummary { label: "Transfer from 180nm".into(), curve: transferred.best_curve() },
+        ];
+        print_series(&format!("target node {}", target.name), &series);
+        dump.push((target.name.clone(), series));
+    }
+    write_json("fig7", &dump);
+}

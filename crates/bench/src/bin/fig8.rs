@@ -1,0 +1,57 @@
+//! Figure 8: topology-transfer learning curves between the Two-TIA and the
+//! Three-TIA, comparing GCN-RL transfer, NG-RL transfer and no transfer.
+
+use gcnrl::transfer::pretrain_and_transfer;
+use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::{budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    let finetune_budget = (cfg.budget / 2).max(10);
+    let warmup = (finetune_budget / 3).max(3);
+    let fine_cfg = DdpgConfig::default().with_seed(2).with_budget(finetune_budget, warmup);
+    let pre_cfg = DdpgConfig::default()
+        .with_seed(2)
+        .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+
+    println!(
+        "Figure 8 — topology-transfer curves (finetune budget={}, warm-up={})",
+        finetune_budget, warmup
+    );
+
+    let mut dump = Vec::new();
+    for (source, target) in [
+        (Benchmark::TwoStageTia, Benchmark::ThreeStageTia),
+        (Benchmark::ThreeStageTia, Benchmark::TwoStageTia),
+    ] {
+        let scratch = GcnRlDesigner::with_kind(make_env(target, &node, &cfg), fine_cfg, AgentKind::Gcn).run();
+        let (_, gcn, _) = pretrain_and_transfer(
+            make_env(source, &node, &cfg),
+            make_env(target, &node, &cfg),
+            AgentKind::Gcn,
+            pre_cfg,
+            fine_cfg,
+        );
+        let (_, ng, _) = pretrain_and_transfer(
+            make_env(source, &node, &cfg),
+            make_env(target, &node, &cfg),
+            AgentKind::NonGcn,
+            pre_cfg,
+            fine_cfg,
+        );
+        let series = vec![
+            SeriesSummary { label: "No Transfer".into(), curve: scratch.best_curve() },
+            SeriesSummary { label: "NG-RL Transfer".into(), curve: ng.best_curve() },
+            SeriesSummary { label: "GCN-RL Transfer".into(), curve: gcn.best_curve() },
+        ];
+        print_series(
+            &format!("{} -> {}", source.paper_name(), target.paper_name()),
+            &series,
+        );
+        dump.push((format!("{}->{}", source.paper_name(), target.paper_name()), series));
+    }
+    write_json("fig8", &dump);
+}

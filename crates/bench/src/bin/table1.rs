@@ -1,0 +1,26 @@
+//! Table I: FoM comparison of all methods on the four benchmark circuits.
+
+use gcnrl_bench::{budget_from_env, run_all_methods, write_json, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    println!("Table I — FoM comparison (budget={}, seeds={})", cfg.budget, cfg.seeds);
+    println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO");
+
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    let mut per_bench = Vec::new();
+    for b in Benchmark::ALL {
+        per_bench.push(run_all_methods(b, &node, &cfg));
+    }
+    for (i, method) in gcnrl_bench::METHODS.iter().enumerate() {
+        let cells: Vec<String> = per_bench.iter().map(|r| r[i].formatted()).collect();
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>14}",
+            method, cells[0], cells[1], cells[2], cells[3]
+        );
+        rows.push((method.to_string(), cells));
+    }
+    write_json("table1", &rows);
+}

@@ -1,0 +1,69 @@
+//! Table II: Two-TIA per-metric breakdown plus the weighted-FoM variants
+//! GCN-RL-1..5 (10x weight on BW, gain, power, noise, peaking respectively).
+
+use gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
+use gcnrl_bench::{budget_from_env, run_method, write_json, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+
+const METRICS: [&str; 6] = [
+    "bw_ghz",
+    "gain_ohm",
+    "power_mw",
+    "noise_pa_rthz",
+    "peaking_db",
+    "gbw_thz_ohm",
+];
+
+fn print_row(label: &str, metrics: &[(String, f64)]) {
+    let get = |name: &str| {
+        metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| format!("{v:11.3}"))
+            .unwrap_or_else(|| format!("{:>11}", "-"))
+    };
+    let cells: Vec<String> = METRICS.iter().map(|m| get(m)).collect();
+    println!("{label:<10} {}", cells.join(" "));
+}
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    println!("Table II — Two-TIA metrics (budget={}, seeds={})", cfg.budget, cfg.seeds);
+    println!("{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "Method", "BW(GHz)", "Gain(Ohm)", "Power(mW)", "Noise(pA)", "Peak(dB)", "GBW");
+
+    let mut dump = Vec::new();
+    // Top half: all Table I methods, metric breakdown of their best design.
+    for method in gcnrl_bench::METHODS {
+        let h = run_method(method, Benchmark::TwoStageTia, &node, &cfg, 0);
+        let metrics: Vec<(String, f64)> = h
+            .best_report
+            .as_ref()
+            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
+            .unwrap_or_default();
+        print_row(method, &metrics);
+        dump.push((method.to_string(), metrics));
+    }
+
+    // Bottom half: GCN-RL-1..5 with a 10x weight on one metric each.
+    for (i, emphasised) in METRICS.iter().take(5).enumerate() {
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, cfg.calibration, 7)
+            .with_weight_emphasis(emphasised, 10.0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        let ddpg = DdpgConfig::default()
+            .with_seed(100 + i as u64)
+            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+        let h = GcnRlDesigner::with_kind(env, ddpg, AgentKind::Gcn).run();
+        let metrics: Vec<(String, f64)> = h
+            .best_report
+            .as_ref()
+            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
+            .unwrap_or_default();
+        let label = format!("GCN-RL-{}", i + 1);
+        print_row(&label, &metrics);
+        dump.push((label, metrics));
+    }
+    write_json("table2", &dump);
+}

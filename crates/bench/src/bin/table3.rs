@@ -1,0 +1,52 @@
+//! Table III: Two-Volt per-metric breakdown for every method.
+
+use gcnrl_bench::{budget_from_env, run_method, write_json, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+const METRICS: [&str; 7] = [
+    "bw_mhz",
+    "cpm_deg",
+    "dpm_deg",
+    "power_mw",
+    "noise_nv_rthz",
+    "gain_kvv",
+    "gbw_thz",
+];
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    println!("Table III — Two-Volt metrics (budget={}, seeds={})", cfg.budget, cfg.seeds);
+    println!("{:<10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "Method", "BW(MHz)", "CPM", "DPM", "Power(mW)", "Noise(nV)", "Gain(k)", "GBW(THz)");
+
+    let mut dump = Vec::new();
+    for method in gcnrl_bench::METHODS {
+        let h = run_method(method, Benchmark::TwoStageVoltageAmp, &node, &cfg, 0);
+        let metrics: Vec<(String, f64)> = h
+            .best_report
+            .as_ref()
+            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
+            .unwrap_or_default();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<10} {:>10.2} {:>8.1} {:>8.1} {:>10.3} {:>10.2} {:>10.2} {:>9.3}",
+            method,
+            get(METRICS[0]),
+            get(METRICS[1]),
+            get(METRICS[2]),
+            get(METRICS[3]),
+            get(METRICS[4]),
+            get(METRICS[5]),
+            get(METRICS[6]),
+        );
+        dump.push((method.to_string(), metrics));
+    }
+    write_json("table3", &dump);
+}

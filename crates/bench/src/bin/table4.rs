@@ -1,0 +1,81 @@
+//! Table IV: knowledge transfer from 180 nm to 250/130/65/45 nm on the
+//! Two-TIA and Three-TIA, transfer vs no transfer under a 300-step budget
+//! (100 warm-up + 200 exploration in the paper).
+
+use gcnrl::transfer::pretrain_and_transfer;
+use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::{budget_from_env, make_env, write_json, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let source_node = TechnologyNode::tsmc180();
+    let targets = [
+        TechnologyNode::n250(),
+        TechnologyNode::n130(),
+        TechnologyNode::n65(),
+        TechnologyNode::n45(),
+    ];
+    // The fine-tuning budget is deliberately small (the paper uses 300 steps).
+    let finetune_budget = (cfg.budget / 2).max(10);
+    let finetune_warmup = (finetune_budget / 3).max(3);
+
+    println!(
+        "Table IV — node transfer from 180nm (pretrain budget={}, finetune budget={}, seeds={})",
+        cfg.budget, finetune_budget, cfg.seeds
+    );
+    println!("{:<32} {:>10} {:>10} {:>10} {:>10}", "Setting", "250nm", "130nm", "65nm", "45nm");
+
+    let mut dump = Vec::new();
+    for benchmark in [Benchmark::TwoStageTia, Benchmark::ThreeStageTia] {
+        let mut no_transfer_row = Vec::new();
+        let mut transfer_row = Vec::new();
+        for target in &targets {
+            let mut no_foms = Vec::new();
+            let mut tr_foms = Vec::new();
+            for seed in 0..cfg.seeds.max(1) as u64 {
+                let pre_cfg = DdpgConfig::default()
+                    .with_seed(seed)
+                    .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+                let fine_cfg = DdpgConfig::default()
+                    .with_seed(seed)
+                    .with_budget(finetune_budget, finetune_warmup);
+
+                // No transfer: train from scratch on the target node.
+                let no = GcnRlDesigner::with_kind(
+                    make_env(benchmark, target, &cfg),
+                    fine_cfg,
+                    AgentKind::Gcn,
+                )
+                .run();
+                no_foms.push(no.best_fom());
+
+                // Transfer: pre-train at 180 nm, fine-tune on the target node.
+                let (_, fine, _) = pretrain_and_transfer(
+                    make_env(benchmark, &source_node, &cfg),
+                    make_env(benchmark, target, &cfg),
+                    AgentKind::Gcn,
+                    pre_cfg,
+                    fine_cfg,
+                );
+                tr_foms.push(fine.best_fom());
+            }
+            let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+            no_transfer_row.push(mean(&no_foms));
+            transfer_row.push(mean(&tr_foms));
+        }
+        println!(
+            "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            format!("{} (no transfer)", benchmark.paper_name()),
+            no_transfer_row[0], no_transfer_row[1], no_transfer_row[2], no_transfer_row[3]
+        );
+        println!(
+            "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            format!("{} (transfer from 180nm)", benchmark.paper_name()),
+            transfer_row[0], transfer_row[1], transfer_row[2], transfer_row[3]
+        );
+        dump.push((benchmark.paper_name().to_string(), no_transfer_row, transfer_row));
+    }
+    write_json("table4", &dump);
+}

@@ -1,0 +1,77 @@
+//! Table V: knowledge transfer between topologies (Two-TIA <-> Three-TIA)
+//! comparing no transfer, NG-RL transfer and GCN-RL transfer.
+
+use gcnrl::transfer::pretrain_and_transfer;
+use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::{budget_from_env, make_env, write_json, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+
+fn transfer_cell(
+    source: Benchmark,
+    target: Benchmark,
+    kind: AgentKind,
+    cfg: &ExperimentConfig,
+    node: &TechnologyNode,
+    finetune: DdpgConfig,
+) -> f64 {
+    let mut foms = Vec::new();
+    for seed in 0..cfg.seeds.max(1) as u64 {
+        let pre_cfg = DdpgConfig::default()
+            .with_seed(seed)
+            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+        let (_, fine, _) = pretrain_and_transfer(
+            make_env(source, node, cfg),
+            make_env(target, node, cfg),
+            kind,
+            pre_cfg,
+            finetune.with_seed(seed),
+        );
+        foms.push(fine.best_fom());
+    }
+    foms.iter().sum::<f64>() / foms.len() as f64
+}
+
+fn main() {
+    let cfg = budget_from_env(ExperimentConfig::smoke());
+    let node = TechnologyNode::tsmc180();
+    let finetune_budget = (cfg.budget / 2).max(10);
+    let finetune = DdpgConfig::default().with_budget(finetune_budget, (finetune_budget / 3).max(3));
+
+    println!(
+        "Table V — topology transfer (pretrain budget={}, finetune budget={}, seeds={})",
+        cfg.budget, finetune_budget, cfg.seeds
+    );
+    println!("{:<18} {:>22} {:>22}", "Setting", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA");
+
+    // No transfer: train from scratch on the target with the small budget.
+    let mut no_transfer = Vec::new();
+    for target in [Benchmark::ThreeStageTia, Benchmark::TwoStageTia] {
+        let mut foms = Vec::new();
+        for seed in 0..cfg.seeds.max(1) as u64 {
+            let h = GcnRlDesigner::with_kind(
+                make_env(target, &node, &cfg),
+                finetune.with_seed(seed),
+                AgentKind::Gcn,
+            )
+            .run();
+            foms.push(h.best_fom());
+        }
+        no_transfer.push(foms.iter().sum::<f64>() / foms.len() as f64);
+    }
+    println!("{:<18} {:>22.2} {:>22.2}", "No Transfer", no_transfer[0], no_transfer[1]);
+
+    let ng = [
+        transfer_cell(Benchmark::TwoStageTia, Benchmark::ThreeStageTia, AgentKind::NonGcn, &cfg, &node, finetune),
+        transfer_cell(Benchmark::ThreeStageTia, Benchmark::TwoStageTia, AgentKind::NonGcn, &cfg, &node, finetune),
+    ];
+    println!("{:<18} {:>22.2} {:>22.2}", "NG-RL Transfer", ng[0], ng[1]);
+
+    let gcn = [
+        transfer_cell(Benchmark::TwoStageTia, Benchmark::ThreeStageTia, AgentKind::Gcn, &cfg, &node, finetune),
+        transfer_cell(Benchmark::ThreeStageTia, Benchmark::TwoStageTia, AgentKind::Gcn, &cfg, &node, finetune),
+    ];
+    println!("{:<18} {:>22.2} {:>22.2}", "GCN-RL Transfer", gcn[0], gcn[1]);
+
+    write_json("table5", &(no_transfer, ng, gcn));
+}

@@ -1,0 +1,236 @@
+//! Shared experiment-running machinery.
+
+use gcnrl::{AgentKind, FomConfig, GcnRlDesigner, RunHistory, SizingEnv};
+use gcnrl_baselines::{bayesian_optimization, evolution_strategy, human_expert, mace, random_search};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_rl::DdpgConfig;
+use serde::Serialize;
+
+/// All methods compared in the paper's Table I, in table order.
+pub const METHODS: [&str; 7] = ["Human", "Random", "ES", "BO", "MACE", "NG-RL", "GCN-RL"];
+
+/// Budget / seed configuration of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ExperimentConfig {
+    /// Simulation budget per optimisation run (the paper uses 10 000).
+    pub budget: usize,
+    /// Warm-up episodes for the RL methods.
+    pub warmup: usize,
+    /// Number of independent repetitions (the paper uses 3).
+    pub seeds: usize,
+    /// Random-sampling budget used to calibrate the FoM normalisation
+    /// (the paper uses 5000).
+    pub calibration: usize,
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for CI-style smoke runs.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            budget: 40,
+            warmup: 15,
+            seeds: 1,
+            calibration: 20,
+        }
+    }
+}
+
+/// Reads the experiment scale from environment variables, falling back to the
+/// given defaults: `GCNRL_BUDGET`, `GCNRL_WARMUP`, `GCNRL_SEEDS`,
+/// `GCNRL_CALIBRATION`.
+pub fn budget_from_env(default: ExperimentConfig) -> ExperimentConfig {
+    let read = |name: &str, fallback: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(fallback)
+    };
+    ExperimentConfig {
+        budget: read("GCNRL_BUDGET", default.budget),
+        warmup: read("GCNRL_WARMUP", default.warmup),
+        seeds: read("GCNRL_SEEDS", default.seeds),
+        calibration: read("GCNRL_CALIBRATION", default.calibration),
+    }
+}
+
+/// Mean and standard deviation of one method's best FoM over repeated runs,
+/// plus the per-run learning curves (for the figures).
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodResult {
+    /// Method name as used in the paper's tables.
+    pub method: String,
+    /// Best FoM per seed.
+    pub best_foms: Vec<f64>,
+    /// Best-so-far learning curve of the best-performing seed.
+    pub best_curve: Vec<f64>,
+    /// Metric values of the overall best design.
+    pub best_metrics: Vec<(String, f64)>,
+}
+
+impl MethodResult {
+    fn from_histories(method: &str, histories: Vec<RunHistory>) -> Self {
+        let best_foms: Vec<f64> = histories.iter().map(|h| h.best_fom()).collect();
+        let best_idx = best_foms
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let best_metrics = histories[best_idx]
+            .best_report
+            .as_ref()
+            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
+            .unwrap_or_default();
+        MethodResult {
+            method: method.to_owned(),
+            best_curve: histories[best_idx].best_curve(),
+            best_foms,
+            best_metrics,
+        }
+    }
+
+    /// Mean best FoM across seeds.
+    pub fn mean(&self) -> f64 {
+        self.best_foms.iter().sum::<f64>() / self.best_foms.len().max(1) as f64
+    }
+
+    /// Standard deviation of the best FoM across seeds.
+    pub fn std(&self) -> f64 {
+        let m = self.mean();
+        let n = self.best_foms.len().max(1) as f64;
+        (self.best_foms.iter().map(|f| (f - m).powi(2)).sum::<f64>() / n).sqrt()
+    }
+
+    /// `mean ± std` formatted like the paper's tables.
+    pub fn formatted(&self) -> String {
+        if self.best_foms.len() > 1 {
+            format!("{:.2} ± {:.2}", self.mean(), self.std())
+        } else {
+            format!("{:.2}", self.mean())
+        }
+    }
+}
+
+/// A named learning-curve series (for figure binaries).
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesSummary {
+    /// Series label (method or condition).
+    pub label: String,
+    /// Best-so-far FoM per episode.
+    pub curve: Vec<f64>,
+}
+
+/// Builds a calibrated environment for a benchmark at a node.
+pub fn make_env(benchmark: Benchmark, node: &TechnologyNode, cfg: &ExperimentConfig) -> SizingEnv {
+    let fom = FomConfig::calibrated(benchmark, node, cfg.calibration, 7);
+    SizingEnv::new(benchmark, node, fom)
+}
+
+/// Runs one named method on an environment with the given seed.
+pub fn run_method(
+    method: &str,
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> RunHistory {
+    let env = make_env(benchmark, node, cfg);
+    let ddpg = DdpgConfig::default()
+        .with_seed(seed)
+        .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+    match method {
+        "Human" => human_expert(&env),
+        "Random" => random_search(&env, cfg.budget, seed),
+        "ES" => evolution_strategy(&env, cfg.budget, seed),
+        "BO" => bayesian_optimization(&env, cfg.budget, seed),
+        "MACE" => mace(&env, cfg.budget, seed),
+        "NG-RL" => GcnRlDesigner::with_kind(env, ddpg, AgentKind::NonGcn).run(),
+        "GCN-RL" => GcnRlDesigner::with_kind(env, ddpg, AgentKind::Gcn).run(),
+        other => panic!("unknown method `{other}`"),
+    }
+}
+
+/// Runs every method of Table I on one benchmark, repeating `cfg.seeds` times.
+pub fn run_all_methods(
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+) -> Vec<MethodResult> {
+    METHODS
+        .iter()
+        .map(|method| {
+            let histories: Vec<RunHistory> = (0..cfg.seeds.max(1))
+                .map(|s| run_method(method, benchmark, node, cfg, s as u64))
+                .collect();
+            MethodResult::from_histories(method, histories)
+        })
+        .collect()
+}
+
+/// Writes an experiment result as JSON under `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Ok(json) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+        }
+    }
+}
+
+/// Prints a learning-curve series as a compact text sparkline table.
+pub fn print_series(title: &str, series: &[SeriesSummary]) {
+    println!("\n{title}");
+    for s in series {
+        let last = s.curve.last().copied().unwrap_or(f64::NAN);
+        let step = (s.curve.len() / 8).max(1);
+        let samples: Vec<String> = s
+            .curve
+            .iter()
+            .step_by(step)
+            .map(|v| format!("{v:.2}"))
+            .collect();
+        println!("  {:<22} final={last:6.3}  curve=[{}]", s.label, samples.join(", "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_config_and_env_override() {
+        let cfg = ExperimentConfig::smoke();
+        assert!(cfg.budget > cfg.warmup);
+        let same = budget_from_env(cfg);
+        assert_eq!(same.budget, cfg.budget);
+    }
+
+    #[test]
+    fn method_result_statistics() {
+        let mut h1 = RunHistory::new("X");
+        let mut h2 = RunHistory::new("X");
+        let pv = gcnrl_circuit::ParamVector::new(vec![gcnrl_circuit::ComponentParams::Resistance(1.0)]);
+        let rep = gcnrl_sim::PerformanceReport::new();
+        h1.record(1.0, &pv, &rep);
+        h2.record(3.0, &pv, &rep);
+        let r = MethodResult::from_histories("X", vec![h1, h2]);
+        assert_eq!(r.mean(), 2.0);
+        assert_eq!(r.std(), 1.0);
+        assert!(r.formatted().contains("±"));
+    }
+
+    #[test]
+    fn every_table1_method_runs_one_tiny_experiment() {
+        let cfg = ExperimentConfig {
+            budget: 12,
+            warmup: 4,
+            seeds: 1,
+            calibration: 6,
+        };
+        let node = TechnologyNode::tsmc180();
+        for method in METHODS {
+            let h = run_method(method, Benchmark::TwoStageTia, &node, &cfg, 0);
+            assert!(!h.is_empty(), "{method} produced no records");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the GCN-RL paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure; they all share
+//! the routines in [`harness`].  Budgets are scaled down from the paper's
+//! 10 000-simulation runs so the full suite executes on a laptop in minutes;
+//! set the `GCNRL_BUDGET`, `GCNRL_SEEDS` and `GCNRL_CALIBRATION` environment
+//! variables to run at larger scale (see EXPERIMENTS.md).
+
+pub mod harness;
+
+pub use harness::{
+    budget_from_env, make_env, print_series, run_all_methods, run_method, write_json,
+    ExperimentConfig, MethodResult, SeriesSummary, METHODS,
+};

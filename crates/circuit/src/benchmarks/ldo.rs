@@ -1,0 +1,77 @@
+use crate::{Circuit, CircuitBuilder};
+
+/// Low-dropout regulator ("LDO", Fig. 6d).
+///
+/// A classic analog LDO: a five-transistor error amplifier compares the
+/// feedback voltage against `VREF` and drives a large PMOS pass device; a
+/// resistive divider `R1`/`R2` closes the loop and `CL` is the output
+/// capacitor at the regulated node:
+///
+/// * `T1`/`T2` — error-amplifier NMOS input pair (`VREF` vs feedback).
+/// * `T3`/`T4` — PMOS mirror load.
+/// * `T5` — tail current source, `T7` — its diode-connected bias reference.
+/// * `T6` — second-stage/buffer device driving the pass gate.
+/// * `T8` — the PMOS pass transistor.
+/// * `R1`, `R2` — feedback divider; `CL` — output capacitor.
+pub fn low_dropout_regulator() -> Circuit {
+    let mut b = CircuitBuilder::new("low_dropout_regulator");
+    b.supply("vdd");
+    b.supply("gnd");
+    b.net("vref");
+    b.net("vfb");
+    b.net("tail");
+    b.net("x1");
+    b.net("vgate");
+    b.net("vout");
+    b.net("vbias");
+
+    b.nmos("T1", "x1", "vref", "tail").expect("valid net");
+    b.nmos("T2", "vgate", "vfb", "tail").expect("valid net");
+    b.pmos("T3", "x1", "x1", "vdd").expect("valid net");
+    b.pmos("T4", "vgate", "x1", "vdd").expect("valid net");
+    b.nmos("T5", "tail", "vbias", "gnd").expect("valid net");
+    b.nmos("T6", "vgate", "vbias", "gnd").expect("valid net");
+    b.nmos("T7", "vbias", "vbias", "gnd").expect("valid net");
+    b.pmos("T8", "vout", "vgate", "vdd").expect("valid net");
+    b.resistor("R1", "vout", "vfb").expect("valid net");
+    b.resistor("R2", "vfb", "gnd").expect("valid net");
+    b.capacitor("CL", "vout", "gnd").expect("valid net");
+
+    b.matched("input_pair", &["T1", "T2"]).expect("members exist");
+    b.matched("mirror_load", &["T3", "T4"]).expect("members exist");
+    b.matched("bias_legs_L", &["T5", "T6", "T7"]).expect("members exist");
+    b.build().expect("low_dropout_regulator is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentKind;
+
+    #[test]
+    fn component_inventory() {
+        let c = low_dropout_regulator();
+        assert_eq!(c.num_transistors(), 8);
+        assert_eq!(c.num_components(), 11);
+        assert_eq!(c.component_by_name("T8").unwrap().kind, ComponentKind::Pmos);
+    }
+
+    #[test]
+    fn feedback_divider_closes_the_loop() {
+        let c = low_dropout_regulator();
+        let r1 = c.component_by_name("R1").unwrap();
+        let nets: Vec<&str> = r1
+            .terminals
+            .iter()
+            .map(|t| c.nets()[t.index()].name.as_str())
+            .collect();
+        assert!(nets.contains(&"vout") && nets.contains(&"vfb"));
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = low_dropout_regulator().topology_graph();
+        assert!(g.is_connected());
+        assert!(g.diameter() <= 7);
+    }
+}

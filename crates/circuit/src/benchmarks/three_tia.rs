@@ -1,0 +1,91 @@
+use crate::{Circuit, CircuitBuilder};
+
+/// Three-stage transimpedance amplifier ("Three-TIA", Fig. 6c).
+///
+/// The paper's design converts a differential source current to a voltage
+/// through three cascaded gain stages.  We model one signal path with three
+/// current-mirror / common-source stages plus the bias chain, seventeen
+/// transistors and the bias resistor `RB`, mirroring the component count of
+/// the schematic:
+///
+/// * `T0` — tail/bias reference (diode-connected, biased through `RB`).
+/// * Stage 1: `T1` (diode input), `T2` (mirror), `T7`/`T8` (PMOS mirror),
+///   `T9` (NMOS diode load).
+/// * Stage 2: `T3` (common source), `T10`/`T11` (PMOS mirror), `T12` (diode load).
+/// * Stage 3: `T4` (common source), `T13`/`T14` (PMOS mirror), `T15` (diode load),
+///   `T16` (output common-source stage), `T5`, `T6` (output bias legs).
+pub fn three_stage_tia() -> Circuit {
+    let mut b = CircuitBuilder::new("three_stage_tia");
+    b.supply("vdd");
+    b.supply("gnd");
+    b.net("vbias");
+    b.net("vin");
+    b.net("s1"); // stage-1 mirror node
+    b.net("o1"); // stage-1 output
+    b.net("s2");
+    b.net("o2");
+    b.net("s3");
+    b.net("o3");
+    b.net("vout");
+
+    // Bias chain.
+    b.resistor("RB", "vdd", "vbias").expect("valid net");
+    b.nmos("T0", "vbias", "vbias", "gnd").expect("valid net");
+
+    // Stage 1: current input, diode + mirror, folded by a PMOS mirror.
+    b.nmos("T1", "vin", "vin", "gnd").expect("valid net");
+    b.nmos("T2", "s1", "vin", "gnd").expect("valid net");
+    b.pmos("T7", "s1", "s1", "vdd").expect("valid net");
+    b.pmos("T8", "o1", "s1", "vdd").expect("valid net");
+    b.nmos("T9", "o1", "o1", "gnd").expect("valid net");
+
+    // Stage 2.
+    b.nmos("T3", "s2", "o1", "gnd").expect("valid net");
+    b.pmos("T10", "s2", "s2", "vdd").expect("valid net");
+    b.pmos("T11", "o2", "s2", "vdd").expect("valid net");
+    b.nmos("T12", "o2", "o2", "gnd").expect("valid net");
+
+    // Stage 3.
+    b.nmos("T4", "s3", "o2", "gnd").expect("valid net");
+    b.pmos("T13", "s3", "s3", "vdd").expect("valid net");
+    b.pmos("T14", "o3", "s3", "vdd").expect("valid net");
+    b.nmos("T15", "o3", "o3", "gnd").expect("valid net");
+
+    // Output stage and bias legs.
+    b.nmos("T16", "vout", "o3", "gnd").expect("valid net");
+    b.pmos("T5", "vout", "vbias", "vdd").expect("valid net");
+    b.nmos("T6", "vout", "vbias", "gnd").expect("valid net");
+
+    b.matched("stage1_mirror", &["T7", "T8"]).expect("members exist");
+    b.matched("stage2_mirror", &["T10", "T11"]).expect("members exist");
+    b.matched("stage3_mirror", &["T13", "T14"]).expect("members exist");
+    b.matched("input_mirror_L", &["T1", "T2"]).expect("members exist");
+    b.build().expect("three_stage_tia is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_inventory_matches_paper_scale() {
+        let c = three_stage_tia();
+        assert_eq!(c.num_transistors(), 17);
+        assert_eq!(c.num_components(), 18); // + RB
+    }
+
+    #[test]
+    fn has_three_cascaded_gain_stages() {
+        let c = three_stage_tia();
+        for name in ["T2", "T3", "T4", "T16"] {
+            assert!(c.component_by_name(name).is_ok(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn graph_is_connected_with_bounded_diameter() {
+        let g = three_stage_tia().topology_graph();
+        assert!(g.is_connected());
+        assert!(g.diameter() <= 10, "diameter {}", g.diameter());
+    }
+}

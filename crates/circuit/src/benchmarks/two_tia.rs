@@ -1,0 +1,76 @@
+use crate::{Circuit, CircuitBuilder};
+
+/// Two-stage transimpedance amplifier ("Two-TIA", Fig. 6a of the paper).
+///
+/// Signal path:
+///
+/// * `T1` — diode-connected NMOS input device converting the input current at
+///   `vin` into a gate voltage (the paper's "diode-connected input transistors").
+/// * `T2` — NMOS mirror device (1 : A current gain) driving the first gain node `v1`.
+/// * `T3`/`T4` — PMOS mirror folding the first-stage current onto `v2`.
+/// * `T5` — diode-connected NMOS load of the folding node.
+/// * `T6` — NMOS common-source output stage with resistive load `R6`.
+/// * `RF` — shunt–shunt feedback resistor setting the closed-loop transimpedance.
+/// * `CL` — load capacitor at `vout`.
+///
+/// Matching groups tie the mirror legs together the way a designer would.
+pub fn two_stage_tia() -> Circuit {
+    let mut b = CircuitBuilder::new("two_stage_tia");
+    b.supply("vdd");
+    b.supply("gnd");
+    b.net("vin");
+    b.net("v1");
+    b.net("v2");
+    b.net("vout");
+
+    b.nmos("T1", "vin", "vin", "gnd").expect("valid net");
+    b.nmos("T2", "v1", "vin", "gnd").expect("valid net");
+    b.pmos("T3", "v1", "v1", "vdd").expect("valid net");
+    b.pmos("T4", "v2", "v1", "vdd").expect("valid net");
+    b.nmos("T5", "v2", "v2", "gnd").expect("valid net");
+    b.nmos("T6", "vout", "v2", "gnd").expect("valid net");
+    b.resistor("R6", "vdd", "vout").expect("valid net");
+    b.resistor("RF", "vout", "vin").expect("valid net");
+    b.capacitor("CL", "vout", "gnd").expect("valid net");
+
+    // The input device and its mirror share L; the PMOS mirror legs match.
+    b.matched("nmos_mirror_L", &["T1", "T2"]).expect("members exist");
+    b.matched("pmos_mirror", &["T3", "T4"]).expect("members exist");
+    b.build().expect("two_stage_tia is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentKind;
+
+    #[test]
+    fn component_inventory() {
+        let c = two_stage_tia();
+        assert_eq!(c.num_components(), 9);
+        assert_eq!(c.num_transistors(), 6);
+        assert_eq!(c.component_by_name("RF").unwrap().kind, ComponentKind::Resistor);
+        assert_eq!(c.component_by_name("CL").unwrap().kind, ComponentKind::Capacitor);
+    }
+
+    #[test]
+    fn feedback_resistor_connects_output_to_input() {
+        let c = two_stage_tia();
+        let rf = c.component_by_name("RF").unwrap();
+        let nets: Vec<&str> = rf
+            .terminals
+            .iter()
+            .map(|t| c.nets()[t.index()].name.as_str())
+            .collect();
+        assert!(nets.contains(&"vout") && nets.contains(&"vin"));
+    }
+
+    #[test]
+    fn graph_connects_input_to_output_stage() {
+        let c = two_stage_tia();
+        let g = c.topology_graph();
+        assert!(g.is_connected());
+        // T1 (id 0) and T6 (id 5) must be within the GCN receptive field.
+        assert!(g.diameter() <= 7);
+    }
+}

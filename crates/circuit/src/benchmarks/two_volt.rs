@@ -1,0 +1,77 @@
+use crate::{Circuit, CircuitBuilder};
+
+/// Two-stage Miller-compensated voltage amplifier ("Two-Volt", Fig. 6b).
+///
+/// The paper's amplifier is a fully-differential two-stage design used in a
+/// capacitive closed-loop configuration (gain set by `CS/CF`) with Miller
+/// compensation.  We model one differential half plus the shared bias chain:
+///
+/// * `TB1`/`TB2` — bias mirror (diode reference and tail current source).
+/// * `T1`/`T2` — NMOS input differential pair.
+/// * `T3`/`T4` — PMOS current-mirror load of the first stage.
+/// * `T5` — PMOS common-source second stage, `T6` — its NMOS current-source load.
+/// * `CC` — Miller compensation capacitor, `CL` — output load.
+/// * `CS`/`CF` — the closed-loop sampling/feedback capacitors that set the
+///   PVT-stable gain the paper mentions.
+pub fn two_stage_voltage_amp() -> Circuit {
+    let mut b = CircuitBuilder::new("two_stage_voltage_amp");
+    b.supply("vdd");
+    b.supply("gnd");
+    b.net("vin_p");
+    b.net("vin_n");
+    b.net("tail");
+    b.net("x1"); // first-stage mirror node
+    b.net("vo1"); // first-stage output
+    b.net("vout");
+    b.net("vbias");
+
+    b.nmos("TB1", "vbias", "vbias", "gnd").expect("valid net");
+    b.nmos("TB2", "tail", "vbias", "gnd").expect("valid net");
+    b.nmos("T1", "x1", "vin_p", "tail").expect("valid net");
+    b.nmos("T2", "vo1", "vin_n", "tail").expect("valid net");
+    b.pmos("T3", "x1", "x1", "vdd").expect("valid net");
+    b.pmos("T4", "vo1", "x1", "vdd").expect("valid net");
+    b.pmos("T5", "vout", "vo1", "vdd").expect("valid net");
+    b.nmos("T6", "vout", "vbias", "gnd").expect("valid net");
+    b.capacitor("CC", "vo1", "vout").expect("valid net");
+    b.capacitor("CL", "vout", "gnd").expect("valid net");
+    b.capacitor("CS", "vin_n", "vin_p").expect("valid net");
+    b.capacitor("CF", "vin_n", "vout").expect("valid net");
+
+    b.matched("input_pair", &["T1", "T2"]).expect("members exist");
+    b.matched("load_mirror", &["T3", "T4"]).expect("members exist");
+    b.matched("bias_mirror_L", &["TB1", "TB2"]).expect("members exist");
+    b.build().expect("two_stage_voltage_amp is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_inventory() {
+        let c = two_stage_voltage_amp();
+        assert_eq!(c.num_transistors(), 8);
+        assert_eq!(c.num_components(), 12);
+        assert_eq!(c.matching_groups().len(), 3);
+    }
+
+    #[test]
+    fn miller_cap_bridges_the_two_stages() {
+        let c = two_stage_voltage_amp();
+        let cc = c.component_by_name("CC").unwrap();
+        let nets: Vec<&str> = cc
+            .terminals
+            .iter()
+            .map(|t| c.nets()[t.index()].name.as_str())
+            .collect();
+        assert!(nets.contains(&"vo1") && nets.contains(&"vout"));
+    }
+
+    #[test]
+    fn graph_is_connected_with_small_diameter() {
+        let g = two_stage_voltage_amp().topology_graph();
+        assert!(g.is_connected());
+        assert!(g.diameter() <= 7);
+    }
+}

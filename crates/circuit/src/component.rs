@@ -1,0 +1,246 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a component inside one [`Circuit`](crate::Circuit).
+///
+/// Indices are dense: the `k`-th component added to a circuit has id `k`,
+/// which is also its vertex index in the [`TopologyGraph`](crate::TopologyGraph)
+/// and its slot in the RL state/action tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentId(pub usize);
+
+impl ComponentId {
+    /// The dense index of this component.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The kind of a sizable component.
+///
+/// These are the four vertex types the paper's state vector distinguishes with
+/// its one-hot type encoding (NMOS, PMOS, resistor, capacitor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// N-channel MOSFET.
+    Nmos,
+    /// P-channel MOSFET.
+    Pmos,
+    /// Resistor.
+    Resistor,
+    /// Capacitor.
+    Capacitor,
+}
+
+impl ComponentKind {
+    /// All component kinds in the canonical order used for one-hot encoding.
+    pub const ALL: [ComponentKind; 4] = [
+        ComponentKind::Nmos,
+        ComponentKind::Pmos,
+        ComponentKind::Resistor,
+        ComponentKind::Capacitor,
+    ];
+
+    /// Index of this kind in [`ComponentKind::ALL`], used for one-hot encoding.
+    pub fn type_index(self) -> usize {
+        match self {
+            ComponentKind::Nmos => 0,
+            ComponentKind::Pmos => 1,
+            ComponentKind::Resistor => 2,
+            ComponentKind::Capacitor => 3,
+        }
+    }
+
+    /// Number of sizable parameters this kind of component exposes to the agent.
+    ///
+    /// Transistors expose `(W, L, M)`; resistors and capacitors expose their value.
+    pub fn num_parameters(self) -> usize {
+        match self {
+            ComponentKind::Nmos | ComponentKind::Pmos => 3,
+            ComponentKind::Resistor | ComponentKind::Capacitor => 1,
+        }
+    }
+
+    /// Returns `true` for NMOS and PMOS transistors.
+    pub fn is_transistor(self) -> bool {
+        matches!(self, ComponentKind::Nmos | ComponentKind::Pmos)
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Nmos => "NMOS",
+            ComponentKind::Pmos => "PMOS",
+            ComponentKind::Resistor => "R",
+            ComponentKind::Capacitor => "C",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Width/length/multiplier sizing of one MOS transistor.
+///
+/// Dimensions are in micrometres; `m` is the number of parallel fingers
+/// (the paper's "multiplexer" parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosSizing {
+    /// Gate width in µm.
+    pub w_um: f64,
+    /// Gate length in µm.
+    pub l_um: f64,
+    /// Parallel-device multiplier (≥ 1).
+    pub m: u32,
+}
+
+impl MosSizing {
+    /// Creates a sizing, clamping `m` to at least 1.
+    pub fn new(w_um: f64, l_um: f64, m: u32) -> Self {
+        MosSizing {
+            w_um,
+            l_um,
+            m: m.max(1),
+        }
+    }
+
+    /// Effective width `W * M` in µm.
+    pub fn effective_width_um(&self) -> f64 {
+        self.w_um * f64::from(self.m)
+    }
+
+    /// Aspect ratio `W * M / L`.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.effective_width_um() / self.l_um
+    }
+}
+
+/// The concrete sized parameters of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ComponentParams {
+    /// Transistor sizing.
+    Mos(MosSizing),
+    /// Resistance in ohms.
+    Resistance(f64),
+    /// Capacitance in farads.
+    Capacitance(f64),
+}
+
+impl ComponentParams {
+    /// Flattens the parameters into the canonical per-component vector order.
+    ///
+    /// Transistors produce `[W, L, M]`; resistors `[R]`; capacitors `[C]`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        match self {
+            ComponentParams::Mos(s) => vec![s.w_um, s.l_um, f64::from(s.m)],
+            ComponentParams::Resistance(r) => vec![*r],
+            ComponentParams::Capacitance(c) => vec![*c],
+        }
+    }
+
+    /// Returns the MOS sizing if this is a transistor.
+    pub fn as_mos(&self) -> Option<MosSizing> {
+        match self {
+            ComponentParams::Mos(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Returns the resistance in ohms if this is a resistor.
+    pub fn as_resistance(&self) -> Option<f64> {
+        match self {
+            ComponentParams::Resistance(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the capacitance in farads if this is a capacitor.
+    pub fn as_capacitance(&self) -> Option<f64> {
+        match self {
+            ComponentParams::Capacitance(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// One sizable component (graph vertex) of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Unique dense id within the owning circuit.
+    pub id: ComponentId,
+    /// Designator, e.g. `"T1"`, `"RF"`, `"CL"`.
+    pub name: String,
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// Nets attached to the component terminals, in terminal order
+    /// (drain/gate/source for MOS; the two ends for R and C).
+    pub terminals: Vec<crate::NetId>,
+}
+
+impl Component {
+    /// Number of sizable parameters of this component.
+    pub fn num_parameters(&self) -> usize {
+        self.kind.num_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_unique_and_dense() {
+        let mut seen = [false; 4];
+        for kind in ComponentKind::ALL {
+            let i = kind.type_index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn parameter_counts() {
+        assert_eq!(ComponentKind::Nmos.num_parameters(), 3);
+        assert_eq!(ComponentKind::Pmos.num_parameters(), 3);
+        assert_eq!(ComponentKind::Resistor.num_parameters(), 1);
+        assert_eq!(ComponentKind::Capacitor.num_parameters(), 1);
+        assert!(ComponentKind::Nmos.is_transistor());
+        assert!(!ComponentKind::Capacitor.is_transistor());
+    }
+
+    #[test]
+    fn mos_sizing_effective_width() {
+        let s = MosSizing::new(2.0, 0.18, 4);
+        assert_eq!(s.effective_width_um(), 8.0);
+        assert!((s.aspect_ratio() - 8.0 / 0.18).abs() < 1e-12);
+        // m clamped to 1
+        assert_eq!(MosSizing::new(1.0, 1.0, 0).m, 1);
+    }
+
+    #[test]
+    fn params_round_trip_to_vec() {
+        let p = ComponentParams::Mos(MosSizing::new(1.5, 0.2, 2));
+        assert_eq!(p.to_vec(), vec![1.5, 0.2, 2.0]);
+        assert!(p.as_mos().is_some());
+        assert!(p.as_resistance().is_none());
+
+        let r = ComponentParams::Resistance(1e3);
+        assert_eq!(r.to_vec(), vec![1e3]);
+        assert_eq!(r.as_resistance(), Some(1e3));
+
+        let c = ComponentParams::Capacitance(1e-12);
+        assert_eq!(c.as_capacitance(), Some(1e-12));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ComponentId(3).to_string(), "c3");
+        assert_eq!(ComponentKind::Pmos.to_string(), "PMOS");
+    }
+}

@@ -1,0 +1,49 @@
+//! Circuit netlist model for the GCN-RL circuit designer.
+//!
+//! The paper's environment works on a fixed analog topology: its vertices are
+//! sizable components (NMOS/PMOS transistors, resistors, capacitors), its
+//! edges are the wires connecting them.  This crate provides everything the
+//! optimisation loop needs to know about such a topology *before* simulation:
+//!
+//! * [`Circuit`] — the netlist: components, nets, and supply/ground marking.
+//! * [`TopologyGraph`] — the component graph with the normalised adjacency
+//!   matrix `D̃^-1/2 (A + I) D̃^-1/2` consumed by the GCN layers.
+//! * [`TechnologyNode`] — device model parameters and size bounds for the
+//!   250/180/130/65/45 nm nodes used in the paper's transfer experiments.
+//! * [`DesignSpace`] / [`ParamVector`] — per-component search ranges, the
+//!   action denormalisation from `[-1, 1]`, rounding to manufacturing grid,
+//!   and matching-group refinement (Sec. III-B step 4 of the paper).
+//! * [`benchmarks`] — the four circuits evaluated in the paper: a two-stage
+//!   transimpedance amplifier, a two-stage voltage amplifier, a three-stage
+//!   transimpedance amplifier and a low-dropout regulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcnrl_circuit::benchmarks;
+//! use gcnrl_circuit::TechnologyNode;
+//!
+//! let circuit = benchmarks::two_stage_tia();
+//! let graph = circuit.topology_graph();
+//! assert_eq!(graph.num_vertices(), circuit.num_components());
+//!
+//! let node = TechnologyNode::tsmc180();
+//! let space = circuit.design_space(&node);
+//! assert_eq!(space.num_parameters(), space.nominal().to_flat().len());
+//! ```
+
+mod component;
+mod design_space;
+mod graph;
+mod netlist;
+mod refine;
+mod technology;
+
+pub mod benchmarks;
+
+pub use component::{Component, ComponentId, ComponentKind, ComponentParams, MosSizing};
+pub use design_space::{DesignSpace, ParamBounds, ParamScale, ParamVector};
+pub use graph::TopologyGraph;
+pub use netlist::{Circuit, CircuitBuilder, CircuitError, Net, NetId};
+pub use refine::{MatchingGroup, Refiner};
+pub use technology::{MosModelParams, MosPolarity, TechnologyNode};

@@ -1,0 +1,479 @@
+use crate::component::{Component, ComponentId, ComponentKind};
+use crate::design_space::DesignSpace;
+use crate::graph::TopologyGraph;
+use crate::refine::MatchingGroup;
+use crate::technology::TechnologyNode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net (wire) inside one [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub usize);
+
+impl NetId {
+    /// The dense index of this net.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A net (electrical node / wire) of the circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Unique dense id within the owning circuit.
+    pub id: NetId,
+    /// Net name, e.g. `"vout"`, `"vdd"`.
+    pub name: String,
+    /// Whether the net is a supply or ground rail.  Supply rails are excluded
+    /// from the topology graph so that the graph reflects signal connectivity
+    /// rather than the (almost complete) power-distribution connectivity.
+    pub is_supply: bool,
+}
+
+/// Errors arising while building or querying a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A component referenced a net name that was never declared.
+    UnknownNet {
+        /// The missing net name.
+        net: String,
+    },
+    /// Two components were given the same designator.
+    DuplicateComponent {
+        /// The repeated designator.
+        name: String,
+    },
+    /// A lookup by name failed.
+    UnknownComponent {
+        /// The missing designator.
+        name: String,
+    },
+    /// A matching group referenced components of different kinds.
+    MixedMatchingGroup {
+        /// The offending group label.
+        group: String,
+    },
+    /// The circuit has no components.
+    Empty,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNet { net } => write!(f, "unknown net `{net}`"),
+            CircuitError::DuplicateComponent { name } => {
+                write!(f, "duplicate component designator `{name}`")
+            }
+            CircuitError::UnknownComponent { name } => {
+                write!(f, "unknown component `{name}`")
+            }
+            CircuitError::MixedMatchingGroup { group } => {
+                write!(f, "matching group `{group}` mixes component kinds")
+            }
+            CircuitError::Empty => write!(f, "circuit has no components"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A fixed analog circuit topology whose component sizes are to be optimised.
+///
+/// A `Circuit` owns its components (graph vertices), nets (wires), and the
+/// matching groups that the refinement step enforces.  It does not store
+/// sizes — those live in a [`ParamVector`](crate::ParamVector) so that many
+/// candidate sizings of the same topology can coexist.
+///
+/// # Examples
+///
+/// ```
+/// use gcnrl_circuit::{CircuitBuilder, ComponentKind};
+///
+/// # fn main() -> Result<(), gcnrl_circuit::CircuitError> {
+/// let mut b = CircuitBuilder::new("common_source");
+/// b.supply("vdd");
+/// b.net("vin");
+/// b.net("vout");
+/// b.net("gnd_ref");
+/// b.nmos("M1", "vout", "vin", "gnd_ref")?;
+/// b.resistor("RL", "vdd", "vout")?;
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_components(), 2);
+/// assert_eq!(circuit.topology_graph().degree(0), 1); // M1 - RL share vout
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    components: Vec<Component>,
+    nets: Vec<Net>,
+    matching_groups: Vec<MatchingGroup>,
+    by_name: HashMap<String, ComponentId>,
+}
+
+impl Circuit {
+    /// Circuit name, e.g. `"two_stage_tia"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sizable components (graph vertices).
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All components in id order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All nets in id order.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The matching groups enforced by refinement.
+    pub fn matching_groups(&self) -> &[MatchingGroup] {
+        &self.matching_groups
+    }
+
+    /// Looks up a component by designator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownComponent`] if no component has that name.
+    pub fn component_by_name(&self, name: &str) -> Result<&Component, CircuitError> {
+        self.by_name
+            .get(name)
+            .map(|id| &self.components[id.index()])
+            .ok_or_else(|| CircuitError::UnknownComponent {
+                name: name.to_owned(),
+            })
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Total number of sizable parameters across all components.
+    pub fn num_parameters(&self) -> usize {
+        self.components.iter().map(|c| c.num_parameters()).sum()
+    }
+
+    /// Builds the component topology graph (vertices = components, edges =
+    /// shared non-supply nets), as consumed by the GCN layers.
+    pub fn topology_graph(&self) -> TopologyGraph {
+        TopologyGraph::from_circuit(self)
+    }
+
+    /// Builds the per-component search space for a given technology node.
+    pub fn design_space(&self, node: &TechnologyNode) -> DesignSpace {
+        DesignSpace::for_circuit(self, node)
+    }
+
+    /// Number of transistors in the circuit.
+    pub fn num_transistors(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| c.kind.is_transistor())
+            .count()
+    }
+}
+
+/// Incremental builder for a [`Circuit`].
+///
+/// Nets must be declared (via [`CircuitBuilder::net`] or
+/// [`CircuitBuilder::supply`]) before components referencing them are added;
+/// this catches typos in hand-written benchmark netlists at build time.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    components: Vec<Component>,
+    nets: Vec<Net>,
+    matching_groups: Vec<MatchingGroup>,
+    net_by_name: HashMap<String, NetId>,
+    by_name: HashMap<String, ComponentId>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            components: Vec::new(),
+            nets: Vec::new(),
+            matching_groups: Vec::new(),
+            net_by_name: HashMap::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Declares a signal net and returns its id.  Re-declaring a net returns
+    /// the existing id.
+    pub fn net(&mut self, name: &str) -> NetId {
+        self.add_net(name, false)
+    }
+
+    /// Declares a supply/ground net and returns its id.
+    pub fn supply(&mut self, name: &str) -> NetId {
+        self.add_net(name, true)
+    }
+
+    fn add_net(&mut self, name: &str, is_supply: bool) -> NetId {
+        if let Some(id) = self.net_by_name.get(name) {
+            return *id;
+        }
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            id,
+            name: name.to_owned(),
+            is_supply,
+        });
+        self.net_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn resolve(&self, net: &str) -> Result<NetId, CircuitError> {
+        self.net_by_name
+            .get(net)
+            .copied()
+            .ok_or_else(|| CircuitError::UnknownNet {
+                net: net.to_owned(),
+            })
+    }
+
+    fn add_component(
+        &mut self,
+        name: &str,
+        kind: ComponentKind,
+        terminals: Vec<NetId>,
+    ) -> Result<ComponentId, CircuitError> {
+        if self.by_name.contains_key(name) {
+            return Err(CircuitError::DuplicateComponent {
+                name: name.to_owned(),
+            });
+        }
+        let id = ComponentId(self.components.len());
+        self.components.push(Component {
+            id,
+            name: name.to_owned(),
+            kind,
+            terminals,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds an NMOS transistor with terminals `(drain, gate, source)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNet`] for undeclared nets or
+    /// [`CircuitError::DuplicateComponent`] for repeated designators.
+    pub fn nmos(
+        &mut self,
+        name: &str,
+        drain: &str,
+        gate: &str,
+        source: &str,
+    ) -> Result<ComponentId, CircuitError> {
+        let t = vec![self.resolve(drain)?, self.resolve(gate)?, self.resolve(source)?];
+        self.add_component(name, ComponentKind::Nmos, t)
+    }
+
+    /// Adds a PMOS transistor with terminals `(drain, gate, source)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::nmos`].
+    pub fn pmos(
+        &mut self,
+        name: &str,
+        drain: &str,
+        gate: &str,
+        source: &str,
+    ) -> Result<ComponentId, CircuitError> {
+        let t = vec![self.resolve(drain)?, self.resolve(gate)?, self.resolve(source)?];
+        self.add_component(name, ComponentKind::Pmos, t)
+    }
+
+    /// Adds a resistor between nets `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::nmos`].
+    pub fn resistor(&mut self, name: &str, a: &str, b: &str) -> Result<ComponentId, CircuitError> {
+        let t = vec![self.resolve(a)?, self.resolve(b)?];
+        self.add_component(name, ComponentKind::Resistor, t)
+    }
+
+    /// Adds a capacitor between nets `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBuilder::nmos`].
+    pub fn capacitor(&mut self, name: &str, a: &str, b: &str) -> Result<ComponentId, CircuitError> {
+        let t = vec![self.resolve(a)?, self.resolve(b)?];
+        self.add_component(name, ComponentKind::Capacitor, t)
+    }
+
+    /// Declares that a set of components must stay identically sized
+    /// (differential pairs, current-mirror legs, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownComponent`] if a designator is unknown or
+    /// [`CircuitError::MixedMatchingGroup`] if the members are not all of the
+    /// same kind.
+    pub fn matched(&mut self, label: &str, members: &[&str]) -> Result<(), CircuitError> {
+        let mut ids = Vec::with_capacity(members.len());
+        let mut kind: Option<ComponentKind> = None;
+        for m in members {
+            let id = self
+                .by_name
+                .get(*m)
+                .copied()
+                .ok_or_else(|| CircuitError::UnknownComponent {
+                    name: (*m).to_owned(),
+                })?;
+            let k = self.components[id.index()].kind;
+            if let Some(existing) = kind {
+                if existing != k {
+                    return Err(CircuitError::MixedMatchingGroup {
+                        group: label.to_owned(),
+                    });
+                }
+            }
+            kind = Some(k);
+            ids.push(id);
+        }
+        self.matching_groups.push(MatchingGroup {
+            label: label.to_owned(),
+            members: ids,
+        });
+        Ok(())
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Empty`] if no components were added.
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        if self.components.is_empty() {
+            return Err(CircuitError::Empty);
+        }
+        Ok(Circuit {
+            name: self.name,
+            components: self.components,
+            nets: self.nets,
+            matching_groups: self.matching_groups,
+            by_name: self.by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Circuit {
+        let mut b = CircuitBuilder::new("test");
+        b.supply("vdd");
+        b.net("in");
+        b.net("out");
+        b.net("gnd");
+        b.nmos("M1", "out", "in", "gnd").unwrap();
+        b.pmos("M2", "out", "in", "vdd").unwrap();
+        b.resistor("R1", "out", "gnd").unwrap();
+        b.capacitor("C1", "out", "gnd").unwrap();
+        b.matched("inv", &["M1", "M2"]).unwrap_err(); // mixed kinds rejected
+        b.matched("dup", &["M1"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_dense_ids() {
+        let c = simple();
+        assert_eq!(c.num_components(), 4);
+        for (i, comp) in c.components().iter().enumerate() {
+            assert_eq!(comp.id.index(), i);
+        }
+        assert_eq!(c.num_nets(), 4);
+        assert_eq!(c.num_transistors(), 2);
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.net("a");
+        assert!(matches!(
+            b.nmos("M1", "a", "a", "missing"),
+            Err(CircuitError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.net("a");
+        b.net("b");
+        b.resistor("R1", "a", "b").unwrap();
+        assert!(matches!(
+            b.resistor("R1", "a", "b"),
+            Err(CircuitError::DuplicateComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let b = CircuitBuilder::new("empty");
+        assert!(matches!(b.build(), Err(CircuitError::Empty)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = simple();
+        assert_eq!(c.component_by_name("R1").unwrap().kind, ComponentKind::Resistor);
+        assert!(c.component_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn num_parameters_counts_by_kind() {
+        let c = simple();
+        // two transistors (3 each) + R + C (1 each)
+        assert_eq!(c.num_parameters(), 8);
+    }
+
+    #[test]
+    fn redeclaring_net_returns_same_id() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.net("x");
+        let bb = b.net("x");
+        assert_eq!(a, bb);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CircuitError::UnknownNet { net: "foo".into() };
+        assert!(e.to_string().contains("foo"));
+    }
+}

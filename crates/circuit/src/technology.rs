@@ -1,0 +1,262 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Polarity of a MOS transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// First-order MOS model parameters of one polarity at one technology node.
+///
+/// These are the quantities the paper feeds into the per-component state
+/// vector (`Vsat`, `Vth0`, `Vfb`, `µ0`, `Uc`), plus the derived transconductance
+/// parameter and channel-length-modulation coefficient the simulator needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosModelParams {
+    /// Zero-bias threshold voltage magnitude, volts.
+    pub vth0: f64,
+    /// Low-field carrier mobility, cm²/(V·s).
+    pub mu0: f64,
+    /// Saturation velocity, m/s.
+    pub vsat: f64,
+    /// Flat-band voltage, volts.
+    pub vfb: f64,
+    /// Mobility degradation coefficient, 1/V.
+    pub uc: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Channel-length modulation coefficient for a 1 µm device, 1/V.
+    /// The effective lambda scales as `lambda_per_um / L[µm]`.
+    pub lambda_per_um: f64,
+}
+
+impl MosModelParams {
+    /// Process transconductance parameter `k' = µ0 · Cox` in A/V².
+    ///
+    /// `mu0` is stored in cm²/(V·s) and converted to m²/(V·s) here.
+    pub fn kp(&self) -> f64 {
+        self.mu0 * 1e-4 * self.cox
+    }
+
+    /// The five model features used in the RL state vector, in the paper's
+    /// order `(Vsat, Vth0, Vfb, µ0, Uc)`.
+    pub fn state_features(&self) -> [f64; 5] {
+        [self.vsat, self.vth0, self.vfb, self.mu0, self.uc]
+    }
+}
+
+/// A CMOS technology node: device models plus legal sizing ranges.
+///
+/// The transfer experiments in the paper train at 180 nm and port to
+/// 250/130/65/45 nm; [`TechnologyNode::all`] returns the same five nodes.
+///
+/// # Examples
+///
+/// ```
+/// use gcnrl_circuit::TechnologyNode;
+///
+/// let n180 = TechnologyNode::tsmc180();
+/// let n45 = TechnologyNode::n45();
+/// assert!(n45.vdd < n180.vdd);
+/// assert!(n45.l_min_um < n180.l_min_um);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyNode {
+    /// Human-readable name, e.g. `"180nm"`.
+    pub name: String,
+    /// Feature size in nanometres.
+    pub feature_nm: f64,
+    /// Nominal supply voltage, volts.
+    pub vdd: f64,
+    /// Minimum drawn gate length, µm.
+    pub l_min_um: f64,
+    /// Maximum drawn gate length, µm.
+    pub l_max_um: f64,
+    /// Minimum gate width, µm.
+    pub w_min_um: f64,
+    /// Maximum gate width, µm.
+    pub w_max_um: f64,
+    /// Manufacturing grid for W and L, µm.
+    pub grid_um: f64,
+    /// Maximum device multiplier.
+    pub m_max: u32,
+    /// NMOS model parameters.
+    pub nmos: MosModelParams,
+    /// PMOS model parameters.
+    pub pmos: MosModelParams,
+}
+
+/// Permittivity of SiO₂ in F/m.
+const EPS_OX: f64 = 3.45e-11;
+
+fn cox_from_tox_nm(tox_nm: f64) -> f64 {
+    EPS_OX / (tox_nm * 1e-9)
+}
+
+impl TechnologyNode {
+    /// Model parameters for the given polarity.
+    pub fn mos(&self, polarity: MosPolarity) -> &MosModelParams {
+        match polarity {
+            MosPolarity::Nmos => &self.nmos,
+            MosPolarity::Pmos => &self.pmos,
+        }
+    }
+
+    fn build(
+        name: &str,
+        feature_nm: f64,
+        vdd: f64,
+        tox_nm: f64,
+        vthn: f64,
+        vthp: f64,
+        mun: f64,
+        mup: f64,
+    ) -> Self {
+        let cox = cox_from_tox_nm(tox_nm);
+        let l_min = feature_nm / 1000.0;
+        TechnologyNode {
+            name: name.to_owned(),
+            feature_nm,
+            vdd,
+            l_min_um: l_min,
+            l_max_um: (l_min * 20.0).min(4.0),
+            w_min_um: (l_min * 4.0).max(0.2),
+            w_max_um: 200.0,
+            grid_um: 0.005,
+            m_max: 32,
+            nmos: MosModelParams {
+                vth0: vthn,
+                mu0: mun,
+                vsat: 1.0e5,
+                vfb: -0.9,
+                uc: 0.06,
+                cox,
+                lambda_per_um: 0.08,
+            },
+            pmos: MosModelParams {
+                vth0: vthp,
+                mu0: mup,
+                vsat: 8.0e4,
+                vfb: 0.8,
+                uc: 0.09,
+                cox,
+                lambda_per_um: 0.11,
+            },
+        }
+    }
+
+    /// The 250 nm node.
+    pub fn n250() -> Self {
+        Self::build("250nm", 250.0, 2.5, 5.6, 0.55, 0.60, 430.0, 140.0)
+    }
+
+    /// The commercial 180 nm node the paper designs and trains in.
+    pub fn tsmc180() -> Self {
+        Self::build("180nm", 180.0, 1.8, 4.1, 0.48, 0.50, 400.0, 125.0)
+    }
+
+    /// The 130 nm node.
+    pub fn n130() -> Self {
+        Self::build("130nm", 130.0, 1.3, 2.3, 0.38, 0.42, 360.0, 110.0)
+    }
+
+    /// The 65 nm node.
+    pub fn n65() -> Self {
+        Self::build("65nm", 65.0, 1.2, 1.8, 0.33, 0.36, 330.0, 100.0)
+    }
+
+    /// The 45 nm node.
+    pub fn n45() -> Self {
+        Self::build("45nm", 45.0, 1.1, 1.4, 0.30, 0.33, 300.0, 90.0)
+    }
+
+    /// All five nodes used in the paper's transfer study, largest first.
+    pub fn all() -> Vec<TechnologyNode> {
+        vec![
+            Self::n250(),
+            Self::tsmc180(),
+            Self::n130(),
+            Self::n65(),
+            Self::n45(),
+        ]
+    }
+
+    /// Looks a node up by name (`"45nm"`, `"180nm"`, ...).
+    pub fn by_name(name: &str) -> Option<TechnologyNode> {
+        Self::all().into_iter().find(|n| n.name == name)
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (VDD={}V)", self.name, self.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_nodes_exist_with_unique_names() {
+        let all = TechnologyNode::all();
+        assert_eq!(all.len(), 5);
+        let names: std::collections::HashSet<_> = all.iter().map(|n| n.name.clone()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn scaling_trends_hold() {
+        let all = TechnologyNode::all();
+        // Sorted largest node first: vdd, vth and l_min must be non-increasing.
+        for pair in all.windows(2) {
+            assert!(pair[0].vdd >= pair[1].vdd);
+            assert!(pair[0].l_min_um > pair[1].l_min_um);
+            assert!(pair[0].nmos.vth0 >= pair[1].nmos.vth0);
+            // Cox increases as oxide thins.
+            assert!(pair[0].nmos.cox < pair[1].nmos.cox);
+        }
+    }
+
+    #[test]
+    fn kp_is_reasonable() {
+        let n = TechnologyNode::tsmc180();
+        let kpn = n.nmos.kp();
+        // Typical 180nm k'n is a few hundred µA/V².
+        assert!(kpn > 1e-4 && kpn < 1e-3, "kpn = {kpn}");
+        assert!(n.pmos.kp() < kpn);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(TechnologyNode::by_name("65nm").is_some());
+        assert!(TechnologyNode::by_name("7nm").is_none());
+    }
+
+    #[test]
+    fn state_features_order_matches_paper() {
+        let n = TechnologyNode::tsmc180();
+        let f = n.nmos.state_features();
+        assert_eq!(f[0], n.nmos.vsat);
+        assert_eq!(f[1], n.nmos.vth0);
+        assert_eq!(f[2], n.nmos.vfb);
+        assert_eq!(f[3], n.nmos.mu0);
+        assert_eq!(f[4], n.nmos.uc);
+    }
+
+    #[test]
+    fn mos_accessor_selects_polarity() {
+        let n = TechnologyNode::n65();
+        assert_eq!(n.mos(MosPolarity::Nmos).vth0, n.nmos.vth0);
+        assert_eq!(n.mos(MosPolarity::Pmos).vth0, n.pmos.vth0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(TechnologyNode::n45().to_string().contains("45nm"));
+    }
+}

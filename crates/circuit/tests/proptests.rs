@@ -1,0 +1,72 @@
+//! Property-based tests for the circuit crate: design-space denormalisation,
+//! refinement, and graph normalisation invariants.
+
+use gcnrl_circuit::{benchmarks, ParamBounds, ParamScale, Refiner, TechnologyNode, TopologyGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any action in [-1, 1]^n denormalises to a sizing inside the bounds, for
+    /// every benchmark circuit and every technology node.
+    #[test]
+    fn denormalised_actions_always_legal(
+        seed_actions in prop::collection::vec(-1.0f64..1.0, 3 * 20),
+        node_idx in 0usize..5,
+        bench_idx in 0usize..4,
+    ) {
+        let bench = benchmarks::Benchmark::ALL[bench_idx];
+        let circuit = bench.circuit();
+        let node = TechnologyNode::all()[node_idx].clone();
+        let space = circuit.design_space(&node);
+        let actions: Vec<Vec<f64>> = space
+            .action_sizes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (0..*n).map(|j| seed_actions[(i * 3 + j) % seed_actions.len()]).collect())
+            .collect();
+        let pv = space.denormalize(&actions);
+        prop_assert!(space.validate(&pv));
+    }
+
+    /// Refinement is idempotent and always produces matched groups.
+    #[test]
+    fn refinement_idempotent_and_matching(
+        unit in prop::collection::vec(0.0f64..1.0, 60),
+        bench_idx in 0usize..4,
+    ) {
+        let bench = benchmarks::Benchmark::ALL[bench_idx];
+        let circuit = bench.circuit();
+        let node = TechnologyNode::tsmc180();
+        let space = circuit.design_space(&node);
+        let flat: Vec<f64> = (0..space.num_parameters()).map(|i| unit[i % unit.len()]).collect();
+        let pv = space.from_unit(&flat);
+        let refiner = Refiner::new(&circuit);
+        let refined = refiner.refine(&space, &pv);
+        prop_assert!(refiner.is_matched(&refined));
+        prop_assert_eq!(refiner.refine(&space, &refined), refined);
+    }
+
+    /// Normalised adjacency row sums are bounded by 1 + degree contribution,
+    /// and the matrix is symmetric for arbitrary random graphs.
+    #[test]
+    fn normalized_adjacency_symmetric(edges in prop::collection::vec((0usize..10, 0usize..10), 0..30)) {
+        let g = TopologyGraph::from_edges(10, &edges);
+        let a = g.normalized_adjacency();
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// ParamBounds::denormalize output is always inside [lo, hi] and
+    /// to_unit(from_unit(u)) stays close to u for gridless linear parameters.
+    #[test]
+    fn bounds_round_trip(u in 0.0f64..1.0, lo in 0.1f64..10.0, span in 0.5f64..100.0) {
+        let b = ParamBounds { lo, hi: lo + span, scale: ParamScale::Linear, grid: None, integer: false };
+        let v = b.from_unit(u);
+        prop_assert!(b.contains(v));
+        prop_assert!((b.to_unit(v) - u).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,612 @@
+//! The GCN actor–critic agent (paper Fig. 3) and its DDPG update rules.
+//!
+//! Both networks process the circuit graph component-by-component:
+//!
+//! * The **actor** maps the `n x d` state matrix to an `n x 3` action matrix
+//!   in `[-1, 1]`.  Its first layer is shared across components, the hidden
+//!   layers are graph convolutions (shared weights, neighbourhood
+//!   aggregation), and the last layer is a component-type-specific decoder.
+//! * The **critic** encodes the state with a shared layer and the action with
+//!   a component-type-specific encoder, propagates through the same kind of
+//!   GCN stack, and reduces a shared per-node value head to a scalar `Q`.
+//!
+//! Setting [`AgentKind::NonGcn`] skips the aggregation step, which is exactly
+//! the paper's NG-RL ablation.
+
+use gcnrl_linalg::Matrix;
+use gcnrl_nn::{gcn_backprop, gcn_propagate, Activation, Adam, Linear, LinearCache};
+use serde::{Deserialize, Serialize};
+
+/// Whether the agent aggregates features over the topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Full GCN-RL agent (graph aggregation enabled).
+    Gcn,
+    /// NG-RL ablation: no aggregation, every component is processed alone.
+    NonGcn,
+}
+
+/// Number of component types (NMOS, PMOS, R, C).
+const NUM_TYPES: usize = 4;
+/// Per-component action width (W, L, M for transistors).
+const ACTION_DIM: usize = 3;
+
+/// A dense layer bundled with its Adam optimiser state.
+#[derive(Debug, Clone)]
+struct OptLinear {
+    layer: Linear,
+    opt_w: Adam,
+    opt_b: Adam,
+}
+
+impl OptLinear {
+    fn new(in_dim: usize, out_dim: usize, lr: f64, seed: u64) -> Self {
+        let layer = Linear::xavier(in_dim, out_dim, seed);
+        OptLinear {
+            opt_w: Adam::new(in_dim * out_dim, lr),
+            opt_b: Adam::new(out_dim, lr),
+            layer,
+        }
+    }
+
+    fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        self.layer.forward(x)
+    }
+
+    fn apply(&mut self, d_weight: &Matrix, d_bias: &[f64]) {
+        let uw = self.opt_w.step_matrix(d_weight);
+        let ub = self.opt_b.step_vector(d_bias);
+        self.layer.apply_update(&uw, &ub);
+    }
+}
+
+/// Serializable snapshot of the agent's learnable parameters, used by the
+/// transfer experiments (train on one circuit/node, fine-tune on another).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentCheckpoint {
+    /// Agent variant.
+    pub kind: AgentKind,
+    /// State dimensionality the checkpoint was trained with.
+    pub state_dim: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Number of GCN layers.
+    pub gcn_layers: usize,
+    actor_input: Linear,
+    actor_hidden: Vec<Linear>,
+    actor_decoders: Vec<Linear>,
+    critic_state: Linear,
+    critic_action: Vec<Linear>,
+    critic_hidden: Vec<Linear>,
+    critic_out: Linear,
+}
+
+/// Cache of one actor forward pass.
+pub struct ActorCache {
+    input_cache: LinearCache,
+    input_act: Matrix,
+    hidden: Vec<(LinearCache, Matrix)>,
+    decoder_caches: Vec<LinearCache>,
+    pre_tanh: Matrix,
+    tanh_out: Matrix,
+}
+
+/// Cache of one critic forward pass.
+pub struct CriticCache {
+    state_cache: LinearCache,
+    action_caches: Vec<LinearCache>,
+    combine_act: Matrix,
+    hidden: Vec<(LinearCache, Matrix)>,
+    out_cache: LinearCache,
+    num_nodes: usize,
+}
+
+/// The GCN (or NG) actor–critic agent.
+pub struct GcnAgent {
+    kind: AgentKind,
+    state_dim: usize,
+    hidden_dim: usize,
+    gcn_layers: usize,
+    types: Vec<usize>,
+    type_masks: Vec<Matrix>,
+    actor_input: OptLinear,
+    actor_hidden: Vec<OptLinear>,
+    actor_decoders: Vec<OptLinear>,
+    critic_state: OptLinear,
+    critic_action: Vec<OptLinear>,
+    critic_hidden: Vec<OptLinear>,
+    critic_out: OptLinear,
+}
+
+impl GcnAgent {
+    /// Creates an agent for a circuit with the given per-component type
+    /// indices and state dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty or contains an index `>= 4`.
+    pub fn new(
+        kind: AgentKind,
+        state_dim: usize,
+        hidden_dim: usize,
+        gcn_layers: usize,
+        types: &[usize],
+        actor_lr: f64,
+        critic_lr: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!types.is_empty(), "agent needs at least one component");
+        assert!(types.iter().all(|t| *t < NUM_TYPES), "invalid type index");
+        let n = types.len();
+        let type_masks = (0..NUM_TYPES)
+            .map(|t| {
+                Matrix::from_fn(n, 1, |r, _| if types[r] == t { 1.0 } else { 0.0 })
+            })
+            .collect();
+        let mut s = seed;
+        let mut next_seed = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        GcnAgent {
+            kind,
+            state_dim,
+            hidden_dim,
+            gcn_layers,
+            types: types.to_vec(),
+            type_masks,
+            actor_input: OptLinear::new(state_dim, hidden_dim, actor_lr, next_seed()),
+            actor_hidden: (0..gcn_layers)
+                .map(|_| OptLinear::new(hidden_dim, hidden_dim, actor_lr, next_seed()))
+                .collect(),
+            actor_decoders: (0..NUM_TYPES)
+                .map(|_| OptLinear::new(hidden_dim, ACTION_DIM, actor_lr, next_seed()))
+                .collect(),
+            critic_state: OptLinear::new(state_dim, hidden_dim, critic_lr, next_seed()),
+            critic_action: (0..NUM_TYPES)
+                .map(|_| OptLinear::new(ACTION_DIM, hidden_dim, critic_lr, next_seed()))
+                .collect(),
+            critic_hidden: (0..gcn_layers)
+                .map(|_| OptLinear::new(hidden_dim, hidden_dim, critic_lr, next_seed()))
+                .collect(),
+            critic_out: OptLinear::new(hidden_dim, 1, critic_lr, next_seed()),
+        }
+    }
+
+    /// The agent variant.
+    pub fn kind(&self) -> AgentKind {
+        self.kind
+    }
+
+    /// The state dimensionality the agent expects.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    fn mask_rows(&self, m: &Matrix, t: usize) -> Matrix {
+        let mask = &self.type_masks[t];
+        Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] * mask[(r, 0)])
+    }
+
+    fn propagate(&self, adjacency: &Matrix, h: &Matrix) -> Matrix {
+        match self.kind {
+            AgentKind::Gcn => gcn_propagate(adjacency, h),
+            AgentKind::NonGcn => h.clone(),
+        }
+    }
+
+    fn backprop_propagate(&self, adjacency: &Matrix, d: &Matrix) -> Matrix {
+        match self.kind {
+            AgentKind::Gcn => gcn_backprop(adjacency, d),
+            AgentKind::NonGcn => d.clone(),
+        }
+    }
+
+    /// Actor forward pass: returns the `n x 3` action matrix and the cache.
+    pub fn actor_forward(&self, states: &Matrix, adjacency: &Matrix) -> (Matrix, ActorCache) {
+        let (pre, input_cache) = self.actor_input.forward(states);
+        let (mut h, input_act) = Activation::Relu.forward(&pre);
+
+        let mut hidden = Vec::with_capacity(self.gcn_layers);
+        for layer in &self.actor_hidden {
+            let agg = self.propagate(adjacency, &h);
+            let (pre, cache) = layer.forward(&agg);
+            let (act, act_cache) = Activation::Relu.forward(&pre);
+            hidden.push((cache, act_cache));
+            h = act;
+        }
+
+        let mut pre_tanh = Matrix::zeros(h.rows(), ACTION_DIM);
+        let mut decoder_caches = Vec::with_capacity(NUM_TYPES);
+        for (t, dec) in self.actor_decoders.iter().enumerate() {
+            let (out, cache) = dec.forward(&h);
+            decoder_caches.push(cache);
+            pre_tanh = pre_tanh.add_elem(&self.mask_rows(&out, t)).expect("same shape");
+        }
+        let (actions, tanh_out) = Activation::Tanh.forward(&pre_tanh);
+        (
+            actions,
+            ActorCache {
+                input_cache,
+                input_act,
+                hidden,
+                decoder_caches,
+                pre_tanh,
+                tanh_out,
+            },
+        )
+    }
+
+    /// Critic forward pass: returns the scalar value estimate and the cache.
+    pub fn critic_forward(
+        &self,
+        states: &Matrix,
+        actions: &Matrix,
+        adjacency: &Matrix,
+    ) -> (f64, CriticCache) {
+        let (hs, state_cache) = self.critic_state.forward(states);
+        let mut ha = Matrix::zeros(states.rows(), self.hidden_dim);
+        let mut action_caches = Vec::with_capacity(NUM_TYPES);
+        for (t, enc) in self.critic_action.iter().enumerate() {
+            let (out, cache) = enc.forward(actions);
+            action_caches.push(cache);
+            ha = ha.add_elem(&self.mask_rows(&out, t)).expect("same shape");
+        }
+        let combined = hs.add_elem(&ha).expect("same shape");
+        let (mut h, combine_act) = Activation::Relu.forward(&combined);
+
+        let mut hidden = Vec::with_capacity(self.gcn_layers);
+        for layer in &self.critic_hidden {
+            let agg = self.propagate(adjacency, &h);
+            let (pre, cache) = layer.forward(&agg);
+            let (act, act_cache) = Activation::Relu.forward(&pre);
+            hidden.push((cache, act_cache));
+            h = act;
+        }
+        let (values, out_cache) = self.critic_out.forward(&h);
+        let q = values.sum() / values.rows() as f64;
+        (
+            q,
+            CriticCache {
+                state_cache,
+                action_caches,
+                combine_act,
+                hidden,
+                out_cache,
+                num_nodes: states.rows(),
+            },
+        )
+    }
+
+    /// Backpropagates `d_actions` (gradient of some loss with respect to the
+    /// actor's output) and applies one Adam step to every actor parameter.
+    pub fn actor_apply(&mut self, cache: &ActorCache, d_actions: &Matrix, adjacency: &Matrix) {
+        // Through the tanh output head.
+        let d_pre = Activation::Tanh.backward(&cache.tanh_out, d_actions);
+        let _ = &cache.pre_tanh;
+
+        // Through the per-type decoders.
+        let mut decoder_grads = Vec::with_capacity(NUM_TYPES);
+        let last_hidden_rows = d_pre.rows();
+        let mut d_h = Matrix::zeros(last_hidden_rows, self.hidden_dim);
+        for t in 0..NUM_TYPES {
+            let masked = self.mask_rows(&d_pre, t);
+            let grads = self.actor_decoders[t]
+                .layer
+                .backward(&cache.decoder_caches[t], &masked);
+            d_h = d_h.add_elem(&grads.d_input).expect("same shape");
+            decoder_grads.push((grads.d_weight, grads.d_bias));
+        }
+
+        // Through the hidden GCN stack (reverse order).
+        let mut hidden_grads: Vec<(Matrix, Vec<f64>)> = Vec::with_capacity(self.gcn_layers);
+        for (layer, (cache_l, act_cache)) in self
+            .actor_hidden
+            .iter()
+            .zip(&cache.hidden)
+            .rev()
+        {
+            let d_act = Activation::Relu.backward(act_cache, &d_h);
+            let grads = layer.layer.backward(cache_l, &d_act);
+            d_h = self.backprop_propagate(adjacency, &grads.d_input);
+            hidden_grads.push((grads.d_weight, grads.d_bias));
+        }
+        hidden_grads.reverse();
+
+        // Through the shared input layer.
+        let d_input_act = Activation::Relu.backward(&cache.input_act, &d_h);
+        let input_grads = self.actor_input.layer.backward(&cache.input_cache, &d_input_act);
+
+        // Apply all updates.
+        self.actor_input.apply(&input_grads.d_weight, &input_grads.d_bias);
+        for (layer, (dw, db)) in self.actor_hidden.iter_mut().zip(&hidden_grads) {
+            layer.apply(dw, db);
+        }
+        for (dec, (dw, db)) in self.actor_decoders.iter_mut().zip(&decoder_grads) {
+            dec.apply(dw, db);
+        }
+    }
+
+    /// Backpropagates a scalar `d_q` through the critic.  Returns the gradient
+    /// of `q` (scaled by `d_q`) with respect to the action matrix, and
+    /// optionally applies the parameter updates (`apply = true` for the critic
+    /// regression step, `false` when the critic is only used to obtain the
+    /// action gradient for the actor update).
+    pub fn critic_backward(
+        &mut self,
+        cache: &CriticCache,
+        d_q: f64,
+        adjacency: &Matrix,
+        apply: bool,
+    ) -> Matrix {
+        let n = cache.num_nodes;
+        // dQ/d(values) = 1/n for every node.
+        let d_values = Matrix::filled(n, 1, d_q / n as f64);
+        let out_grads = self.critic_out.layer.backward(&cache.out_cache, &d_values);
+        let mut d_h = out_grads.d_input.clone();
+
+        let mut hidden_grads: Vec<(Matrix, Vec<f64>)> = Vec::with_capacity(self.gcn_layers);
+        for (layer, (cache_l, act_cache)) in self
+            .critic_hidden
+            .iter()
+            .zip(&cache.hidden)
+            .rev()
+        {
+            let d_act = Activation::Relu.backward(act_cache, &d_h);
+            let grads = layer.layer.backward(cache_l, &d_act);
+            d_h = self.backprop_propagate(adjacency, &grads.d_input);
+            hidden_grads.push((grads.d_weight, grads.d_bias));
+        }
+        hidden_grads.reverse();
+
+        // Through the ReLU that combined state and action embeddings.
+        let d_combined = Activation::Relu.backward(&cache.combine_act, &d_h);
+
+        let state_grads = self
+            .critic_state
+            .layer
+            .backward(&cache.state_cache, &d_combined);
+
+        let mut d_actions = Matrix::zeros(n, ACTION_DIM);
+        let mut action_grads = Vec::with_capacity(NUM_TYPES);
+        for t in 0..NUM_TYPES {
+            // Only rows of type t received this encoder's output.
+            let masked = self.mask_rows(&d_combined, t);
+            let grads = self.critic_action[t]
+                .layer
+                .backward(&cache.action_caches[t], &masked);
+            d_actions = d_actions.add_elem(&grads.d_input).expect("same shape");
+            action_grads.push((grads.d_weight, grads.d_bias));
+        }
+
+        if apply {
+            self.critic_out.apply(&out_grads.d_weight, &out_grads.d_bias);
+            for (layer, (dw, db)) in self.critic_hidden.iter_mut().zip(&hidden_grads) {
+                layer.apply(dw, db);
+            }
+            self.critic_state.apply(&state_grads.d_weight, &state_grads.d_bias);
+            for (enc, (dw, db)) in self.critic_action.iter_mut().zip(&action_grads) {
+                enc.apply(dw, db);
+            }
+        }
+        d_actions
+    }
+
+    /// One DDPG critic regression step over a mini-batch of `(action, reward)`
+    /// transitions with baseline `b`: minimises `mean_k (r_k - b - Q(s, a_k))^2`.
+    /// Returns the batch loss before the update.
+    pub fn critic_update(
+        &mut self,
+        states: &Matrix,
+        adjacency: &Matrix,
+        batch: &[(Matrix, f64)],
+        baseline: f64,
+    ) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let mut loss = 0.0;
+        let mut caches = Vec::with_capacity(batch.len());
+        for (action, reward) in batch {
+            let (q, cache) = self.critic_forward(states, action, adjacency);
+            let err = reward - baseline - q;
+            loss += err * err;
+            caches.push((cache, -2.0 * err / batch.len() as f64));
+        }
+        // Apply per-sample updates sequentially (equivalent to accumulating
+        // for Adam up to second-moment bookkeeping, and much simpler).
+        for (cache, d_q) in &caches {
+            let _ = self.critic_backward(cache, *d_q, adjacency, true);
+        }
+        loss / batch.len() as f64
+    }
+
+    /// One DDPG actor step: pushes the actor's output in the direction that
+    /// increases the critic's value (sampled policy gradient).
+    /// Returns the critic's value before the update.
+    pub fn actor_update(&mut self, states: &Matrix, adjacency: &Matrix) -> f64 {
+        let (actions, actor_cache) = self.actor_forward(states, adjacency);
+        let (q, critic_cache) = self.critic_forward(states, &actions, adjacency);
+        // dQ/dA, without touching the critic's parameters.
+        let d_actions = self.critic_backward(&critic_cache, 1.0, adjacency, false);
+        // Gradient ascent on Q = descent on -Q.
+        let d_loss = d_actions.scaled(-1.0);
+        self.actor_apply(&actor_cache, &d_loss, adjacency);
+        q
+    }
+
+    /// Greedy action for the current policy (no exploration noise).
+    pub fn act(&self, states: &Matrix, adjacency: &Matrix) -> Matrix {
+        self.actor_forward(states, adjacency).0
+    }
+
+    /// Extracts a serializable checkpoint of every learnable parameter.
+    pub fn checkpoint(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            kind: self.kind,
+            state_dim: self.state_dim,
+            hidden_dim: self.hidden_dim,
+            gcn_layers: self.gcn_layers,
+            actor_input: self.actor_input.layer.clone(),
+            actor_hidden: self.actor_hidden.iter().map(|l| l.layer.clone()).collect(),
+            actor_decoders: self.actor_decoders.iter().map(|l| l.layer.clone()).collect(),
+            critic_state: self.critic_state.layer.clone(),
+            critic_action: self.critic_action.iter().map(|l| l.layer.clone()).collect(),
+            critic_hidden: self.critic_hidden.iter().map(|l| l.layer.clone()).collect(),
+            critic_out: self.critic_out.layer.clone(),
+        }
+    }
+
+    /// Loads parameters from a checkpoint (the transfer-learning step of the
+    /// paper: "inheriting the pre-trained weights of the actor-critic model").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint architecture (state dim, hidden width, depth)
+    /// does not match this agent.
+    pub fn load_checkpoint(&mut self, ckpt: &AgentCheckpoint) {
+        assert_eq!(ckpt.state_dim, self.state_dim, "state dimension mismatch");
+        assert_eq!(ckpt.hidden_dim, self.hidden_dim, "hidden width mismatch");
+        assert_eq!(ckpt.gcn_layers, self.gcn_layers, "depth mismatch");
+        self.actor_input.layer = ckpt.actor_input.clone();
+        for (l, c) in self.actor_hidden.iter_mut().zip(&ckpt.actor_hidden) {
+            l.layer = c.clone();
+        }
+        for (l, c) in self.actor_decoders.iter_mut().zip(&ckpt.actor_decoders) {
+            l.layer = c.clone();
+        }
+        self.critic_state.layer = ckpt.critic_state.clone();
+        for (l, c) in self.critic_action.iter_mut().zip(&ckpt.critic_action) {
+            l.layer = c.clone();
+        }
+        for (l, c) in self.critic_hidden.iter_mut().zip(&ckpt.critic_hidden) {
+            l.layer = c.clone();
+        }
+        self.critic_out.layer = ckpt.critic_out.clone();
+    }
+
+    /// The per-component type indices the agent was built with.
+    pub fn component_types(&self) -> &[usize] {
+        &self.types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_agent(kind: AgentKind) -> (GcnAgent, Matrix, Matrix) {
+        let types = vec![0, 1, 2, 3, 0];
+        let n = types.len();
+        let state_dim = 6;
+        let agent = GcnAgent::new(kind, state_dim, 16, 2, &types, 1e-2, 1e-2, 7);
+        let states = Matrix::from_fn(n, state_dim, |r, c| ((r * 7 + c) as f64).sin());
+        // Ring graph, normalised by hand (every degree = 3 with self loops).
+        let adjacency = Matrix::from_fn(n, n, |i, j| {
+            let diff = (i as i64 - j as i64).rem_euclid(n as i64);
+            if diff == 0 || diff == 1 || diff == n as i64 - 1 {
+                1.0 / 3.0
+            } else {
+                0.0
+            }
+        });
+        (agent, states, adjacency)
+    }
+
+    #[test]
+    fn actor_outputs_bounded_actions_of_right_shape() {
+        for kind in [AgentKind::Gcn, AgentKind::NonGcn] {
+            let (agent, states, adj) = toy_agent(kind);
+            let actions = agent.act(&states, &adj);
+            assert_eq!(actions.shape(), (5, 3));
+            assert!(actions.as_slice().iter().all(|a| a.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn critic_produces_finite_scalar() {
+        let (agent, states, adj) = toy_agent(AgentKind::Gcn);
+        let actions = Matrix::filled(5, 3, 0.2);
+        let (q, _) = agent.critic_forward(&states, &actions, &adj);
+        assert!(q.is_finite());
+    }
+
+    #[test]
+    fn critic_update_reduces_regression_loss() {
+        let (mut agent, states, adj) = toy_agent(AgentKind::Gcn);
+        let batch: Vec<(Matrix, f64)> = (0..8)
+            .map(|i| {
+                let a = Matrix::from_fn(5, 3, |r, c| ((i + r + c) as f64 * 0.37).sin());
+                let reward = a.sum() / 15.0; // a learnable smooth target
+                (a, reward)
+            })
+            .collect();
+        let first = agent.critic_update(&states, &adj, &batch, 0.0);
+        let mut last = first;
+        for _ in 0..60 {
+            last = agent.critic_update(&states, &adj, &batch, 0.0);
+        }
+        assert!(
+            last < first * 0.8,
+            "critic loss should shrink: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn actor_update_increases_critic_value() {
+        let (mut agent, states, adj) = toy_agent(AgentKind::Gcn);
+        // Give the critic a preference for large actions by fitting it first.
+        let batch: Vec<(Matrix, f64)> = (0..8)
+            .map(|i| {
+                let v = -1.0 + 2.0 * (i as f64 / 7.0);
+                (Matrix::filled(5, 3, v), v)
+            })
+            .collect();
+        for _ in 0..80 {
+            agent.critic_update(&states, &adj, &batch, 0.0);
+        }
+        let q_before = {
+            let a = agent.act(&states, &adj);
+            agent.critic_forward(&states, &a, &adj).0
+        };
+        for _ in 0..30 {
+            agent.actor_update(&states, &adj);
+        }
+        let q_after = {
+            let a = agent.act(&states, &adj);
+            agent.critic_forward(&states, &a, &adj).0
+        };
+        assert!(
+            q_after > q_before,
+            "actor should climb the critic: {q_before} -> {q_after}"
+        );
+    }
+
+    #[test]
+    fn gcn_and_non_gcn_differ() {
+        let (gcn, states, adj) = toy_agent(AgentKind::Gcn);
+        let (ng, _, _) = toy_agent(AgentKind::NonGcn);
+        assert_eq!(gcn.kind(), AgentKind::Gcn);
+        assert_ne!(gcn.act(&states, &adj), ng.act(&states, &adj));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_policy() {
+        let (agent, states, adj) = toy_agent(AgentKind::Gcn);
+        let ckpt = agent.checkpoint();
+        let types = agent.component_types().to_vec();
+        let mut fresh = GcnAgent::new(AgentKind::Gcn, 6, 16, 2, &types, 1e-2, 1e-2, 99);
+        assert_ne!(fresh.act(&states, &adj), agent.act(&states, &adj));
+        fresh.load_checkpoint(&ckpt);
+        assert_eq!(fresh.act(&states, &adj), agent.act(&states, &adj));
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn incompatible_checkpoint_panics() {
+        let (agent, ..) = toy_agent(AgentKind::Gcn);
+        let ckpt = agent.checkpoint();
+        let mut other = GcnAgent::new(AgentKind::Gcn, 7, 16, 2, &[0, 1], 1e-2, 1e-2, 1);
+        other.load_checkpoint(&ckpt);
+    }
+}

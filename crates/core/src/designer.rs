@@ -1,0 +1,200 @@
+//! The optimisation loop (paper Algorithm 1).
+
+use crate::agent::{AgentKind, GcnAgent};
+use crate::env::SizingEnv;
+use crate::history::RunHistory;
+use gcnrl_linalg::Matrix;
+use gcnrl_rl::{DdpgConfig, EmaBaseline, ExplorationNoise, ReplayBuffer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The GCN-RL Circuit Designer: DDPG over the circuit graph.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gcnrl::{FomConfig, GcnRlDesigner, SizingEnv};
+/// use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+/// use gcnrl_rl::DdpgConfig;
+///
+/// let node = TechnologyNode::tsmc180();
+/// let fom = FomConfig::calibrated(Benchmark::Ldo, &node, 100, 0);
+/// let env = SizingEnv::new(Benchmark::Ldo, &node, fom);
+/// let history = GcnRlDesigner::new(env, DdpgConfig::fast()).run();
+/// assert!(history.best_fom().is_finite());
+/// ```
+pub struct GcnRlDesigner {
+    env: SizingEnv,
+    agent: GcnAgent,
+    config: DdpgConfig,
+    kind: AgentKind,
+}
+
+impl GcnRlDesigner {
+    /// Creates a designer with a freshly initialised GCN agent.
+    pub fn new(env: SizingEnv, config: DdpgConfig) -> Self {
+        Self::with_kind(env, config, AgentKind::Gcn)
+    }
+
+    /// Creates a designer with the chosen agent variant (GCN-RL or the NG-RL
+    /// ablation).
+    pub fn with_kind(env: SizingEnv, config: DdpgConfig, kind: AgentKind) -> Self {
+        let types = env.component_types();
+        let agent = GcnAgent::new(
+            kind,
+            env.states().cols(),
+            config.hidden_dim,
+            config.gcn_layers,
+            &types,
+            config.actor_lr,
+            config.critic_lr,
+            config.seed,
+        );
+        GcnRlDesigner {
+            env,
+            agent,
+            config,
+            kind,
+        }
+    }
+
+    /// The environment being optimised.
+    pub fn env(&self) -> &SizingEnv {
+        &self.env
+    }
+
+    /// The agent (e.g. to extract a checkpoint after training).
+    pub fn agent(&self) -> &GcnAgent {
+        &self.agent
+    }
+
+    /// Mutable access to the agent (e.g. to load a pre-trained checkpoint
+    /// before running — the paper's knowledge-transfer setting).
+    pub fn agent_mut(&mut self) -> &mut GcnAgent {
+        &mut self.agent
+    }
+
+    /// The method name used in reports.
+    pub fn method_name(&self) -> &'static str {
+        match self.kind {
+            AgentKind::Gcn => "GCN-RL",
+            AgentKind::NonGcn => "NG-RL",
+        }
+    }
+
+    /// Runs the full search (Algorithm 1) and returns the history.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new(self.method_name());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut noise = ExplorationNoise::new(
+            self.config.noise_sigma,
+            self.config.noise_decay,
+            self.config.seed ^ 0x5eed,
+        );
+        let mut baseline = EmaBaseline::new(self.config.baseline_decay);
+        let mut replay: ReplayBuffer<Matrix> = ReplayBuffer::new(self.config.replay_capacity);
+
+        let states = self.env.states().clone();
+        let adjacency = self.env.adjacency().clone();
+
+        for episode in 0..self.config.episodes {
+            // (1) Choose an action matrix.
+            let actions = if episode < self.config.warmup {
+                self.env.random_actions(&mut rng)
+            } else {
+                let mut a = self.agent.act(&states, &adjacency);
+                for v in a.as_mut_slice() {
+                    *v = (*v + noise.sample()).clamp(-1.0, 1.0);
+                }
+                noise.decay_step();
+                a
+            };
+
+            // (2) Denormalise, refine, simulate, reward.
+            let outcome = self.env.evaluate_actions(&actions);
+            history.record(outcome.fom, &outcome.params, &outcome.report);
+
+            // (3) Store the transition and update the networks.
+            replay.push(actions, outcome.fom);
+            baseline.update(outcome.fom);
+            if episode >= self.config.warmup {
+                let batch: Vec<(Matrix, f64)> = replay
+                    .sample(self.config.batch_size, self.config.seed ^ episode as u64)
+                    .into_iter()
+                    .map(|(a, r)| (a.clone(), r))
+                    .collect();
+                self.agent
+                    .critic_update(&states, &adjacency, &batch, baseline.value());
+                self.agent.actor_update(&states, &adjacency);
+            }
+        }
+        history
+    }
+
+    /// Runs the greedy policy once (no exploration) and returns its outcome.
+    pub fn evaluate_policy(&self) -> crate::env::StepOutcome {
+        let actions = self.agent.act(self.env.states(), self.env.adjacency());
+        self.env.evaluate_actions(&actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::FomConfig;
+    use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+    fn tiny_config() -> DdpgConfig {
+        DdpgConfig {
+            episodes: 30,
+            warmup: 10,
+            batch_size: 8,
+            hidden_dim: 16,
+            gcn_layers: 2,
+            ..DdpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn designer_runs_and_records_every_episode() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        let mut designer = GcnRlDesigner::new(env, tiny_config());
+        let history = designer.run();
+        assert_eq!(history.len(), 30);
+        assert!(history.best_fom().is_finite());
+        assert_eq!(history.method, "GCN-RL");
+        assert!(history.best_params.is_some());
+        // The policy can be evaluated greedily after training.
+        let outcome = designer.evaluate_policy();
+        assert!(outcome.fom.is_finite());
+    }
+
+    #[test]
+    fn ng_rl_variant_is_labelled_and_runs() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::Ldo, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::Ldo, &node, fom);
+        let mut designer = GcnRlDesigner::with_kind(env, tiny_config(), AgentKind::NonGcn);
+        let history = designer.run();
+        assert_eq!(history.method, "NG-RL");
+        assert_eq!(history.len(), 30);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_run() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let run = |seed| {
+            let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom.clone());
+            let cfg = DdpgConfig {
+                seed,
+                ..tiny_config()
+            };
+            GcnRlDesigner::new(env, cfg).run().best_curve()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

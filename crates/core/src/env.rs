@@ -1,0 +1,232 @@
+//! The sizing environment: state, actions, refinement, simulation, reward.
+
+use crate::fom::FomConfig;
+use crate::state::{state_matrix, StateEncoding};
+use gcnrl_circuit::{
+    benchmarks::Benchmark, Circuit, DesignSpace, ParamVector, Refiner, TechnologyNode,
+};
+use gcnrl_linalg::Matrix;
+use gcnrl_sim::evaluators::{evaluator_for, Evaluator};
+use gcnrl_sim::PerformanceReport;
+use rand::Rng;
+
+/// The result of evaluating one candidate design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The refined, legal sizing that was simulated.
+    pub params: ParamVector,
+    /// The simulated performance metrics.
+    pub report: PerformanceReport,
+    /// The figure of merit (the RL reward).
+    pub fom: f64,
+}
+
+/// One optimisation environment: a benchmark circuit in a technology node
+/// with a FoM definition (paper Fig. 2, steps 1-2 and 4-6).
+pub struct SizingEnv {
+    benchmark: Benchmark,
+    circuit: Circuit,
+    node: TechnologyNode,
+    space: DesignSpace,
+    refiner: Refiner,
+    evaluator: Box<dyn Evaluator>,
+    fom: FomConfig,
+    encoding: StateEncoding,
+    adjacency: Matrix,
+    states: Matrix,
+}
+
+impl SizingEnv {
+    /// Creates the environment with the default (transfer-friendly) scalar
+    /// index state encoding.
+    pub fn new(benchmark: Benchmark, node: &TechnologyNode, fom: FomConfig) -> Self {
+        Self::with_encoding(benchmark, node, fom, StateEncoding::ScalarIndex)
+    }
+
+    /// Creates the environment with an explicit state encoding.
+    pub fn with_encoding(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        fom: FomConfig,
+        encoding: StateEncoding,
+    ) -> Self {
+        let circuit = benchmark.circuit();
+        let space = circuit.design_space(node);
+        let refiner = Refiner::new(&circuit);
+        let evaluator = evaluator_for(benchmark, node);
+        let adjacency = circuit.topology_graph().normalized_adjacency();
+        let states = state_matrix(&circuit, node, encoding);
+        SizingEnv {
+            benchmark,
+            circuit,
+            node: node.clone(),
+            space,
+            refiner,
+            evaluator,
+            fom,
+            encoding,
+            adjacency,
+            states,
+        }
+    }
+
+    /// The benchmark being sized.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The circuit netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The technology node.
+    pub fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    /// The design space.
+    pub fn design_space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The FoM configuration.
+    pub fn fom_config(&self) -> &FomConfig {
+        &self.fom
+    }
+
+    /// The state encoding in use.
+    pub fn encoding(&self) -> StateEncoding {
+        self.encoding
+    }
+
+    /// Number of components (graph vertices / action rows).
+    pub fn num_components(&self) -> usize {
+        self.circuit.num_components()
+    }
+
+    /// Per-component one-hot type indices (0..=3), used by the per-type
+    /// encoder/decoder layers of the agent.
+    pub fn component_types(&self) -> Vec<usize> {
+        self.circuit
+            .components()
+            .iter()
+            .map(|c| c.kind.type_index())
+            .collect()
+    }
+
+    /// The `n x d` state matrix (constant within one environment).
+    pub fn states(&self) -> &Matrix {
+        &self.states
+    }
+
+    /// The normalised adjacency `D̃^-1/2 (A+I) D̃^-1/2` of the topology graph.
+    pub fn adjacency(&self) -> &Matrix {
+        &self.adjacency
+    }
+
+    /// Width of the per-component action vector (3: W, L, M; passives use the
+    /// first entry only).
+    pub fn action_dim(&self) -> usize {
+        3
+    }
+
+    /// Converts an `n x 3` action matrix (entries in `[-1, 1]`) into a legal
+    /// sizing: denormalisation, matching-group refinement, grid rounding.
+    pub fn actions_to_params(&self, actions: &Matrix) -> ParamVector {
+        assert_eq!(actions.rows(), self.num_components(), "one action row per component");
+        let per_component: Vec<Vec<f64>> = (0..actions.rows())
+            .map(|r| actions.row(r).to_vec())
+            .collect();
+        let raw = self.space.denormalize(&per_component);
+        self.refiner.refine(&self.space, &raw)
+    }
+
+    /// Evaluates an `n x 3` action matrix: refine, simulate, score.
+    pub fn evaluate_actions(&self, actions: &Matrix) -> StepOutcome {
+        let params = self.actions_to_params(actions);
+        self.evaluate_params(params)
+    }
+
+    /// Evaluates an already-legal sizing.
+    pub fn evaluate_params(&self, params: ParamVector) -> StepOutcome {
+        let report = self.evaluator.evaluate(&params);
+        let fom = self.fom.fom(&report);
+        StepOutcome {
+            params,
+            report,
+            fom,
+        }
+    }
+
+    /// Evaluates a flat unit vector in `[0, 1]^num_parameters`; this is the
+    /// interface the black-box baselines use.
+    pub fn evaluate_unit(&self, unit: &[f64]) -> StepOutcome {
+        let raw = self.space.from_unit(unit);
+        let params = self.refiner.refine(&self.space, &raw);
+        self.evaluate_params(params)
+    }
+
+    /// Number of flat parameters (the baselines' search dimensionality).
+    pub fn num_unit_parameters(&self) -> usize {
+        self.space.num_parameters()
+    }
+
+    /// Samples a uniformly random `n x 3` action matrix (warm-up episodes).
+    pub fn random_actions<R: Rng>(&self, rng: &mut R) -> Matrix {
+        Matrix::from_fn(self.num_components(), self.action_dim(), |_, _| {
+            rng.gen_range(-1.0..1.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::FomConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> SizingEnv {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        SizingEnv::new(Benchmark::TwoStageTia, &node, fom)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let e = env();
+        assert_eq!(e.states().rows(), e.num_components());
+        assert_eq!(e.adjacency().rows(), e.num_components());
+        assert_eq!(e.component_types().len(), e.num_components());
+        assert_eq!(e.action_dim(), 3);
+    }
+
+    #[test]
+    fn zero_actions_give_the_nominal_refined_design() {
+        let e = env();
+        let actions = Matrix::zeros(e.num_components(), 3);
+        let outcome = e.evaluate_actions(&actions);
+        assert!(e.design_space().validate(&outcome.params));
+        assert!(outcome.fom.is_finite());
+        assert!(!outcome.report.is_empty());
+    }
+
+    #[test]
+    fn random_actions_are_in_range_and_legal() {
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(3);
+        let actions = e.random_actions(&mut rng);
+        assert!(actions.as_slice().iter().all(|a| a.abs() <= 1.0));
+        let params = e.actions_to_params(&actions);
+        assert!(e.design_space().validate(&params));
+    }
+
+    #[test]
+    fn unit_interface_matches_dimensionality() {
+        let e = env();
+        let unit = vec![0.5; e.num_unit_parameters()];
+        let outcome = e.evaluate_unit(&unit);
+        assert!(outcome.fom.is_finite());
+    }
+}

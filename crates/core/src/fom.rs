@@ -1,0 +1,277 @@
+//! The figure of merit (paper Eq. 2).
+
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_sim::evaluators::evaluator_for;
+use gcnrl_sim::PerformanceReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// FoM value assigned to designs whose bias point is invalid or whose spec is
+/// violated (the paper "assigns a negative number as the FoM value").
+pub const INFEASIBLE_FOM: f64 = -0.2;
+
+/// Normalisation and weighting of one metric inside the FoM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFom {
+    /// Metric key as produced by the evaluator (e.g. `"bw_ghz"`).
+    pub name: String,
+    /// Weight `w_i`; positive for higher-is-better metrics, negative for
+    /// lower-is-better metrics (the paper uses ±1 by default).
+    pub weight: f64,
+    /// Normalising minimum `m_i^min`.
+    pub m_min: f64,
+    /// Normalising maximum `m_i^max`.
+    pub m_max: f64,
+    /// Optional upper bound `m_i^bound` beyond which further improvement does
+    /// not increase the FoM.
+    pub bound: Option<f64>,
+}
+
+/// A hard specification on one metric; violating any spec forces the FoM to
+/// [`INFEASIBLE_FOM`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecConstraint {
+    /// Metric key the spec applies to.
+    pub name: String,
+    /// Minimum allowed value, if any.
+    pub min: Option<f64>,
+    /// Maximum allowed value, if any.
+    pub max: Option<f64>,
+}
+
+impl SpecConstraint {
+    /// Returns `true` if the report satisfies this constraint (missing metrics
+    /// count as violations).
+    pub fn satisfied(&self, report: &PerformanceReport) -> bool {
+        let Some(v) = report.get(&self.name) else {
+            return false;
+        };
+        self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m)
+    }
+}
+
+/// The full FoM definition for one benchmark circuit.
+///
+/// # Examples
+///
+/// ```
+/// use gcnrl::FomConfig;
+/// use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+///
+/// let node = TechnologyNode::tsmc180();
+/// let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 50, 0);
+/// assert!(!fom.metrics().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FomConfig {
+    metrics: Vec<MetricFom>,
+    specs: Vec<SpecConstraint>,
+}
+
+impl FomConfig {
+    /// Creates a FoM from explicit per-metric configurations.
+    pub fn new(metrics: Vec<MetricFom>) -> Self {
+        FomConfig {
+            metrics,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Calibrates the normalisation bounds by random sampling, the way the
+    /// paper obtains `m_i^max` / `m_i^min` ("random sampling 5000 designs").
+    ///
+    /// `samples` controls the sampling budget (the paper uses 5000; tests and
+    /// quick runs use far fewer).  Weights are ±1 according to the metric
+    /// direction declared by the evaluator.
+    pub fn calibrated(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        let evaluator = evaluator_for(benchmark, node);
+        let circuit = benchmark.circuit();
+        let space = circuit.design_space(node);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let specs_list = evaluator.metric_specs().to_vec();
+        let mut mins = vec![f64::INFINITY; specs_list.len()];
+        let mut maxs = vec![f64::NEG_INFINITY; specs_list.len()];
+        for _ in 0..samples.max(2) {
+            let unit: Vec<f64> = (0..space.num_parameters()).map(|_| rng.gen::<f64>()).collect();
+            let report = evaluator.evaluate(&space.from_unit(&unit));
+            for (i, spec) in specs_list.iter().enumerate() {
+                if let Some(v) = report.get(spec.name) {
+                    if v.is_finite() {
+                        mins[i] = mins[i].min(v);
+                        maxs[i] = maxs[i].max(v);
+                    }
+                }
+            }
+        }
+
+        let metrics = specs_list
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (lo, hi) = if mins[i] <= maxs[i] {
+                    (mins[i], maxs[i])
+                } else {
+                    (0.0, 1.0)
+                };
+                let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+                MetricFom {
+                    name: spec.name.to_owned(),
+                    weight: spec.direction.default_weight(),
+                    m_min: lo,
+                    m_max: lo + span,
+                    bound: None,
+                }
+            })
+            .collect();
+        FomConfig::new(metrics)
+    }
+
+    /// The per-metric configurations.
+    pub fn metrics(&self) -> &[MetricFom] {
+        &self.metrics
+    }
+
+    /// Adds a hard specification.
+    pub fn with_spec(mut self, spec: SpecConstraint) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Multiplies the weight of `metric` by `factor` (the paper's
+    /// GCN-RL-1..5 experiments put a 10x larger weight on one metric).
+    pub fn with_weight_emphasis(mut self, metric: &str, factor: f64) -> Self {
+        for m in &mut self.metrics {
+            if m.name == metric {
+                m.weight *= factor;
+            }
+        }
+        self
+    }
+
+    /// Evaluates the FoM of a performance report (paper Eq. 2).
+    ///
+    /// Infeasible bias points and spec violations return [`INFEASIBLE_FOM`].
+    pub fn fom(&self, report: &PerformanceReport) -> f64 {
+        if !report.feasible {
+            return INFEASIBLE_FOM;
+        }
+        if self.specs.iter().any(|s| !s.satisfied(report)) {
+            return INFEASIBLE_FOM;
+        }
+        let mut total = 0.0;
+        for m in &self.metrics {
+            let Some(raw) = report.get(&m.name) else {
+                continue;
+            };
+            if !raw.is_finite() {
+                return INFEASIBLE_FOM;
+            }
+            let capped = match m.bound {
+                Some(b) => raw.min(b),
+                None => raw,
+            };
+            let clamped = capped.clamp(m.m_min, m.m_max);
+            let normalised = (clamped - m.m_min) / (m.m_max - m.m_min);
+            total += m.weight * normalised;
+        }
+        total
+    }
+
+    /// Convenience: returns the weight currently assigned to `metric`.
+    pub fn weight(&self, metric: &str) -> Option<f64> {
+        self.metrics.iter().find(|m| m.name == metric).map(|m| m.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_fom() -> FomConfig {
+        FomConfig::new(vec![
+            MetricFom {
+                name: "gain".into(),
+                weight: 1.0,
+                m_min: 0.0,
+                m_max: 100.0,
+                bound: None,
+            },
+            MetricFom {
+                name: "power".into(),
+                weight: -1.0,
+                m_min: 0.0,
+                m_max: 10.0,
+                bound: None,
+            },
+        ])
+    }
+
+    fn report(gain: f64, power: f64) -> PerformanceReport {
+        let mut r = PerformanceReport::new();
+        r.set("gain", gain);
+        r.set("power", power);
+        r
+    }
+
+    #[test]
+    fn fom_rewards_gain_and_penalises_power() {
+        let fom = simple_fom();
+        assert!(fom.fom(&report(80.0, 1.0)) > fom.fom(&report(40.0, 1.0)));
+        assert!(fom.fom(&report(80.0, 1.0)) > fom.fom(&report(80.0, 9.0)));
+    }
+
+    #[test]
+    fn fom_is_monotone_in_each_metric_and_clamped() {
+        let fom = simple_fom();
+        // Values beyond the normalisation range saturate.
+        assert_eq!(fom.fom(&report(150.0, 0.0)), fom.fom(&report(100.0, 0.0)));
+        assert_eq!(fom.fom(&report(-10.0, 0.0)), fom.fom(&report(0.0, 0.0)));
+    }
+
+    #[test]
+    fn bound_caps_improvement() {
+        let mut cfg = simple_fom();
+        cfg.metrics[0].bound = Some(50.0);
+        assert_eq!(cfg.fom(&report(50.0, 5.0)), cfg.fom(&report(99.0, 5.0)));
+    }
+
+    #[test]
+    fn infeasible_and_spec_violations_get_negative_fom() {
+        let fom = simple_fom().with_spec(SpecConstraint {
+            name: "gain".into(),
+            min: Some(50.0),
+            max: None,
+        });
+        assert_eq!(fom.fom(&PerformanceReport::infeasible()), INFEASIBLE_FOM);
+        assert_eq!(fom.fom(&report(40.0, 1.0)), INFEASIBLE_FOM);
+        assert!(fom.fom(&report(60.0, 1.0)) > INFEASIBLE_FOM);
+    }
+
+    #[test]
+    fn weight_emphasis_scales_one_metric() {
+        let fom = simple_fom().with_weight_emphasis("gain", 10.0);
+        assert_eq!(fom.weight("gain"), Some(10.0));
+        assert_eq!(fom.weight("power"), Some(-1.0));
+        assert_eq!(fom.weight("missing"), None);
+    }
+
+    #[test]
+    fn calibration_produces_finite_bounds_for_all_benchmarks() {
+        let node = TechnologyNode::tsmc180();
+        for b in Benchmark::ALL {
+            let cfg = FomConfig::calibrated(b, &node, 12, 1);
+            assert!(!cfg.metrics().is_empty());
+            for m in cfg.metrics() {
+                assert!(m.m_max > m.m_min, "{b}: {} has empty range", m.name);
+                assert!(m.m_min.is_finite() && m.m_max.is_finite());
+            }
+        }
+    }
+}

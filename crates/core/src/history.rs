@@ -1,0 +1,114 @@
+//! Records of one optimisation run (used for tables and learning curves).
+
+use gcnrl_circuit::ParamVector;
+use gcnrl_sim::PerformanceReport;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design during an optimisation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Zero-based episode index.
+    pub episode: usize,
+    /// FoM of the design evaluated at this episode.
+    pub fom: f64,
+    /// Best FoM observed up to and including this episode.
+    pub best_fom: f64,
+}
+
+/// The full history of one optimisation run plus the best design found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHistory {
+    /// Name of the method that produced the run (e.g. `"GCN-RL"`).
+    pub method: String,
+    /// Per-episode records in order.
+    pub records: Vec<StepRecord>,
+    /// The best sizing found.
+    pub best_params: Option<ParamVector>,
+    /// The performance report of the best sizing.
+    pub best_report: Option<PerformanceReport>,
+}
+
+impl RunHistory {
+    /// Creates an empty history for a named method.
+    pub fn new(method: impl Into<String>) -> Self {
+        RunHistory {
+            method: method.into(),
+            records: Vec::new(),
+            best_params: None,
+            best_report: None,
+        }
+    }
+
+    /// Appends one evaluated design, tracking the running best.
+    pub fn record(&mut self, fom: f64, params: &ParamVector, report: &PerformanceReport) {
+        let best_so_far = self.best_fom();
+        let is_new_best = self.records.is_empty() || fom > best_so_far;
+        let best = if is_new_best { fom } else { best_so_far };
+        self.records.push(StepRecord {
+            episode: self.records.len(),
+            fom,
+            best_fom: best,
+        });
+        if is_new_best {
+            self.best_params = Some(params.clone());
+            self.best_report = Some(report.clone());
+        }
+    }
+
+    /// The best FoM observed (negative infinity for an empty history).
+    pub fn best_fom(&self) -> f64 {
+        self.records
+            .last()
+            .map(|r| r.best_fom)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Number of evaluated designs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The monotone best-FoM-so-far learning curve (the quantity plotted in
+    /// the paper's Figs. 5, 7 and 8).
+    pub fn best_curve(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.best_fom).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::ComponentParams;
+
+    fn pv(v: f64) -> ParamVector {
+        ParamVector::new(vec![ComponentParams::Resistance(v)])
+    }
+
+    #[test]
+    fn best_is_monotone_and_tracks_params() {
+        let mut h = RunHistory::new("test");
+        assert!(h.is_empty());
+        let report = PerformanceReport::new();
+        h.record(1.0, &pv(1.0), &report);
+        h.record(0.5, &pv(2.0), &report);
+        h.record(2.0, &pv(3.0), &report);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.best_fom(), 2.0);
+        assert_eq!(h.best_curve(), vec![1.0, 1.0, 2.0]);
+        assert_eq!(h.best_params, Some(pv(3.0)));
+        // Curve is monotone non-decreasing.
+        assert!(h.best_curve().windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn empty_history_best_is_neg_infinity() {
+        let h = RunHistory::new("x");
+        assert_eq!(h.best_fom(), f64::NEG_INFINITY);
+        assert!(h.best_curve().is_empty());
+    }
+}

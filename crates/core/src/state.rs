@@ -1,0 +1,141 @@
+//! Per-component state vectors (paper Sec. III-C).
+//!
+//! For a circuit with `n` components the state of component `k` is
+//! `s_k = (k, t, h)` where `k` is the component index (one-hot, or a scalar
+//! when transferring between topologies of different sizes), `t` is the
+//! one-hot component type (NMOS / PMOS / R / C), and `h` is the technology
+//! model feature vector (`Vsat, Vth0, Vfb, µ0, Uc`; zeros for passives).
+//! Every column is normalised to zero mean / unit variance across components.
+
+use gcnrl_circuit::{Circuit, ComponentKind, MosPolarity, TechnologyNode};
+use gcnrl_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How the component index is embedded in the state vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateEncoding {
+    /// One-hot index of length `n` (the paper's default for single-circuit
+    /// optimisation).  The state dimension then depends on the circuit size.
+    OneHotIndex,
+    /// A single scalar index (the paper's modification for knowledge transfer
+    /// between topologies, which keeps the state dimension fixed).
+    ScalarIndex,
+}
+
+impl StateEncoding {
+    /// Dimension of the state vector this encoding produces for a circuit
+    /// with `num_components` components.
+    pub fn state_dim(self, num_components: usize) -> usize {
+        let index_dims = match self {
+            StateEncoding::OneHotIndex => num_components,
+            StateEncoding::ScalarIndex => 1,
+        };
+        index_dims + ComponentKind::ALL.len() + 5
+    }
+}
+
+/// Builds the `n x d` state matrix of a circuit under a technology node.
+///
+/// Rows follow component-id order; columns are normalised to zero mean and
+/// unit variance across components (constant columns are left at zero).
+pub fn state_matrix(
+    circuit: &Circuit,
+    node: &TechnologyNode,
+    encoding: StateEncoding,
+) -> Matrix {
+    let n = circuit.num_components();
+    let d = encoding.state_dim(n);
+    let mut m = Matrix::zeros(n, d);
+
+    for (i, comp) in circuit.components().iter().enumerate() {
+        let mut col = match encoding {
+            StateEncoding::OneHotIndex => {
+                m[(i, i)] = 1.0;
+                n
+            }
+            StateEncoding::ScalarIndex => {
+                m[(i, 0)] = i as f64;
+                1
+            }
+        };
+        m[(i, col + comp.kind.type_index())] = 1.0;
+        col += ComponentKind::ALL.len();
+        let features = match comp.kind {
+            ComponentKind::Nmos => node.mos(MosPolarity::Nmos).state_features(),
+            ComponentKind::Pmos => node.mos(MosPolarity::Pmos).state_features(),
+            ComponentKind::Resistor | ComponentKind::Capacitor => [0.0; 5],
+        };
+        for (j, f) in features.iter().enumerate() {
+            m[(i, col + j)] = *f;
+        }
+    }
+
+    normalize_columns(&m)
+}
+
+/// Normalises each column to zero mean and unit variance across rows.
+fn normalize_columns(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    let mut out = m.clone();
+    for c in 0..cols {
+        let mean: f64 = (0..rows).map(|r| m[(r, c)]).sum::<f64>() / rows as f64;
+        let var: f64 = (0..rows).map(|r| (m[(r, c)] - mean).powi(2)).sum::<f64>() / rows as f64;
+        let std = var.sqrt();
+        for r in 0..rows {
+            out[(r, c)] = if std > 1e-12 {
+                (m[(r, c)] - mean) / std
+            } else {
+                0.0
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::benchmarks;
+
+    #[test]
+    fn dimensions_follow_encoding() {
+        let c = benchmarks::two_stage_tia();
+        let node = TechnologyNode::tsmc180();
+        let one_hot = state_matrix(&c, &node, StateEncoding::OneHotIndex);
+        assert_eq!(one_hot.shape(), (9, 9 + 4 + 5));
+        let scalar = state_matrix(&c, &node, StateEncoding::ScalarIndex);
+        assert_eq!(scalar.shape(), (9, 1 + 4 + 5));
+        assert_eq!(StateEncoding::ScalarIndex.state_dim(17), 10);
+    }
+
+    #[test]
+    fn scalar_encoding_dimension_is_topology_independent() {
+        let node = TechnologyNode::tsmc180();
+        let a = state_matrix(&benchmarks::two_stage_tia(), &node, StateEncoding::ScalarIndex);
+        let b = state_matrix(&benchmarks::three_stage_tia(), &node, StateEncoding::ScalarIndex);
+        assert_eq!(a.cols(), b.cols());
+        assert_ne!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn columns_are_normalised() {
+        let c = benchmarks::low_dropout_regulator();
+        let node = TechnologyNode::n65();
+        let m = state_matrix(&c, &node, StateEncoding::ScalarIndex);
+        for col in 0..m.cols() {
+            let vals: Vec<f64> = (0..m.rows()).map(|r| m[(r, col)]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {col} mean {mean}");
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(var < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_nodes_produce_different_states() {
+        let c = benchmarks::two_stage_tia();
+        let a = state_matrix(&c, &TechnologyNode::tsmc180(), StateEncoding::ScalarIndex);
+        let b = state_matrix(&c, &TechnologyNode::n45(), StateEncoding::ScalarIndex);
+        assert_ne!(a, b);
+    }
+}

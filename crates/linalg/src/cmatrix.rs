@@ -1,0 +1,304 @@
+use crate::{Complex, LinalgError};
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of [`Complex`] values.
+///
+/// This is the system matrix type used by the AC modified-nodal-analysis
+/// solver in `gcnrl-sim`, where the admittance matrix is assembled at each
+/// frequency point and solved against one or more excitation vectors.
+///
+/// # Examples
+///
+/// ```
+/// use gcnrl_linalg::{CMatrix, Complex};
+///
+/// # fn main() -> Result<(), gcnrl_linalg::LinalgError> {
+/// let mut a = CMatrix::zeros(2, 2);
+/// a[(0, 0)] = Complex::new(2.0, 0.0);
+/// a[(1, 1)] = Complex::new(0.0, 1.0);
+/// let lu = a.lu()?;
+/// let x = lu.solve(&[Complex::ONE, Complex::ONE])?;
+/// assert!((x[0].re - 0.5).abs() < 1e-12);
+/// assert!((x[1].im + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` complex identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Adds `value` to the entry at `(r, c)`; the standard MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn stamp(&mut self, r: usize, c: usize, value: Complex) {
+        self[(r, c)] += value;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cmatvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                let mut acc = Complex::ZERO;
+                for c in 0..self.cols {
+                    acc += self[(r, c)] * v[c];
+                }
+                acc
+            })
+            .collect())
+    }
+
+    /// LU-factorises the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if the matrix is not square
+    /// and [`LinalgError::Singular`] if a pivot is numerically zero.
+    pub fn lu(&self) -> Result<CluDecomposition, LinalgError> {
+        CluDecomposition::new(self)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// LU factorisation with partial pivoting of a complex square matrix.
+///
+/// The factorisation is computed once and can then solve against many
+/// right-hand sides, which is exactly the pattern the AC solver uses when it
+/// needs transfer functions from several sources at the same frequency.
+#[derive(Debug, Clone)]
+pub struct CluDecomposition {
+    lu: CMatrix,
+    perm: Vec<usize>,
+}
+
+impl CluDecomposition {
+    /// Factorises `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if `a` is not square, or
+    /// [`LinalgError::Singular`] if the matrix is numerically singular.
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        if a.rows != a.cols {
+            return Err(LinalgError::InvalidDimensions {
+                reason: "LU factorisation requires a square matrix",
+            });
+        }
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivoting on magnitude.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[(k, k)].abs_sq();
+            for r in (k + 1)..n {
+                let mag = lu[(r, k)].abs_sq();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let sub = factor * lu[(k, c)];
+                    lu[(r, c)] -= sub;
+                }
+            }
+        }
+        Ok(CluDecomposition { lu, perm })
+    }
+
+    /// Solves `A x = b` for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` does not match the
+    /// factorised matrix dimension.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "clu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with the permuted right-hand side.
+        let mut y = vec![Complex::ZERO; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![Complex::ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = CMatrix::identity(3);
+        let lu = a.lu().unwrap();
+        let b = vec![c(1.0, 1.0), c(2.0, -1.0), c(0.0, 3.0)];
+        let x = lu.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi.re - bi.re).abs() < 1e-14);
+            assert!((xi.im - bi.im).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solve_matches_matvec_round_trip() {
+        // Build a well-conditioned complex matrix and verify A * solve(A, b) == b.
+        let n = 5;
+        let mut a = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = c(((i * 3 + j) % 7) as f64 * 0.3, ((i + 2 * j) % 5) as f64 * 0.2);
+            }
+            a[(i, i)] += c(5.0, 1.0); // diagonal dominance
+        }
+        let b: Vec<Complex> = (0..n).map(|i| c(i as f64, -(i as f64) / 2.0)).collect();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, ri) in b.iter().zip(&back) {
+            assert!((bi.re - ri.re).abs() < 1e-10, "{bi} vs {ri}");
+            assert!((bi.im - ri.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 0)] = c(1.0, 0.0);
+        let x = a.lu().unwrap().solve(&[c(3.0, 0.0), c(4.0, 0.0)]).unwrap();
+        assert!((x[0].re - 4.0).abs() < 1e-14);
+        assert!((x[1].re - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(LinalgError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut a = CMatrix::zeros(2, 2);
+        a.stamp(0, 0, c(1.0, 0.0));
+        a.stamp(0, 0, c(2.0, 1.0));
+        assert_eq!(a[(0, 0)], c(3.0, 1.0));
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes (e.g. multiplying a 2x3 by a 2x3).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorisation encountered a (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which the factorisation broke down.
+        pivot: usize,
+    },
+    /// Cholesky factorisation was asked for a matrix that is not positive definite.
+    NotPositiveDefinite {
+        /// Diagonal index at which a non-positive pivot appeared.
+        index: usize,
+    },
+    /// A matrix constructor was given rows of inconsistent lengths or zero size.
+    InvalidDimensions {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal index {index}")
+            }
+            LinalgError::InvalidDimensions { reason } => {
+                write!(f, "invalid matrix dimensions: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (2, 3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mul"));
+        assert!(s.contains("2x3"));
+
+        let e = LinalgError::Singular { pivot: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

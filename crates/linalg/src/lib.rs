@@ -1,0 +1,43 @@
+//! Dense linear-algebra kernel used throughout the GCN-RL circuit designer.
+//!
+//! The crate provides exactly the pieces the rest of the workspace needs and
+//! nothing more:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix with the usual algebra,
+//!   used by the neural-network crate and the Gaussian-process baseline.
+//! * [`Complex`] and [`CMatrix`] — complex scalars and matrices used by the
+//!   AC small-signal solver (modified nodal analysis) in `gcnrl-sim`.
+//! * [`LuDecomposition`] / [`CluDecomposition`] — LU factorisation with
+//!   partial pivoting for real and complex systems.
+//! * [`Cholesky`] — factorisation of symmetric positive-definite matrices,
+//!   used by the Bayesian-optimisation baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcnrl_linalg::{Matrix, LuDecomposition};
+//!
+//! # fn main() -> Result<(), gcnrl_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod cmatrix;
+mod complex;
+mod error;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use cmatrix::{CluDecomposition, CMatrix};
+pub use complex::Complex;
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use vector::{dot, norm2, scale, vec_add, vec_sub};

@@ -1,0 +1,68 @@
+//! Small free-function helpers for `Vec<f64>` arithmetic.
+//!
+//! These keep call sites in the optimisers readable without pulling in a full
+//! vector type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn vec_add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector addition requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn vec_sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector subtraction requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scalar multiple `s * a`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(vec_add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(vec_sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, -2.0], 2.0), vec![2.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

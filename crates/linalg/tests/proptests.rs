@@ -1,0 +1,73 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use gcnrl_linalg::{Cholesky, Complex, LuDecomposition, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A^T)^T == A for arbitrary matrices.
+    #[test]
+    fn transpose_is_involution(data in prop::collection::vec(-100.0f64..100.0, 12)) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// LU solve reproduces the right-hand side: A * solve(A, b) ~= b
+    /// for diagonally dominant (hence non-singular) matrices.
+    #[test]
+    fn lu_solve_round_trip(m in small_matrix(4), b in prop::collection::vec(-5.0f64..5.0, 4)) {
+        let mut a = m;
+        for i in 0..4 {
+            let row_sum: f64 = (0..4).map(|j| a[(i, j)].abs()).sum();
+            a[(i, i)] += row_sum + 1.0;
+        }
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, ri) in b.iter().zip(&back) {
+            prop_assert!((bi - ri).abs() < 1e-6);
+        }
+    }
+
+    /// Cholesky of A^T A + eps I always succeeds and reconstructs the matrix.
+    #[test]
+    fn cholesky_reconstruction(m in small_matrix(3)) {
+        let spd = m.transpose().matmul(&m).unwrap();
+        let spd = spd.add_elem(&Matrix::identity(3).scaled(1e-3)).unwrap();
+        let chol = Cholesky::new(&spd).unwrap();
+        let l = chol.lower();
+        let back = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((back[(i, j)] - spd[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Matrix multiplication is associative (within numerical tolerance).
+    #[test]
+    fn matmul_associative(a in small_matrix(3), b in small_matrix(3), c in small_matrix(3)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Complex multiplication magnitude is multiplicative: |ab| == |a||b|.
+    #[test]
+    fn complex_abs_multiplicative(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+                                  br in -10.0f64..10.0, bi in -10.0f64..10.0) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+}

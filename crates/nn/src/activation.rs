@@ -1,0 +1,98 @@
+use gcnrl_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation functions used by the actor–critic networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, used in the hidden layers (as in the paper's GCN).
+    Relu,
+    /// Hyperbolic tangent, used by the actor's output head to produce actions
+    /// in `[-1, 1]`.
+    Tanh,
+    /// Identity (no activation), used by the critic's value head.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.  Returns the output and a cache
+    /// (the output itself) for the backward pass.
+    pub fn forward(self, x: &Matrix) -> (Matrix, Matrix) {
+        let y = match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(f64::tanh),
+            Activation::Identity => x.clone(),
+        };
+        (y.clone(), y)
+    }
+
+    /// Backward pass: element-wise product of `d_output` with the activation
+    /// derivative evaluated from the cached forward output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn backward(self, cache: &Matrix, d_output: &Matrix) -> Matrix {
+        assert_eq!(cache.shape(), d_output.shape(), "activation shape mismatch");
+        match self {
+            Activation::Relu => Matrix::from_fn(cache.rows(), cache.cols(), |r, c| {
+                if cache[(r, c)] > 0.0 {
+                    d_output[(r, c)]
+                } else {
+                    0.0
+                }
+            }),
+            Activation::Tanh => Matrix::from_fn(cache.rows(), cache.cols(), |r, c| {
+                let y = cache[(r, c)];
+                d_output[(r, c)] * (1.0 - y * y)
+            }),
+            Activation::Identity => d_output.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0]]).unwrap();
+        let (y, cache) = Activation::Relu.forward(&x);
+        assert_eq!(y[(0, 0)], 0.0);
+        assert_eq!(y[(0, 1)], 2.0);
+        let dy = Activation::Relu.backward(&cache, &Matrix::filled(1, 2, 1.0));
+        assert_eq!(dy[(0, 0)], 0.0);
+        assert_eq!(dy[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn tanh_range_and_derivative() {
+        let x = Matrix::from_rows(&[&[0.0, 100.0, -100.0]]).unwrap();
+        let (y, cache) = Activation::Tanh.forward(&x);
+        assert_eq!(y[(0, 0)], 0.0);
+        assert!((y[(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((y[(0, 2)] + 1.0).abs() < 1e-9);
+        let dy = Activation::Tanh.backward(&cache, &Matrix::filled(1, 3, 1.0));
+        assert!((dy[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(dy[(0, 1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.3]]).unwrap();
+        let (_, cache) = Activation::Tanh.forward(&x);
+        let grad = Activation::Tanh.backward(&cache, &Matrix::filled(1, 1, 1.0));
+        let eps = 1e-6;
+        let numeric = ((0.3f64 + eps).tanh() - 0.3f64.tanh()) / eps;
+        assert!((grad[(0, 0)] - numeric).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let x = Matrix::from_rows(&[&[1.5, -2.5]]).unwrap();
+        let (y, cache) = Activation::Identity.forward(&x);
+        assert_eq!(y, x);
+        let d = Matrix::filled(1, 2, 3.0);
+        assert_eq!(Activation::Identity.backward(&cache, &d), d);
+    }
+}

@@ -1,0 +1,40 @@
+//! Minimal neural-network building blocks for the GCN-RL agent.
+//!
+//! No deep-learning framework is available offline, so this crate provides
+//! exactly what the paper's actor–critic networks need (Fig. 3):
+//!
+//! * [`Linear`] — a dense layer with manual forward/backward passes.
+//! * [`Activation`] — ReLU and Tanh with their derivatives.
+//! * [`gcn_propagate`] / [`gcn_backprop`] — the Kipf–Welling propagation step
+//!   `H' = Â H` over a fixed normalised adjacency (Eq. 4 of the paper).
+//! * [`Adam`] — the Adam optimiser applied to a flat list of parameter
+//!   gradients.
+//! * Xavier/Glorot initialisation seeded per layer for reproducibility.
+//!
+//! Networks are assembled in the `gcnrl` core crate; this crate is purely the
+//! math.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcnrl_nn::{Activation, Linear};
+//! use gcnrl_linalg::Matrix;
+//!
+//! let layer = Linear::xavier(4, 8, 42);
+//! let x = Matrix::filled(3, 4, 0.5);
+//! let (y, cache) = layer.forward(&x);
+//! let (dy, _) = Activation::Relu.forward(&y);
+//! assert_eq!(dy.shape(), (3, 8));
+//! let grads = layer.backward(&cache, &Matrix::filled(3, 8, 1.0));
+//! assert_eq!(grads.d_weight.shape(), (4, 8));
+//! ```
+
+mod activation;
+mod adam;
+mod gcn;
+mod linear;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use gcn::{gcn_backprop, gcn_propagate};
+pub use linear::{Linear, LinearCache, LinearGradients};

@@ -1,0 +1,234 @@
+use gcnrl_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully-connected) layer `Y = X W + b`.
+///
+/// Rows of `X` are samples (one row per circuit component in the GCN agent),
+/// columns are features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f64>,
+}
+
+/// Forward-pass cache needed by [`Linear::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearCache {
+    input: Matrix,
+}
+
+/// Gradients produced by [`Linear::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGradients {
+    /// Gradient of the loss with respect to the weight matrix.
+    pub d_weight: Matrix,
+    /// Gradient of the loss with respect to the bias vector.
+    pub d_bias: Vec<f64>,
+    /// Gradient of the loss with respect to the layer input.
+    pub d_input: Matrix,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier/Glorot-uniform weights and zero bias,
+    /// deterministically seeded so experiments are reproducible.
+    pub fn xavier(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weight = Matrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit));
+        Linear {
+            weight,
+            bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Creates a layer from explicit parameters (used when loading checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.cols()`.
+    pub fn from_parameters(weight: Matrix, bias: Vec<f64>) -> Self {
+        assert_eq!(bias.len(), weight.cols(), "bias length must match output dim");
+        Linear { weight, bias }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+
+    /// Forward pass.  Returns the output and the cache for the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        assert_eq!(x.cols(), self.in_dim(), "input feature dimension mismatch");
+        let mut y = x.matmul(&self.weight).expect("dimensions checked");
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                y[(r, c)] += self.bias[c];
+            }
+        }
+        (y, LinearCache { input: x.clone() })
+    }
+
+    /// Backward pass given the gradient of the loss with respect to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_output` has the wrong shape for the cached input.
+    pub fn backward(&self, cache: &LinearCache, d_output: &Matrix) -> LinearGradients {
+        assert_eq!(d_output.rows(), cache.input.rows(), "row count mismatch");
+        assert_eq!(d_output.cols(), self.out_dim(), "output dimension mismatch");
+        let d_weight = cache
+            .input
+            .transpose()
+            .matmul(d_output)
+            .expect("dimensions checked");
+        let d_bias: Vec<f64> = (0..self.out_dim())
+            .map(|c| (0..d_output.rows()).map(|r| d_output[(r, c)]).sum())
+            .collect();
+        let d_input = d_output
+            .matmul(&self.weight.transpose())
+            .expect("dimensions checked");
+        LinearGradients {
+            d_weight,
+            d_bias,
+            d_input,
+        }
+    }
+
+    /// Applies a parameter update: `W -= lr_scaled_dw`, `b -= lr_scaled_db`.
+    /// The caller (the Adam optimiser) is responsible for scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update shapes do not match the parameters.
+    pub fn apply_update(&mut self, d_weight: &Matrix, d_bias: &[f64]) {
+        assert_eq!(d_weight.shape(), self.weight.shape(), "weight shape mismatch");
+        assert_eq!(d_bias.len(), self.bias.len(), "bias length mismatch");
+        self.weight = self.weight.sub_elem(d_weight).expect("shape checked");
+        for (b, d) in self.bias.iter_mut().zip(d_bias) {
+            *b -= d;
+        }
+    }
+
+    /// Blends this layer's parameters towards `target` (Polyak averaging used
+    /// by DDPG target networks): `self = tau * target + (1 - tau) * self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two layers have different shapes.
+    pub fn soft_update_from(&mut self, target: &Linear, tau: f64) {
+        assert_eq!(self.weight.shape(), target.weight.shape(), "shape mismatch");
+        self.weight = self
+            .weight
+            .scaled(1.0 - tau)
+            .add_elem(&target.weight.scaled(tau))
+            .expect("shape checked");
+        for (b, t) in self.bias.iter_mut().zip(&target.bias) {
+            *b = *b * (1.0 - tau) + t * tau;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let layer = Linear::from_parameters(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap(),
+            vec![0.5, -0.5],
+        );
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let (y, _) = layer.forward(&x);
+        assert_eq!(y[(0, 0)], 3.5);
+        assert_eq!(y[(0, 1)], 7.5);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let layer = Linear::xavier(3, 2, 7);
+        let x = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.3);
+        let (y, cache) = layer.forward(&x);
+        // Loss = sum of outputs, so dL/dY = 1.
+        let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let grads = layer.backward(&cache, &ones);
+
+        let eps = 1e-6;
+        // Check a couple of weight entries by finite differences.
+        for &(i, j) in &[(0usize, 0usize), (2usize, 1usize)] {
+            let mut w_plus = layer.weight().clone();
+            w_plus[(i, j)] += eps;
+            let pert = Linear::from_parameters(w_plus, layer.bias().to_vec());
+            let (y_plus, _) = pert.forward(&x);
+            let numeric = (y_plus.sum() - y.sum()) / eps;
+            assert!((grads.d_weight[(i, j)] - numeric).abs() < 1e-4);
+        }
+        // Bias gradient is the number of rows for a sum loss.
+        assert!((grads.d_bias[0] - 4.0).abs() < 1e-9);
+        // Input gradient equals row sums of W^T.
+        let expected = ones.matmul(&layer.weight().transpose()).unwrap();
+        assert_eq!(grads.d_input, expected);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        assert_eq!(Linear::xavier(5, 5, 1), Linear::xavier(5, 5, 1));
+        assert_ne!(Linear::xavier(5, 5, 1), Linear::xavier(5, 5, 2));
+    }
+
+    #[test]
+    fn apply_update_moves_parameters() {
+        let mut layer = Linear::from_parameters(Matrix::identity(2), vec![0.0, 0.0]);
+        layer.apply_update(&Matrix::filled(2, 2, 0.1), &[0.2, 0.2]);
+        assert!((layer.weight()[(0, 0)] - 0.9).abs() < 1e-12);
+        assert!((layer.bias()[0] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = Linear::from_parameters(Matrix::filled(1, 1, 0.0), vec![0.0]);
+        let b = Linear::from_parameters(Matrix::filled(1, 1, 1.0), vec![1.0]);
+        a.soft_update_from(&b, 0.25);
+        assert!((a.weight()[(0, 0)] - 0.25).abs() < 1e-12);
+        assert!((a.bias()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let layer = Linear::xavier(3, 2, 0);
+        let x = Matrix::zeros(1, 4);
+        let _ = layer.forward(&x);
+    }
+
+    #[test]
+    fn num_parameters_counts_weights_and_bias() {
+        assert_eq!(Linear::xavier(3, 4, 0).num_parameters(), 16);
+    }
+}

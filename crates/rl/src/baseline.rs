@@ -1,0 +1,81 @@
+use serde::{Deserialize, Serialize};
+
+/// Exponential-moving-average reward baseline.
+///
+/// Algorithm 1 in the paper subtracts a baseline `B` — "an exponential moving
+/// average of all previous rewards" — from the reward in the critic's loss to
+/// reduce the variance of the gradient estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmaBaseline {
+    decay: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl EmaBaseline {
+    /// Creates a baseline with smoothing factor `decay` in `[0, 1)`; larger
+    /// values average over a longer history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `[0, 1)`.
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        EmaBaseline {
+            decay,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Current baseline value (zero before the first update).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Folds a new reward into the average and returns the updated baseline.
+    pub fn update(&mut self, reward: f64) -> f64 {
+        if self.initialized {
+            self.value = self.decay * self.value + (1.0 - self.decay) * reward;
+        } else {
+            self.value = reward;
+            self.initialized = true;
+        }
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_takes_the_reward() {
+        let mut b = EmaBaseline::new(0.9);
+        assert_eq!(b.value(), 0.0);
+        assert_eq!(b.update(2.0), 2.0);
+    }
+
+    #[test]
+    fn converges_to_constant_reward() {
+        let mut b = EmaBaseline::new(0.8);
+        for _ in 0..200 {
+            b.update(1.5);
+        }
+        assert!((b.value() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_changes_gradually() {
+        let mut b = EmaBaseline::new(0.5);
+        b.update(0.0);
+        b.update(1.0);
+        assert!((b.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn invalid_decay_panics() {
+        let _ = EmaBaseline::new(1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Reinforcement-learning primitives used by the GCN-RL circuit designer.
+//!
+//! The paper trains its agent with DDPG (Algorithm 1): a replay buffer of
+//! `(state, action, reward)` transitions, a warm-up phase of random actions,
+//! truncated-normal exploration noise with exponential decay, and an
+//! exponential-moving-average reward baseline that reduces the variance of
+//! the critic's regression target.  Those pieces live here; the actor–critic
+//! networks themselves (which need the circuit graph) live in the `gcnrl`
+//! core crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcnrl_rl::{DdpgConfig, EmaBaseline, ExplorationNoise, ReplayBuffer};
+//!
+//! let config = DdpgConfig::default();
+//! let mut buffer: ReplayBuffer<Vec<f64>> = ReplayBuffer::new(config.replay_capacity);
+//! buffer.push(vec![0.1, -0.2], 1.5);
+//! assert_eq!(buffer.len(), 1);
+//!
+//! let mut noise = ExplorationNoise::new(0.5, 0.99, 42);
+//! let sample = noise.sample();
+//! assert!(sample.abs() <= 2.0 * 0.5);
+//!
+//! let mut baseline = EmaBaseline::new(0.95);
+//! baseline.update(1.0);
+//! assert!(baseline.value() > 0.0);
+//! ```
+
+mod baseline;
+mod buffer;
+mod config;
+mod noise;
+
+pub use baseline::EmaBaseline;
+pub use buffer::ReplayBuffer;
+pub use config::DdpgConfig;
+pub use noise::ExplorationNoise;

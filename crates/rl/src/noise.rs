@@ -1,0 +1,112 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Truncated-normal exploration noise with exponential decay, as used during
+/// the exploration phase of the paper's Algorithm 1.
+///
+/// Samples are drawn from `N(0, sigma^2)`, truncated to `[-2 sigma, 2 sigma]`,
+/// and `sigma` shrinks by the decay factor after every episode.
+#[derive(Debug, Clone)]
+pub struct ExplorationNoise {
+    sigma: f64,
+    initial_sigma: f64,
+    decay: f64,
+    rng: StdRng,
+}
+
+impl ExplorationNoise {
+    /// Creates noise with initial standard deviation `sigma` and per-episode
+    /// multiplicative `decay`, deterministically seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or `decay` is not in `(0, 1]`.
+    pub fn new(sigma: f64, decay: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        ExplorationNoise {
+            sigma,
+            initial_sigma: sigma,
+            decay,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one noise sample, truncated to two standard deviations.
+    pub fn sample(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        let normal = Normal::new(0.0, self.sigma).expect("sigma validated");
+        let raw: f64 = normal.sample(&mut self.rng);
+        raw.clamp(-2.0 * self.sigma, 2.0 * self.sigma)
+    }
+
+    /// Draws a vector of independent samples.
+    pub fn sample_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Applies one episode of exponential decay to the standard deviation.
+    pub fn decay_step(&mut self) {
+        self.sigma *= self.decay;
+    }
+
+    /// Resets the standard deviation to its initial value (used when a
+    /// pre-trained agent is transferred to a new circuit and needs a short
+    /// fresh exploration phase).
+    pub fn reset(&mut self) {
+        self.sigma = self.initial_sigma;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_truncated() {
+        let mut noise = ExplorationNoise::new(0.3, 0.99, 1);
+        for _ in 0..1000 {
+            let s = noise.sample();
+            assert!(s.abs() <= 0.6 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn decay_reduces_sigma_and_reset_restores_it() {
+        let mut noise = ExplorationNoise::new(0.5, 0.9, 0);
+        for _ in 0..10 {
+            noise.decay_step();
+        }
+        assert!((noise.sigma() - 0.5 * 0.9f64.powi(10)).abs() < 1e-12);
+        noise.reset();
+        assert_eq!(noise.sigma(), 0.5);
+    }
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let mut noise = ExplorationNoise::new(0.0, 0.5, 0);
+        assert_eq!(noise.sample(), 0.0);
+        assert_eq!(noise.sample_vec(3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ExplorationNoise::new(0.2, 0.99, 5);
+        let mut b = ExplorationNoise::new(0.2, 0.99, 5);
+        assert_eq!(a.sample_vec(10), b.sample_vec(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn invalid_decay_panics() {
+        let _ = ExplorationNoise::new(0.1, 0.0, 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Shared machinery for the benchmark evaluators: bias tables, the generic
+//! netlist-to-small-signal builder, and convenience accessors.
+
+use crate::mosfet::{resistor_noise_psd, MosDevice, MosOperatingPoint};
+use crate::noise::NoiseSource;
+use crate::smallsignal::{AcCircuit, AcElement, NodeIndex, GROUND};
+use gcnrl_circuit::{Circuit, ComponentKind, MosPolarity, ParamVector, TechnologyNode};
+use std::collections::HashMap;
+
+/// Per-device operating points computed by an evaluator's bias analysis.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BiasTable {
+    ops: HashMap<String, MosOperatingPoint>,
+    /// Total current drawn from the supply by all branches, amps.
+    pub supply_current: f64,
+    /// `false` when any device failed its saturation/headroom check.
+    pub feasible: bool,
+}
+
+impl BiasTable {
+    /// Creates an empty, feasible bias table.
+    pub fn new() -> Self {
+        BiasTable {
+            ops: HashMap::new(),
+            supply_current: 0.0,
+            feasible: true,
+        }
+    }
+
+    /// Records the operating point of a named transistor and folds its
+    /// saturation flag into the global feasibility.
+    pub fn insert(&mut self, name: &str, op: MosOperatingPoint) {
+        if !op.saturated {
+            self.feasible = false;
+        }
+        self.ops.insert(name.to_owned(), op);
+    }
+
+    /// Operating point of a named transistor, if recorded.
+    pub fn get(&self, name: &str) -> Option<&MosOperatingPoint> {
+        self.ops.get(name)
+    }
+
+    /// Number of devices recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when no devices are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Builds [`AcCircuit`]s from a netlist, a sizing and a bias table.
+///
+/// Supply nets are mapped to AC ground; every other net gets a dense node
+/// index.  Each transistor contributes its linearised VCCS, output
+/// conductance, capacitances and thermal-noise source; resistors and
+/// capacitors contribute their value and (for resistors) noise.
+#[derive(Debug, Clone)]
+pub struct SmallSignalBuilder<'a> {
+    circuit: &'a Circuit,
+    node: &'a TechnologyNode,
+    net_to_ac: Vec<NodeIndex>,
+    num_ac_nodes: usize,
+}
+
+impl<'a> SmallSignalBuilder<'a> {
+    /// Prepares the net-to-node mapping for `circuit`.
+    pub fn new(circuit: &'a Circuit, node: &'a TechnologyNode) -> Self {
+        let mut net_to_ac = Vec::with_capacity(circuit.num_nets());
+        let mut next = 0;
+        for net in circuit.nets() {
+            if net.is_supply {
+                net_to_ac.push(GROUND);
+            } else {
+                net_to_ac.push(next);
+                next += 1;
+            }
+        }
+        SmallSignalBuilder {
+            circuit,
+            node,
+            net_to_ac,
+            num_ac_nodes: next,
+        }
+    }
+
+    /// Number of AC signal nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_ac_nodes
+    }
+
+    /// The AC node index of a named net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not exist in the circuit.
+    pub fn ac_node(&self, net_name: &str) -> NodeIndex {
+        let net = self
+            .circuit
+            .nets()
+            .iter()
+            .find(|n| n.name == net_name)
+            .unwrap_or_else(|| panic!("unknown net `{net_name}`"));
+        self.net_to_ac[net.id.index()]
+    }
+
+    /// The technology node used for device models.
+    pub fn technology(&self) -> &TechnologyNode {
+        self.node
+    }
+
+    /// Builds the linearised circuit and its noise sources.
+    ///
+    /// Transistors missing from `bias` are skipped (treated as off), which the
+    /// evaluators use for devices folded into analytic expressions.
+    pub fn build(&self, params: &ParamVector, bias: &BiasTable) -> (AcCircuit, Vec<NoiseSource>) {
+        let mut ac = AcCircuit::new(self.num_ac_nodes.max(1));
+        let mut noise = Vec::new();
+        for comp in self.circuit.components() {
+            let nodes: Vec<NodeIndex> = comp
+                .terminals
+                .iter()
+                .map(|t| self.net_to_ac[t.index()])
+                .collect();
+            match comp.kind {
+                ComponentKind::Nmos | ComponentKind::Pmos => {
+                    let Some(op) = bias.get(&comp.name) else {
+                        continue;
+                    };
+                    let (drain, gate, source) = (nodes[0], nodes[1], nodes[2]);
+                    if op.gm > 0.0 {
+                        ac.add(AcElement::Vccs {
+                            out_p: drain,
+                            out_n: source,
+                            ctrl_p: gate,
+                            ctrl_n: source,
+                            gm: op.gm,
+                        });
+                    }
+                    if op.gds > 0.0 {
+                        ac.add(AcElement::Conductance { a: drain, b: source, g: op.gds });
+                    }
+                    ac.add(AcElement::Capacitance { a: gate, b: source, c: op.cgs });
+                    ac.add(AcElement::Capacitance { a: gate, b: drain, c: op.cgd });
+                    ac.add(AcElement::Capacitance { a: drain, b: GROUND, c: op.cdb });
+                    noise.push(NoiseSource { a: drain, b: source, psd: op.thermal_noise_psd() });
+                }
+                ComponentKind::Resistor => {
+                    let r = params
+                        .get(comp.id)
+                        .as_resistance()
+                        .expect("resistor component has resistance");
+                    ac.add(AcElement::Conductance { a: nodes[0], b: nodes[1], g: 1.0 / r });
+                    noise.push(NoiseSource { a: nodes[0], b: nodes[1], psd: resistor_noise_psd(r) });
+                }
+                ComponentKind::Capacitor => {
+                    let c = params
+                        .get(comp.id)
+                        .as_capacitance()
+                        .expect("capacitor component has capacitance");
+                    ac.add(AcElement::Capacitance { a: nodes[0], b: nodes[1], c });
+                }
+            }
+        }
+        (ac, noise)
+    }
+}
+
+/// Builds the square-law device for a named transistor.
+pub(crate) fn mos_device<'a>(
+    circuit: &Circuit,
+    params: &ParamVector,
+    node: &'a TechnologyNode,
+    name: &str,
+) -> MosDevice<'a> {
+    let comp = circuit
+        .component_by_name(name)
+        .unwrap_or_else(|_| panic!("unknown component `{name}`"));
+    let polarity = match comp.kind {
+        ComponentKind::Nmos => MosPolarity::Nmos,
+        ComponentKind::Pmos => MosPolarity::Pmos,
+        other => panic!("component `{name}` of kind {other} is not a transistor"),
+    };
+    MosDevice::new(
+        params.get(comp.id).as_mos().expect("transistor sizing"),
+        node.mos(polarity),
+    )
+}
+
+/// Resistance of a named resistor.
+pub(crate) fn resistance(circuit: &Circuit, params: &ParamVector, name: &str) -> f64 {
+    let comp = circuit
+        .component_by_name(name)
+        .unwrap_or_else(|_| panic!("unknown component `{name}`"));
+    params
+        .get(comp.id)
+        .as_resistance()
+        .unwrap_or_else(|| panic!("component `{name}` is not a resistor"))
+}
+
+/// Capacitance of a named capacitor.
+pub(crate) fn capacitance(circuit: &Circuit, params: &ParamVector, name: &str) -> f64 {
+    let comp = circuit
+        .component_by_name(name)
+        .unwrap_or_else(|_| panic!("unknown component `{name}`"));
+    params
+        .get(comp.id)
+        .as_capacitance()
+        .unwrap_or_else(|| panic!("component `{name}` is not a capacitor"))
+}
+
+/// Ratio of aspect ratios `mirror / diode`, used for current-mirror bias
+/// propagation, clamped to a sane range so pathological sizings cannot create
+/// absurd branch currents (they are flagged infeasible by the headroom checks
+/// instead).
+pub(crate) fn mirror_ratio(mirror: &MosDevice<'_>, diode: &MosDevice<'_>) -> f64 {
+    (mirror.sizing.aspect_ratio() / diode.sizing.aspect_ratio()).clamp(1e-3, 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::benchmarks;
+    use gcnrl_circuit::MosSizing;
+
+    #[test]
+    fn bias_table_tracks_feasibility() {
+        let node = TechnologyNode::tsmc180();
+        let circuit = benchmarks::two_stage_tia();
+        let space = circuit.design_space(&node);
+        let pv = space.nominal();
+        let dev = mos_device(&circuit, &pv, &node, "T1");
+        let mut table = BiasTable::new();
+        assert!(table.is_empty());
+        table.insert("T1", dev.operating_point(50e-6, 0.9));
+        assert!(table.feasible);
+        table.insert("T2", dev.operating_point(50e-3, 0.1)); // impossible headroom
+        assert!(!table.feasible);
+        assert_eq!(table.len(), 2);
+        assert!(table.get("T1").is_some());
+    }
+
+    #[test]
+    fn builder_maps_supplies_to_ground() {
+        let node = TechnologyNode::tsmc180();
+        let circuit = benchmarks::two_stage_tia();
+        let builder = SmallSignalBuilder::new(&circuit, &node);
+        // vdd and gnd are supplies; vin/v1/v2/vout are signal nodes.
+        assert_eq!(builder.num_nodes(), 4);
+        assert!(builder.ac_node("vin") < 4);
+    }
+
+    #[test]
+    fn build_produces_elements_and_noise_sources() {
+        let node = TechnologyNode::tsmc180();
+        let circuit = benchmarks::two_stage_tia();
+        let space = circuit.design_space(&node);
+        let pv = space.nominal();
+        let builder = SmallSignalBuilder::new(&circuit, &node);
+        let mut bias = BiasTable::new();
+        for name in ["T1", "T2", "T3", "T4", "T5", "T6"] {
+            let dev = mos_device(&circuit, &pv, &node, name);
+            bias.insert(name, dev.operating_point(50e-6, 0.9));
+        }
+        let (ac, noise) = builder.build(&pv, &bias);
+        assert!(ac.elements().len() > 10);
+        // 6 transistor noise sources + 2 resistor noise sources.
+        assert_eq!(noise.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown net")]
+    fn unknown_net_panics() {
+        let node = TechnologyNode::tsmc180();
+        let circuit = benchmarks::two_stage_tia();
+        let builder = SmallSignalBuilder::new(&circuit, &node);
+        let _ = builder.ac_node("does_not_exist");
+    }
+
+    #[test]
+    fn mirror_ratio_is_clamped() {
+        let node = TechnologyNode::tsmc180();
+        let big = MosDevice::new(MosSizing::new(200.0, 0.18, 32), &node.nmos);
+        let tiny = MosDevice::new(MosSizing::new(0.2, 4.0, 1), &node.nmos);
+        assert!(mirror_ratio(&big, &tiny) <= 1e3);
+        assert!(mirror_ratio(&tiny, &big) >= 1e-3);
+    }
+}

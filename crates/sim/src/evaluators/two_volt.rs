@@ -1,0 +1,242 @@
+//! Evaluator for the two-stage Miller-compensated voltage amplifier (Two-Volt).
+
+use super::common::{capacitance, mirror_ratio, mos_device, BiasTable, SmallSignalBuilder};
+use super::Evaluator;
+use crate::ac::{log_sweep, sweep, FrequencyResponse};
+use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
+use crate::noise::output_noise_density;
+use gcnrl_circuit::{benchmarks, benchmarks::Benchmark, Circuit, ParamVector, TechnologyNode};
+
+/// Reference current through the diode-connected bias device `TB1`, amps.
+const I_REF: f64 = 20e-6;
+/// Spot frequency for input-referred noise, hertz.
+const NOISE_FREQ: f64 = 1e5;
+
+/// Metrics reported for the Two-Volt amplifier (paper Table III).
+const METRICS: [MetricSpec; 7] = [
+    MetricSpec { name: "bw_mhz", unit: "MHz", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "cpm_deg", unit: "deg", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "dpm_deg", unit: "deg", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "noise_nv_rthz", unit: "nV/sqrt(Hz)", direction: MetricDirection::LowerIsBetter },
+    MetricSpec { name: "gain_kvv", unit: "x1000 V/V", direction: MetricDirection::HigherIsBetter },
+    MetricSpec { name: "gbw_thz", unit: "THz", direction: MetricDirection::HigherIsBetter },
+];
+
+/// Performance evaluator for the two-stage voltage amplifier.
+#[derive(Debug, Clone)]
+pub struct TwoStageVoltageAmpEvaluator {
+    circuit: Circuit,
+    node: TechnologyNode,
+}
+
+impl TwoStageVoltageAmpEvaluator {
+    /// Creates the evaluator for a given technology node.
+    pub fn new(node: TechnologyNode) -> Self {
+        TwoStageVoltageAmpEvaluator {
+            circuit: benchmarks::two_stage_voltage_amp(),
+            node,
+        }
+    }
+
+    /// Bias analysis: `TB1` carries the reference, `TB2` mirrors it into the
+    /// tail, the input pair splits the tail current, the PMOS mirror carries
+    /// the same current, and the second stage is a mirror of the first-stage
+    /// load (`T5`) working against the bias mirror (`T6`).
+    fn bias(&self, params: &ParamVector) -> BiasTable {
+        let c = &self.circuit;
+        let node = &self.node;
+        let headroom = node.vdd / 2.0;
+
+        let tb1 = mos_device(c, params, node, "TB1");
+        let tb2 = mos_device(c, params, node, "TB2");
+        let t1 = mos_device(c, params, node, "T1");
+        let t2 = mos_device(c, params, node, "T2");
+        let t3 = mos_device(c, params, node, "T3");
+        let t4 = mos_device(c, params, node, "T4");
+        let t5 = mos_device(c, params, node, "T5");
+        let t6 = mos_device(c, params, node, "T6");
+
+        let i_tail = I_REF * mirror_ratio(&tb2, &tb1);
+        let i_half = i_tail / 2.0;
+        // Second stage: T5's gate is at the first-stage output (a |Vgs3| below
+        // VDD), so it mirrors T3/T4; T6 mirrors TB1.
+        let i5 = i_half * mirror_ratio(&t5, &t4);
+        let i6 = I_REF * mirror_ratio(&t6, &tb1);
+        // The stage current settles between the two; a gross mismatch pushes
+        // one device into triode, which we flag as infeasible.
+        let i_stage2 = (i5 * i6).sqrt();
+        let balance = if i5 > i6 { i5 / i6 } else { i6 / i5 };
+
+        let mut table = BiasTable::new();
+        table.insert("TB1", tb1.operating_point(I_REF, headroom));
+        table.insert("TB2", tb2.operating_point(i_tail, headroom / 2.0));
+        table.insert("T1", t1.operating_point(i_half, headroom));
+        table.insert("T2", t2.operating_point(i_half, headroom));
+        table.insert("T3", t3.operating_point(i_half, headroom));
+        table.insert("T4", t4.operating_point(i_half, headroom));
+        table.insert("T5", t5.operating_point(i_stage2, headroom));
+        table.insert("T6", t6.operating_point(i_stage2, headroom));
+        if balance > 6.0 {
+            table.feasible = false;
+        }
+        table.supply_current = I_REF + i_tail + i_stage2;
+        table
+    }
+
+    /// Common-mode phase margin, estimated from the tail-node pole: when the
+    /// common-mode path rolls off far beyond the differential unity-gain
+    /// frequency the margin saturates at 180° (as it does for most designs in
+    /// the paper's Table III).
+    fn common_mode_phase_margin(&self, bias: &BiasTable, gbw_hz: f64) -> f64 {
+        let (Some(t1), Some(tb2)) = (bias.get("T1"), bias.get("TB2")) else {
+            return 0.0;
+        };
+        let g_tail = 2.0 * t1.gm + tb2.gds;
+        let c_tail = 2.0 * t1.cgs + tb2.cdb;
+        if c_tail <= 0.0 {
+            return 180.0;
+        }
+        let f_tail = g_tail / (2.0 * std::f64::consts::PI * c_tail);
+        let lag = (gbw_hz / f_tail).atan().to_degrees();
+        (180.0 - lag).clamp(0.0, 180.0)
+    }
+}
+
+impl Evaluator for TwoStageVoltageAmpEvaluator {
+    fn benchmark(&self) -> Benchmark {
+        Benchmark::TwoStageVoltageAmp
+    }
+
+    fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    fn metric_specs(&self) -> &[MetricSpec] {
+        &METRICS
+    }
+
+    fn evaluate(&self, params: &ParamVector) -> PerformanceReport {
+        let bias = self.bias(params);
+        let builder = SmallSignalBuilder::new(&self.circuit, &self.node);
+
+        // Open-loop differential response: drive both inputs anti-phase.
+        let (mut ac_ol, noise_sources) = builder.build(params, &bias);
+        let vin_p = builder.ac_node("vin_p");
+        let vin_n = builder.ac_node("vin_n");
+        let vout = builder.ac_node("vout");
+        ac_ol.drive_voltage(vin_p, 0.5);
+        ac_ol.drive_voltage(vin_n, -0.5);
+
+        let freqs = log_sweep(10.0, 10e9, 12);
+        let Ok(resp_ol) = sweep(&ac_ol, vout, &freqs) else {
+            return PerformanceReport::infeasible();
+        };
+
+        // Closed-loop response: drive only the positive input and let the
+        // capacitive feedback (CS/CF) set the gain.
+        let (mut ac_cl, _) = builder.build(params, &bias);
+        ac_cl.drive_voltage(vin_p, 1.0);
+        let Ok(resp_cl) = sweep(&ac_cl, vout, &freqs) else {
+            return PerformanceReport::infeasible();
+        };
+
+        let gain_ol = resp_ol.dc_gain();
+        let bw_cl_hz = resp_cl.bandwidth_3db();
+        let power_mw = self.node.vdd * bias.supply_current * 1e3;
+
+        // Differential phase margin: loop gain = open-loop gain times the
+        // capacitive feedback factor CF / (CF + CS).
+        let cs = capacitance(&self.circuit, params, "CS");
+        let cf = capacitance(&self.circuit, params, "CF");
+        let beta = cf / (cf + cs);
+        let loop_points: Vec<(f64, gcnrl_linalg::Complex)> = resp_ol
+            .points()
+            .iter()
+            .map(|(f, v)| (*f, *v * beta))
+            .collect();
+        let loop_resp = FrequencyResponse::new(loop_points);
+        let dpm = loop_resp.phase_margin_deg().unwrap_or(180.0);
+        let gbw_hz = gain_ol * bw_cl_hz;
+        let cpm = self.common_mode_phase_margin(&bias, gbw_hz);
+
+        // Input-referred voltage noise in nV/sqrt(Hz).
+        let a_spot = ac_ol
+            .solve(NOISE_FREQ)
+            .map(|v| v[vout].abs())
+            .unwrap_or(gain_ol)
+            .max(1e-6);
+        let vn_out = output_noise_density(&ac_ol, &noise_sources, vout, NOISE_FREQ).unwrap_or(0.0);
+        let noise_nv = vn_out / a_spot * 1e9;
+
+        let mut report = PerformanceReport::new();
+        report.feasible = bias.feasible;
+        report.set("bw_mhz", bw_cl_hz / 1e6);
+        report.set("cpm_deg", cpm);
+        report.set("dpm_deg", dpm);
+        report.set("power_mw", power_mw);
+        report.set("noise_nv_rthz", noise_nv);
+        report.set("gain_kvv", gain_ol / 1e3);
+        report.set("gbw_thz", gbw_hz / 1e12);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_is_a_real_amplifier() {
+        let node = TechnologyNode::tsmc180();
+        let eval = TwoStageVoltageAmpEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        let r = eval.evaluate(&space.nominal());
+        let gain = r.get("gain_kvv").unwrap();
+        assert!(gain > 0.01, "open-loop gain {gain}k");
+        let dpm = r.get("dpm_deg").unwrap();
+        assert!((0.0..=180.0).contains(&dpm));
+        let cpm = r.get("cpm_deg").unwrap();
+        assert!((0.0..=180.0).contains(&cpm));
+        assert!(r.get("power_mw").unwrap() > 0.0);
+        assert!(r.get("bw_mhz").unwrap() > 0.0);
+        assert!(r.get("noise_nv_rthz").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn longer_input_devices_increase_gain() {
+        let node = TechnologyNode::tsmc180();
+        let eval = TwoStageVoltageAmpEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        let mut unit = vec![0.5; space.num_parameters()];
+        // T1/T2 are components 2 and 3; parameter layout is 3 per transistor.
+        let l_index_t1 = space.action_sizes().iter().take(2).sum::<usize>() + 1;
+        let l_index_t2 = space.action_sizes().iter().take(3).sum::<usize>() + 1;
+        let short = {
+            let mut u = unit.clone();
+            u[l_index_t1] = 0.05;
+            u[l_index_t2] = 0.05;
+            eval.evaluate(&space.from_unit(&u)).get("gain_kvv").unwrap()
+        };
+        unit[l_index_t1] = 0.8;
+        unit[l_index_t2] = 0.8;
+        let long = eval.evaluate(&space.from_unit(&unit)).get("gain_kvv").unwrap();
+        assert!(long > short, "gain should rise with input length: {short} -> {long}");
+    }
+
+    #[test]
+    fn miller_cap_reduces_closed_loop_bandwidth() {
+        let node = TechnologyNode::tsmc180();
+        let eval = TwoStageVoltageAmpEvaluator::new(node.clone());
+        let space = eval.circuit.design_space(&node);
+        // CC is component index 8 (first capacitor after the 8 transistors).
+        let cc_offset: usize = space.action_sizes().iter().take(8).sum();
+        let mut small = vec![0.5; space.num_parameters()];
+        let mut large = small.clone();
+        small[cc_offset] = 0.1;
+        large[cc_offset] = 0.95;
+        let bw_small = eval.evaluate(&space.from_unit(&small)).get("bw_mhz").unwrap();
+        let bw_large = eval.evaluate(&space.from_unit(&large)).get("bw_mhz").unwrap();
+        assert!(bw_large < bw_small, "bw should fall with CC: {bw_small} -> {bw_large}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Named performance metrics and reports.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a larger or a smaller value of a metric is preferable.
+///
+/// Mirrors the paper's weight assignment: `w_i = 1` for "larger is better"
+/// metrics (gain, bandwidth, phase margin, PSRR, ...) and `w_i = -1` for
+/// "smaller is better" metrics (power, noise, peaking, settling time, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricDirection {
+    /// Larger values are better.
+    HigherIsBetter,
+    /// Smaller values are better.
+    LowerIsBetter,
+}
+
+impl MetricDirection {
+    /// The default FoM weight sign for this direction (`+1` or `-1`).
+    pub fn default_weight(self) -> f64 {
+        match self {
+            MetricDirection::HigherIsBetter => 1.0,
+            MetricDirection::LowerIsBetter => -1.0,
+        }
+    }
+}
+
+/// Static description of one performance metric an evaluator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSpec {
+    /// Stable snake_case metric key, e.g. `"bw_hz"`.
+    pub name: &'static str,
+    /// Unit used when printing tables, e.g. `"GHz"`.
+    pub unit: &'static str,
+    /// Preferred direction of the metric.
+    pub direction: MetricDirection,
+}
+
+/// The measured performance of one candidate sizing.
+///
+/// `feasible` is `false` when the bias analysis found an invalid operating
+/// point (a transistor out of saturation, a collapsed branch current, ...);
+/// the FoM assigns such designs a fixed negative reward as in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceReport {
+    values: BTreeMap<String, f64>,
+    /// Whether the operating point was electrically valid.
+    pub feasible: bool,
+}
+
+impl PerformanceReport {
+    /// Creates an empty, feasible report.
+    pub fn new() -> Self {
+        PerformanceReport {
+            values: BTreeMap::new(),
+            feasible: true,
+        }
+    }
+
+    /// Creates an empty report flagged infeasible.
+    pub fn infeasible() -> Self {
+        PerformanceReport {
+            values: BTreeMap::new(),
+            feasible: false,
+        }
+    }
+
+    /// Sets metric `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Value of metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// All `(name, value)` pairs in alphabetical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Default for PerformanceReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_weights() {
+        assert_eq!(MetricDirection::HigherIsBetter.default_weight(), 1.0);
+        assert_eq!(MetricDirection::LowerIsBetter.default_weight(), -1.0);
+    }
+
+    #[test]
+    fn report_set_get_iter() {
+        let mut r = PerformanceReport::new();
+        assert!(r.is_empty());
+        r.set("gain", 100.0);
+        r.set("power_mw", 3.0);
+        r.set("gain", 120.0);
+        assert_eq!(r.get("gain"), Some(120.0));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+        assert!(r.feasible);
+        let names: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["gain", "power_mw"]);
+    }
+
+    #[test]
+    fn infeasible_flag() {
+        let r = PerformanceReport::infeasible();
+        assert!(!r.feasible);
+        assert!(r.is_empty());
+        assert_eq!(PerformanceReport::default(), PerformanceReport::new());
+    }
+}

@@ -1,0 +1,378 @@
+//! Linear small-signal circuit representation and complex MNA solver.
+//!
+//! The AC analyses build an [`AcCircuit`] out of conductances, capacitances,
+//! voltage-controlled current sources (the linearised transistors) and
+//! independent current sources, then solve the nodal admittance system
+//! `Y(jω) · v = i` with the complex LU factorisation from `gcnrl-linalg`.
+
+use crate::SimError;
+use gcnrl_linalg::{CMatrix, Complex};
+
+/// Index of a signal node.  Supply rails and ground map to [`GROUND`].
+pub type NodeIndex = usize;
+
+/// The AC ground node (supply rails are AC-grounded).
+pub const GROUND: NodeIndex = usize::MAX;
+
+/// One linear element of the small-signal circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcElement {
+    /// A conductance of `g` siemens between nodes `a` and `b`.
+    Conductance {
+        /// First terminal.
+        a: NodeIndex,
+        /// Second terminal.
+        b: NodeIndex,
+        /// Conductance in siemens.
+        g: f64,
+    },
+    /// A capacitance of `c` farads between nodes `a` and `b`.
+    Capacitance {
+        /// First terminal.
+        a: NodeIndex,
+        /// Second terminal.
+        b: NodeIndex,
+        /// Capacitance in farads.
+        c: f64,
+    },
+    /// A voltage-controlled current source: a current `gm · (v(ctrl_p) - v(ctrl_n))`
+    /// flows from `out_p` to `out_n` (the linearised MOSFET: drain = `out_p`,
+    /// source = `out_n`, gate = `ctrl_p`, source = `ctrl_n`).
+    Vccs {
+        /// Output node the controlled current leaves.
+        out_p: NodeIndex,
+        /// Output node the controlled current enters.
+        out_n: NodeIndex,
+        /// Positive control node.
+        ctrl_p: NodeIndex,
+        /// Negative control node.
+        ctrl_n: NodeIndex,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// An independent AC current source injecting `value` amps into node `b`
+    /// (and drawing it from node `a`).
+    CurrentSource {
+        /// Node the current is drawn from.
+        a: NodeIndex,
+        /// Node the current is injected into.
+        b: NodeIndex,
+        /// Phasor value in amps.
+        value: Complex,
+    },
+}
+
+/// A linear small-signal circuit ready for AC analysis.
+///
+/// # Examples
+///
+/// A single-pole RC low-pass driven by a 1 A current source has transimpedance
+/// `R / (1 + jωRC)`:
+///
+/// ```
+/// use gcnrl_sim::{AcCircuit, AcElement};
+/// use gcnrl_sim::smallsignal::GROUND;
+/// use gcnrl_linalg::Complex;
+///
+/// # fn main() -> Result<(), gcnrl_sim::SimError> {
+/// let mut ckt = AcCircuit::new(1);
+/// ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 }); // 1 kΩ
+/// ckt.add(AcElement::Capacitance { a: 0, b: GROUND, c: 1e-9 }); // 1 nF
+/// ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+/// let v = ckt.solve(1.0)?; // ~DC
+/// assert!((v[0].abs() - 1000.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcCircuit {
+    num_nodes: usize,
+    elements: Vec<AcElement>,
+}
+
+/// Leakage conductance from every node to ground, keeping the admittance
+/// matrix non-singular for floating nodes.
+const GMIN: f64 = 1e-12;
+
+impl AcCircuit {
+    /// Creates an empty circuit with `num_nodes` signal nodes (ground excluded).
+    pub fn new(num_nodes: usize) -> Self {
+        AcCircuit {
+            num_nodes,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Number of signal nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[AcElement] {
+        &self.elements
+    }
+
+    /// Adds an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element references a node index `>= num_nodes` that is
+    /// not [`GROUND`].
+    pub fn add(&mut self, element: AcElement) {
+        let check = |n: NodeIndex| {
+            assert!(
+                n == GROUND || n < self.num_nodes,
+                "node index {n} out of range"
+            );
+        };
+        match element {
+            AcElement::Conductance { a, b, .. }
+            | AcElement::Capacitance { a, b, .. }
+            | AcElement::CurrentSource { a, b, .. } => {
+                check(a);
+                check(b);
+            }
+            AcElement::Vccs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } => {
+                check(out_p);
+                check(out_n);
+                check(ctrl_p);
+                check(ctrl_n);
+            }
+        }
+        self.elements.push(element);
+    }
+
+    /// Adds an ideal-ish voltage drive at `node`: a Norton equivalent with a
+    /// stiff 1 kS source conductance, which is at least six orders of
+    /// magnitude stiffer than any transistor in the benchmark circuits.
+    pub fn drive_voltage(&mut self, node: NodeIndex, volts: f64) {
+        const G_DRIVE: f64 = 1e3;
+        self.add(AcElement::Conductance {
+            a: node,
+            b: GROUND,
+            g: G_DRIVE,
+        });
+        self.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: node,
+            value: Complex::real(volts * G_DRIVE),
+        });
+    }
+
+    fn stamp_pair(y: &mut CMatrix, a: NodeIndex, b: NodeIndex, adm: Complex) {
+        if a != GROUND {
+            y.stamp(a, a, adm);
+        }
+        if b != GROUND {
+            y.stamp(b, b, adm);
+        }
+        if a != GROUND && b != GROUND {
+            y.stamp(a, b, -adm);
+            y.stamp(b, a, -adm);
+        }
+    }
+
+    fn stamp_vccs(
+        y: &mut CMatrix,
+        out_p: NodeIndex,
+        out_n: NodeIndex,
+        ctrl_p: NodeIndex,
+        ctrl_n: NodeIndex,
+        gm: f64,
+    ) {
+        let g = Complex::real(gm);
+        let mut add = |row: NodeIndex, col: NodeIndex, v: Complex| {
+            if row != GROUND && col != GROUND {
+                y.stamp(row, col, v);
+            }
+        };
+        add(out_p, ctrl_p, g);
+        add(out_p, ctrl_n, -g);
+        add(out_n, ctrl_p, -g);
+        add(out_n, ctrl_n, g);
+    }
+
+    /// Assembles the admittance matrix and excitation vector at `freq_hz`.
+    fn assemble(&self, freq_hz: f64) -> (CMatrix, Vec<Complex>) {
+        let n = self.num_nodes;
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let mut y = CMatrix::zeros(n, n);
+        let mut rhs = vec![Complex::ZERO; n];
+        for i in 0..n {
+            y.stamp(i, i, Complex::real(GMIN));
+        }
+        for e in &self.elements {
+            match *e {
+                AcElement::Conductance { a, b, g } => {
+                    Self::stamp_pair(&mut y, a, b, Complex::real(g));
+                }
+                AcElement::Capacitance { a, b, c } => {
+                    Self::stamp_pair(&mut y, a, b, Complex::new(0.0, omega * c));
+                }
+                AcElement::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                } => Self::stamp_vccs(&mut y, out_p, out_n, ctrl_p, ctrl_n, gm),
+                AcElement::CurrentSource { a, b, value } => {
+                    if b != GROUND {
+                        rhs[b] += value;
+                    }
+                    if a != GROUND {
+                        rhs[a] -= value;
+                    }
+                }
+            }
+        }
+        (y, rhs)
+    }
+
+    /// Solves for all node voltages at `freq_hz` using the circuit's own
+    /// independent sources as excitation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularSystem`] if the admittance matrix cannot be
+    /// factorised at this frequency.
+    pub fn solve(&self, freq_hz: f64) -> Result<Vec<Complex>, SimError> {
+        let (y, rhs) = self.assemble(freq_hz);
+        let lu = y.lu().map_err(|_| SimError::SingularSystem {
+            frequency_hz: freq_hz,
+        })?;
+        lu.solve(&rhs).map_err(|_| SimError::SingularSystem {
+            frequency_hz: freq_hz,
+        })
+    }
+
+    /// Solves for node voltages at `freq_hz` produced by a unit current
+    /// injected from node `a` into node `b`, ignoring the circuit's own
+    /// sources.  Used by the noise analysis, which needs one transfer
+    /// function per noise source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularSystem`] if the admittance matrix cannot be
+    /// factorised at this frequency.
+    pub fn solve_injection(
+        &self,
+        freq_hz: f64,
+        a: NodeIndex,
+        b: NodeIndex,
+    ) -> Result<Vec<Complex>, SimError> {
+        let (y, _) = self.assemble(freq_hz);
+        let mut rhs = vec![Complex::ZERO; self.num_nodes];
+        if b != GROUND {
+            rhs[b] += Complex::ONE;
+        }
+        if a != GROUND {
+            rhs[a] -= Complex::ONE;
+        }
+        let lu = y.lu().map_err(|_| SimError::SingularSystem {
+            frequency_hz: freq_hz,
+        })?;
+        lu.solve(&rhs).map_err(|_| SimError::SingularSystem {
+            frequency_hz: freq_hz,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistive_divider() {
+        // 1 A into node 0, two 1 kΩ in series to ground via node 1.
+        let mut ckt = AcCircuit::new(2);
+        ckt.add(AcElement::Conductance { a: 0, b: 1, g: 1e-3 });
+        ckt.add(AcElement::Conductance { a: 1, b: GROUND, g: 1e-3 });
+        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        let v = ckt.solve(0.0).unwrap();
+        assert!((v[0].re - 2000.0).abs() < 1e-4);
+        assert!((v[1].re - 1000.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rc_pole_at_expected_frequency() {
+        let r = 1e3;
+        let c = 1e-9;
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let mut ckt = AcCircuit::new(1);
+        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
+        ckt.add(AcElement::Capacitance { a: 0, b: GROUND, c });
+        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        let lo = ckt.solve(1.0).unwrap()[0].abs();
+        let at_pole = ckt.solve(f3db).unwrap()[0].abs();
+        assert!((lo - r).abs() / r < 1e-3);
+        assert!((at_pole - r / 2f64.sqrt()).abs() / r < 1e-2);
+    }
+
+    #[test]
+    fn vccs_common_source_gain() {
+        // gm = 1 mS into a 10 kΩ load: voltage gain -10 from node 0 (gate) to node 1 (drain).
+        let mut ckt = AcCircuit::new(2);
+        ckt.drive_voltage(0, 1.0);
+        ckt.add(AcElement::Vccs {
+            out_p: 1,
+            out_n: GROUND,
+            ctrl_p: 0,
+            ctrl_n: GROUND,
+            gm: 1e-3,
+        });
+        ckt.add(AcElement::Conductance { a: 1, b: GROUND, g: 1e-4 });
+        let v = ckt.solve(1.0).unwrap();
+        assert!((v[0].re - 1.0).abs() < 1e-3);
+        assert!((v[1].re + 10.0).abs() < 0.05, "gain {}", v[1].re);
+    }
+
+    #[test]
+    fn diode_connected_vccs_behaves_as_conductance() {
+        // VCCS whose control is its own output node: looks like a 1/gm resistor.
+        let gm = 2e-3;
+        let mut ckt = AcCircuit::new(1);
+        ckt.add(AcElement::Vccs {
+            out_p: 0,
+            out_n: GROUND,
+            ctrl_p: 0,
+            ctrl_n: GROUND,
+            gm,
+        });
+        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        let v = ckt.solve(10.0).unwrap();
+        assert!((v[0].abs() - 1.0 / gm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injection_solve_ignores_builtin_sources() {
+        let mut ckt = AcCircuit::new(1);
+        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 });
+        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::real(5.0) });
+        let v = ckt.solve_injection(1.0, GROUND, 0).unwrap();
+        assert!((v[0].re - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_does_not_panic() {
+        // Node 1 floats; GMIN keeps the system solvable.
+        let mut ckt = AcCircuit::new(2);
+        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 });
+        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        assert!(ckt.solve(1e3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let mut ckt = AcCircuit::new(1);
+        ckt.add(AcElement::Conductance { a: 3, b: GROUND, g: 1.0 });
+    }
+}

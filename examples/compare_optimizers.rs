@@ -1,0 +1,38 @@
+//! Compare GCN-RL against the paper's baselines (random search, ES, BO, MACE,
+//! the NG-RL ablation and the human-expert reference) on the LDO benchmark —
+//! a miniature version of the paper's Table I / Figure 5.
+//!
+//! Run with: `cargo run --release --example compare_optimizers`
+
+use gcn_rl_circuit_designer::baselines::{
+    bayesian_optimization, evolution_strategy, human_expert, mace, random_search,
+};
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn main() {
+    let node = TechnologyNode::tsmc180();
+    let benchmark = Benchmark::Ldo;
+    let budget = 120;
+
+    let make_env = || {
+        let fom = FomConfig::calibrated(benchmark, &node, 80, 0);
+        SizingEnv::new(benchmark, &node, fom)
+    };
+    let ddpg = DdpgConfig::default().with_budget(budget, 40);
+
+    let mut results = Vec::new();
+    results.push(human_expert(&make_env()));
+    results.push(random_search(&make_env(), budget, 0));
+    results.push(evolution_strategy(&make_env(), budget, 0));
+    results.push(bayesian_optimization(&make_env(), budget, 0));
+    results.push(mace(&make_env(), budget, 0));
+    results.push(GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::NonGcn).run());
+    results.push(GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::Gcn).run());
+
+    println!("{benchmark} @ {} — best FoM after {budget} simulations", node.name);
+    for history in &results {
+        println!("  {:<8} {:>8.3}", history.method, history.best_fom());
+    }
+}

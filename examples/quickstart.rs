@@ -1,0 +1,46 @@
+//! Quickstart: size the two-stage transimpedance amplifier at 180 nm with the
+//! GCN-RL designer and print the best design it finds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::{FomConfig, GcnRlDesigner, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn main() {
+    let node = TechnologyNode::tsmc180();
+    let benchmark = Benchmark::TwoStageTia;
+
+    // 1. Calibrate the figure of merit by random sampling (paper Eq. 2).
+    let fom = FomConfig::calibrated(benchmark, &node, 100, 0);
+
+    // 2. Build the sizing environment: graph, state vectors, design space.
+    let env = SizingEnv::new(benchmark, &node, fom);
+    println!(
+        "circuit `{}`: {} components, {} parameters",
+        env.circuit().name(),
+        env.num_components(),
+        env.num_unit_parameters()
+    );
+
+    // 3. Run the GCN-RL search (a small budget for the example; the paper
+    //    uses 10 000 simulations).
+    let config = DdpgConfig {
+        episodes: 150,
+        warmup: 50,
+        ..DdpgConfig::default()
+    };
+    let mut designer = GcnRlDesigner::new(env, config);
+    let history = designer.run();
+
+    println!("best FoM after {} simulations: {:.3}", history.len(), history.best_fom());
+    if let Some(report) = &history.best_report {
+        println!("best design metrics:");
+        for (name, value) in report.iter() {
+            println!("  {name:<16} = {value:.4}");
+        }
+    }
+    if let Some(params) = &history.best_params {
+        println!("best sizing (per component): {:?}", params.to_flat());
+    }
+}

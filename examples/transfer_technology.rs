@@ -1,0 +1,46 @@
+//! Design porting across technology nodes (paper Sec. IV-B / Table IV):
+//! train the GCN-RL agent on the Two-TIA at 180 nm, then fine-tune it at
+//! 45 nm with a small budget and compare against training from scratch.
+//!
+//! Run with: `cargo run --release --example transfer_technology`
+
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::transfer::{pretrain_and_transfer, save_checkpoint};
+use gcn_rl_circuit_designer::gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn env(benchmark: Benchmark, node: &TechnologyNode) -> SizingEnv {
+    let fom = FomConfig::calibrated(benchmark, node, 80, 0);
+    SizingEnv::new(benchmark, node, fom)
+}
+
+fn main() {
+    let benchmark = Benchmark::TwoStageTia;
+    let n180 = TechnologyNode::tsmc180();
+    let n45 = TechnologyNode::n45();
+
+    let pretrain = DdpgConfig::default().with_budget(200, 60);
+    // The paper fine-tunes with only 300 steps (100 warm-up); we scale down.
+    let finetune = DdpgConfig::default().with_budget(90, 30);
+
+    // Baseline: no transfer, same small budget at 45 nm.
+    let scratch = GcnRlDesigner::new(env(benchmark, &n45), finetune).run();
+
+    // Transfer: pre-train at 180 nm, inherit the actor-critic weights.
+    let (pre, fine, ckpt) = pretrain_and_transfer(
+        env(benchmark, &n180),
+        env(benchmark, &n45),
+        AgentKind::Gcn,
+        pretrain,
+        finetune,
+    );
+
+    let path = std::env::temp_dir().join("gcnrl_two_tia_180nm.json");
+    if save_checkpoint(&ckpt, &path).is_ok() {
+        println!("saved pre-trained agent checkpoint to {}", path.display());
+    }
+
+    println!("pre-training at 180nm:    best FoM = {:.3}", pre.best_fom());
+    println!("45nm from scratch:        best FoM = {:.3}", scratch.best_fom());
+    println!("45nm with transfer:       best FoM = {:.3}", fine.best_fom());
+}

@@ -1,0 +1,46 @@
+//! Knowledge transfer between topologies (paper Sec. IV-C / Table V): an agent
+//! trained on the two-stage TIA warm-starts the sizing of the three-stage TIA.
+//! The GCN is what makes this possible — the non-GCN ablation (NG-RL) barely
+//! improves over no transfer.
+//!
+//! Run with: `cargo run --release --example transfer_topology`
+
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::transfer::pretrain_and_transfer;
+use gcn_rl_circuit_designer::gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn env(benchmark: Benchmark, node: &TechnologyNode) -> SizingEnv {
+    let fom = FomConfig::calibrated(benchmark, node, 80, 0);
+    SizingEnv::new(benchmark, node, fom)
+}
+
+fn main() {
+    let node = TechnologyNode::tsmc180();
+    let source = Benchmark::TwoStageTia;
+    let target = Benchmark::ThreeStageTia;
+
+    let pretrain = DdpgConfig::default().with_budget(200, 60);
+    let finetune = DdpgConfig::default().with_budget(90, 30);
+
+    let scratch = GcnRlDesigner::new(env(target, &node), finetune).run();
+    let (_, gcn_fine, _) = pretrain_and_transfer(
+        env(source, &node),
+        env(target, &node),
+        AgentKind::Gcn,
+        pretrain,
+        finetune,
+    );
+    let (_, ng_fine, _) = pretrain_and_transfer(
+        env(source, &node),
+        env(target, &node),
+        AgentKind::NonGcn,
+        pretrain,
+        finetune,
+    );
+
+    println!("{} -> {} @ {}", source, target, node.name);
+    println!("  no transfer:     best FoM = {:.3}", scratch.best_fom());
+    println!("  NG-RL transfer:  best FoM = {:.3}", ng_fine.best_fom());
+    println!("  GCN-RL transfer: best FoM = {:.3}", gcn_fine.best_fom());
+}

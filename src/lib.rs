@@ -1,0 +1,20 @@
+//! Umbrella crate for the GCN-RL Circuit Designer reproduction.
+//!
+//! The implementation lives in the workspace crates; this facade re-exports
+//! them under one roof so the examples and integration tests read naturally:
+//!
+//! * [`gcnrl`] — the GCN-RL designer itself (environment, agent, transfer).
+//! * [`circuit`] — netlists, technology nodes, design spaces, benchmarks.
+//! * [`sim`] — the analog performance simulator.
+//! * [`baselines`] — random search, ES, BO, MACE and the human-expert row.
+//! * [`nn`] / [`rl`] / [`linalg`] — the supporting substrates.
+//!
+//! See the README for a quickstart and DESIGN.md for the architecture map.
+
+pub use gcnrl;
+pub use gcnrl_baselines as baselines;
+pub use gcnrl_circuit as circuit;
+pub use gcnrl_linalg as linalg;
+pub use gcnrl_nn as nn;
+pub use gcnrl_rl as rl;
+pub use gcnrl_sim as sim;

@@ -1,0 +1,96 @@
+//! Cross-crate integration tests: the full pipeline from netlist to optimised
+//! sizing, for every benchmark circuit and both agent variants.
+
+use gcn_rl_circuit_designer::baselines::{human_expert, random_search};
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn small_env(benchmark: Benchmark, node: &TechnologyNode) -> SizingEnv {
+    let fom = FomConfig::calibrated(benchmark, node, 10, 0);
+    SizingEnv::new(benchmark, node, fom)
+}
+
+fn tiny_ddpg(seed: u64) -> DdpgConfig {
+    DdpgConfig {
+        episodes: 40,
+        warmup: 15,
+        batch_size: 8,
+        hidden_dim: 24,
+        gcn_layers: 3,
+        seed,
+        ..DdpgConfig::default()
+    }
+}
+
+#[test]
+fn gcn_rl_runs_on_every_benchmark() {
+    let node = TechnologyNode::tsmc180();
+    for benchmark in Benchmark::ALL {
+        let env = small_env(benchmark, &node);
+        let mut designer = GcnRlDesigner::new(env, tiny_ddpg(0));
+        let history = designer.run();
+        assert_eq!(history.len(), 40, "{benchmark}: wrong number of episodes");
+        assert!(history.best_fom().is_finite(), "{benchmark}: non-finite FoM");
+        let params = history.best_params.expect("a best design exists");
+        assert!(
+            designer.env().design_space().validate(&params),
+            "{benchmark}: best design violates the design space"
+        );
+    }
+}
+
+#[test]
+fn optimised_designs_beat_the_first_warmup_sample() {
+    // The search must at least improve over its own first random sample —
+    // the weakest meaningful notion of "optimisation is happening".
+    let node = TechnologyNode::tsmc180();
+    let env = small_env(Benchmark::TwoStageTia, &node);
+    let mut designer = GcnRlDesigner::new(env, tiny_ddpg(1));
+    let history = designer.run();
+    assert!(history.best_fom() >= history.records[0].fom);
+    assert!(history.best_curve().windows(2).all(|w| w[1] >= w[0]));
+}
+
+#[test]
+fn rl_with_more_budget_is_at_least_as_good_on_average() {
+    let node = TechnologyNode::tsmc180();
+    let short = {
+        let env = small_env(Benchmark::Ldo, &node);
+        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(15, 8)).run().best_fom()
+    };
+    let long = {
+        let env = small_env(Benchmark::Ldo, &node);
+        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(60, 20)).run().best_fom()
+    };
+    assert!(long >= short, "longer budget should not hurt: {short} vs {long}");
+}
+
+#[test]
+fn ng_rl_and_gcn_rl_explore_differently() {
+    let node = TechnologyNode::tsmc180();
+    let gcn = GcnRlDesigner::with_kind(small_env(Benchmark::TwoStageTia, &node), tiny_ddpg(3), AgentKind::Gcn)
+        .run();
+    let ng = GcnRlDesigner::with_kind(small_env(Benchmark::TwoStageTia, &node), tiny_ddpg(3), AgentKind::NonGcn)
+        .run();
+    // Same seeds -> identical warm-up, but the policies must diverge afterwards.
+    let gcn_curve = gcn.best_curve();
+    let ng_curve = ng.best_curve();
+    assert_eq!(gcn_curve[..10], ng_curve[..10]);
+    assert_ne!(
+        gcn.records.iter().map(|r| r.fom).collect::<Vec<_>>(),
+        ng.records.iter().map(|r| r.fom).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn baselines_and_expert_share_the_same_environment_contract() {
+    let node = TechnologyNode::tsmc180();
+    let env = small_env(Benchmark::ThreeStageTia, &node);
+    let expert = human_expert(&env);
+    let random = random_search(&env, 20, 0);
+    assert_eq!(expert.len(), 1);
+    assert_eq!(random.len(), 20);
+    assert!(expert.best_fom().is_finite());
+    assert!(random.best_fom().is_finite());
+}

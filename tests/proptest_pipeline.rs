@@ -1,0 +1,44 @@
+//! Property-based integration tests: arbitrary actions always round-trip into
+//! legal, simulatable designs with finite FoM.
+
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::{FomConfig, SizingEnv};
+use gcn_rl_circuit_designer::linalg::Matrix;
+use proptest::prelude::*;
+
+fn env_for(bench_idx: usize, node_idx: usize) -> SizingEnv {
+    let benchmark = Benchmark::ALL[bench_idx % 4];
+    let node = TechnologyNode::all()[node_idx % 5].clone();
+    let fom = FomConfig::calibrated(benchmark, &node, 4, 0);
+    SizingEnv::new(benchmark, &node, fom)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any action matrix in [-1, 1] produces a legal design and a finite FoM,
+    /// for every benchmark and technology node.
+    #[test]
+    fn arbitrary_actions_produce_finite_fom(
+        bench_idx in 0usize..4,
+        node_idx in 0usize..5,
+        values in prop::collection::vec(-1.0f64..1.0, 18 * 3),
+    ) {
+        let env = env_for(bench_idx, node_idx);
+        let n = env.num_components();
+        let actions = Matrix::from_fn(n, 3, |r, c| values[(r * 3 + c) % values.len()]);
+        let outcome = env.evaluate_actions(&actions);
+        prop_assert!(env.design_space().validate(&outcome.params));
+        prop_assert!(outcome.fom.is_finite());
+    }
+
+    /// The FoM of the same design is deterministic.
+    #[test]
+    fn fom_is_deterministic(values in prop::collection::vec(0.0f64..1.0, 64)) {
+        let env = env_for(0, 1);
+        let unit: Vec<f64> = (0..env.num_unit_parameters()).map(|i| values[i % values.len()]).collect();
+        let a = env.evaluate_unit(&unit);
+        let b = env.evaluate_unit(&unit);
+        prop_assert_eq!(a.fom, b.fom);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests of the knowledge-transfer workflows (paper Sec. IV-B/C).
+
+use gcn_rl_circuit_designer::circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcn_rl_circuit_designer::gcnrl::transfer::{
+    load_checkpoint, pretrain_and_transfer, save_checkpoint, transfer_from_checkpoint,
+};
+use gcn_rl_circuit_designer::gcnrl::{AgentKind, FomConfig, SizingEnv};
+use gcn_rl_circuit_designer::rl::DdpgConfig;
+
+fn env(benchmark: Benchmark, node: &TechnologyNode) -> SizingEnv {
+    let fom = FomConfig::calibrated(benchmark, node, 8, 0);
+    SizingEnv::new(benchmark, node, fom)
+}
+
+fn tiny(seed: u64) -> DdpgConfig {
+    DdpgConfig {
+        episodes: 24,
+        warmup: 8,
+        batch_size: 8,
+        hidden_dim: 24,
+        gcn_layers: 3,
+        seed,
+        ..DdpgConfig::default()
+    }
+}
+
+#[test]
+fn technology_transfer_produces_checkpoints_reusable_from_disk() {
+    let n180 = TechnologyNode::tsmc180();
+    let n65 = TechnologyNode::n65();
+    let (pre, fine, ckpt) = pretrain_and_transfer(
+        env(Benchmark::TwoStageTia, &n180),
+        env(Benchmark::TwoStageTia, &n65),
+        AgentKind::Gcn,
+        tiny(0),
+        tiny(0),
+    );
+    assert!(pre.best_fom().is_finite());
+    assert!(fine.best_fom().is_finite());
+
+    let path = std::env::temp_dir().join("gcnrl_integration_ckpt.json");
+    save_checkpoint(&ckpt, &path).expect("checkpoint written");
+    let loaded = load_checkpoint(&path).expect("checkpoint read");
+    assert_eq!(loaded, ckpt);
+    let _ = std::fs::remove_file(&path);
+
+    // The loaded checkpoint can warm-start a fresh fine-tuning run.
+    let reused = transfer_from_checkpoint(&loaded, env(Benchmark::TwoStageTia, &n65), AgentKind::Gcn, tiny(1));
+    assert_eq!(reused.len(), 24);
+}
+
+#[test]
+fn topology_transfer_works_in_both_directions() {
+    let node = TechnologyNode::tsmc180();
+    for (source, target) in [
+        (Benchmark::TwoStageTia, Benchmark::ThreeStageTia),
+        (Benchmark::ThreeStageTia, Benchmark::TwoStageTia),
+    ] {
+        let (_, fine, _) = pretrain_and_transfer(
+            env(source, &node),
+            env(target, &node),
+            AgentKind::Gcn,
+            tiny(2),
+            tiny(2),
+        );
+        assert!(fine.best_fom().is_finite(), "{source} -> {target}");
+        assert!(!fine.is_empty());
+    }
+}
+
+#[test]
+fn same_seed_transfer_is_reproducible() {
+    let n180 = TechnologyNode::tsmc180();
+    let n45 = TechnologyNode::n45();
+    let run = || {
+        pretrain_and_transfer(
+            env(Benchmark::TwoStageTia, &n180),
+            env(Benchmark::TwoStageTia, &n45),
+            AgentKind::Gcn,
+            tiny(7),
+            tiny(7),
+        )
+        .1
+        .best_curve()
+    };
+    assert_eq!(run(), run());
+}
