@@ -30,21 +30,24 @@ pub(crate) fn bo_with_name(
 
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
-    let evaluate = |x: Vec<f64>,
-                        xs: &mut Vec<Vec<f64>>,
-                        ys: &mut Vec<f64>,
-                        history: &mut RunHistory| {
-        let outcome = env.evaluate_unit(&x);
-        history.record(outcome.fom, &outcome.params, &outcome.report);
-        xs.push(x);
-        ys.push(outcome.fom);
+    // Scores a set of points as one engine batch (parallel simulation; the
+    // recorded trajectory is identical to evaluating them one by one).
+    let evaluate_batch = |points: Vec<Vec<f64>>,
+                          xs: &mut Vec<Vec<f64>>,
+                          ys: &mut Vec<f64>,
+                          history: &mut RunHistory| {
+        for (outcome, x) in env.evaluate_units(&points).into_iter().zip(points) {
+            history.record(outcome.fom, &outcome.params, &outcome.report);
+            xs.push(x);
+            ys.push(outcome.fom);
+        }
     };
 
-    // Warm-up with random samples.
-    for _ in 0..WARMUP.min(budget) {
-        let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
-        evaluate(x, &mut xs, &mut ys, &mut history);
-    }
+    // Warm-up with random samples, scored as one batch.
+    let warmup: Vec<Vec<f64>> = (0..WARMUP.min(budget))
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    evaluate_batch(warmup, &mut xs, &mut ys, &mut history);
 
     let mut gp = GaussianProcess::new(0.25 * (d as f64).sqrt(), 1.0, 1e-4);
     while history.len() < budget {
@@ -62,12 +65,13 @@ pub(crate) fn bo_with_name(
             })
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        for (_, x) in scored.into_iter().take(batch.max(1)) {
-            if history.len() >= budget {
-                break;
-            }
-            evaluate(x, &mut xs, &mut ys, &mut history);
-        }
+        let room = budget - history.len();
+        let chosen: Vec<Vec<f64>> = scored
+            .into_iter()
+            .take(batch.max(1).min(room))
+            .map(|(_, x)| x)
+            .collect();
+        evaluate_batch(chosen, &mut xs, &mut ys, &mut history);
     }
     history
 }

@@ -25,16 +25,20 @@ pub fn evolution_strategy(env: &SizingEnv, budget: usize, seed: u64) -> RunHisto
 
     while evaluations < budget {
         let normal: Normal<f64> = Normal::new(0.0, 1.0).expect("valid sigma");
-        let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(lambda);
-        for _ in 0..lambda {
-            if evaluations >= budget {
-                break;
-            }
-            let candidate: Vec<f64> = mean
-                .iter()
-                .map(|m| (m + sigma * normal.sample(&mut rng)).clamp(0.0, 1.0))
-                .collect();
-            let outcome = env.evaluate_unit(&candidate);
+        // Draw the whole generation first, then score it as one batch through
+        // the evaluation engine: the population is mutually independent, so
+        // the engine can simulate it in parallel while the RNG stream and the
+        // recorded trajectory stay identical to the serial loop.
+        let population = lambda.min(budget - evaluations);
+        let candidates: Vec<Vec<f64>> = (0..population)
+            .map(|_| {
+                mean.iter()
+                    .map(|m| (m + sigma * normal.sample(&mut rng)).clamp(0.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(population);
+        for (outcome, candidate) in env.evaluate_units(&candidates).into_iter().zip(candidates) {
             history.record(outcome.fom, &outcome.params, &outcome.report);
             scored.push((outcome.fom, candidate));
             evaluations += 1;

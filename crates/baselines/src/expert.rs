@@ -1,5 +1,7 @@
 use gcnrl::{RunHistory, SizingEnv};
-use gcnrl_circuit::{benchmarks::Benchmark, ComponentKind, ComponentParams, MosSizing, ParamVector};
+use gcnrl_circuit::{
+    benchmarks::Benchmark, ComponentKind, ComponentParams, MosSizing, ParamVector,
+};
 
 /// A deterministic "human expert" sizing for each benchmark circuit.
 ///
@@ -26,7 +28,9 @@ pub fn human_expert(env: &SizingEnv) -> RunHistory {
                     bounds[1].from_unit(unit[1]),
                     bounds[2].from_unit(unit[2]).round() as u32,
                 )),
-                ComponentKind::Resistor => ComponentParams::Resistance(bounds[0].from_unit(unit[0])),
+                ComponentKind::Resistor => {
+                    ComponentParams::Resistance(bounds[0].from_unit(unit[0]))
+                }
                 ComponentKind::Capacitor => {
                     ComponentParams::Capacitance(bounds[0].from_unit(unit[0]))
                 }
@@ -107,7 +111,10 @@ mod tests {
             assert_eq!(h.len(), 1);
             assert_eq!(h.method, "Human");
             let params = h.best_params.as_ref().expect("one design recorded");
-            assert!(env.design_space().validate(params), "{b} expert design illegal");
+            assert!(
+                env.design_space().validate(params),
+                "{b} expert design illegal"
+            );
             assert!(h.best_fom().is_finite());
         }
     }

@@ -74,7 +74,11 @@ impl GaussianProcess {
         };
         let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel(xi, x)).collect();
         let mean = self.y_mean
-            + k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         let v = chol.solve(&k_star).expect("dimensions match");
         let var = self.kernel(x, x) - k_star.iter().zip(&v).map(|(k, vi)| k * vi).sum::<f64>();
         (mean, var.max(1e-12))

@@ -2,18 +2,31 @@ use gcnrl::{RunHistory, SizingEnv};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Samples evaluated per engine batch: bounds candidate memory while keeping
+/// the worker pool saturated.
+const BATCH: usize = 256;
+
 /// Uniform random search over the unit design space.
 ///
 /// This is the paper's "Random" row: every episode draws an independent
-/// uniform sample of all parameters.
+/// uniform sample of all parameters. Samples are scored in batches through
+/// the environment's evaluation engine, which parallelises the simulator
+/// calls without changing the recorded trajectory (sampling order and
+/// results are identical to the serial loop).
 pub fn random_search(env: &SizingEnv, budget: usize, seed: u64) -> RunHistory {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut history = RunHistory::new("Random");
     let d = env.num_unit_parameters();
-    for _ in 0..budget {
-        let unit: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
-        let outcome = env.evaluate_unit(&unit);
-        history.record(outcome.fom, &outcome.params, &outcome.report);
+    let mut remaining = budget;
+    while remaining > 0 {
+        let batch = remaining.min(BATCH);
+        let units: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        for outcome in env.evaluate_units(&units) {
+            history.record(outcome.fom, &outcome.params, &outcome.report);
+        }
+        remaining -= batch;
     }
     history
 }
@@ -34,6 +47,9 @@ mod tests {
         assert_eq!(h.method, "Random");
         assert!(h.best_fom() >= h.records[0].fom);
         // Determinism per seed.
-        assert_eq!(random_search(&env, 5, 2).best_curve(), random_search(&env, 5, 2).best_curve());
+        assert_eq!(
+            random_search(&env, 5, 2).best_curve(),
+            random_search(&env, 5, 2).best_curve()
+        );
     }
 }

@@ -37,7 +37,12 @@ fn bench_agent(c: &mut Criterion) {
             b.iter(|| black_box(agent.critic_forward(&states, &actions, &adj).0));
         });
         let batch: Vec<(Matrix, f64)> = (0..16)
-            .map(|i| (Matrix::filled(states.rows(), 3, (i as f64) / 16.0 - 0.5), i as f64 * 0.1))
+            .map(|i| {
+                (
+                    Matrix::filled(states.rows(), 3, (i as f64) / 16.0 - 0.5),
+                    i as f64 * 0.1,
+                )
+            })
             .collect();
         group.bench_function(format!("ddpg_update_{label}"), |b| {
             b.iter(|| {

@@ -1,0 +1,118 @@
+//! Serial-vs-parallel evaluation of an optimiser-sized candidate population
+//! through `gcnrl-exec`, plus the cached-repeat case.
+//!
+//! This is the acceptance benchmark for the execution engine: on a
+//! 64-candidate population the batched path with ≥4 worker threads must beat
+//! the serial evaluator loop, and a repeated batch must be served from the
+//! content-addressed cache with bit-identical metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcnrl_circuit::{benchmarks::Benchmark, ComponentParams, ParamVector, TechnologyNode};
+use gcnrl_exec::testing::LatencyEvaluator;
+use gcnrl_exec::{BatchEvaluator, EngineConfig};
+use gcnrl_sim::evaluators::{evaluator_for, Evaluator};
+use std::hint::black_box;
+use std::time::Duration;
+
+const POPULATION: usize = 64;
+
+fn population(node: &TechnologyNode) -> Vec<ParamVector> {
+    let circuit = Benchmark::TwoStageTia.circuit();
+    let space = circuit.design_space(node);
+    (0..POPULATION)
+        .map(|i| {
+            let unit: Vec<f64> = (0..space.num_parameters())
+                .map(|j| ((i * 37 + j * 11) % 101) as f64 / 100.0)
+                .collect();
+            space.from_unit(&unit)
+        })
+        .collect()
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let node = TechnologyNode::tsmc180();
+    let candidates = population(&node);
+    let mut group = c.benchmark_group(format!("exec_population_{POPULATION}"));
+    group.sample_size(10);
+
+    // Baseline: the pre-engine call path — a serial loop over the evaluator.
+    let evaluator = evaluator_for(Benchmark::TwoStageTia, &node);
+    group.bench_function("serial_evaluator_loop", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|pv| black_box(evaluator.evaluate(black_box(pv))))
+                .collect::<Vec<_>>()
+        });
+    });
+
+    // Batched path at increasing worker counts. A fresh engine per iteration
+    // keeps the cache cold so this measures simulation fan-out, not caching.
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("batch_{threads}_threads_cold_cache"), |b| {
+            b.iter(|| {
+                let engine = BatchEvaluator::for_benchmark(
+                    Benchmark::TwoStageTia,
+                    &node,
+                    EngineConfig::serial().with_threads(threads),
+                );
+                black_box(engine.evaluate_batch(black_box(&candidates)))
+            });
+        });
+    }
+
+    // Warm cache: the same population again is pure cache service.
+    let warm = BatchEvaluator::for_benchmark(
+        Benchmark::TwoStageTia,
+        &node,
+        EngineConfig::serial().with_threads(4),
+    );
+    let reference = warm.evaluate_batch(&candidates);
+    group.bench_function("batch_4_threads_warm_cache", |b| {
+        b.iter(|| black_box(warm.evaluate_batch(black_box(&candidates))));
+    });
+    group.finish();
+
+    // Acceptance checks, printed alongside the timings: repeated evaluation
+    // has a non-zero hit rate and returns bit-identical reports.
+    let repeat = warm.evaluate_batch(&candidates);
+    assert_eq!(repeat, reference, "cached batch must be bit-identical");
+    let stats = warm.stats();
+    assert!(stats.hit_rate() > 0.0, "repeat batches must hit the cache");
+    println!("\nwarm engine: {}", stats.summary());
+}
+
+fn bench_latency_bound(c: &mut Criterion) {
+    const LATENCY: Duration = Duration::from_millis(2);
+    const N: usize = 32;
+    let candidates: Vec<ParamVector> = (0..N)
+        .map(|i| ParamVector::new(vec![ComponentParams::Resistance(100.0 + i as f64)]))
+        .collect();
+    let mut group = c.benchmark_group(format!("exec_latency_bound_{N}"));
+    group.sample_size(10);
+
+    let serial = LatencyEvaluator::new(LATENCY);
+    group.bench_function("serial_evaluator_loop", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|pv| black_box(serial.evaluate(black_box(pv))))
+                .collect::<Vec<_>>()
+        });
+    });
+    for threads in [4usize, 8] {
+        group.bench_function(format!("batch_{threads}_threads_cold_cache"), |b| {
+            b.iter(|| {
+                let engine = BatchEvaluator::new(
+                    Box::new(LatencyEvaluator::new(LATENCY)),
+                    EngineConfig::serial().with_threads(threads),
+                );
+                black_box(engine.evaluate_batch(black_box(&candidates)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_vs_parallel, bench_latency_bound);
+criterion_main!(benches);

@@ -1,13 +1,18 @@
 //! Figure 5: learning curves (best FoM vs simulation count) of every method
 //! on the four benchmark circuits.
 
-use gcnrl_bench::{budget_from_env, print_series, run_all_methods, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_bench::{
+    budget_from_env, print_series, run_all_methods, write_json, ExperimentConfig, SeriesSummary,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
     let node = TechnologyNode::tsmc180();
-    println!("Figure 5 — learning curves (budget={}, seeds={})", cfg.budget, cfg.seeds);
+    println!(
+        "Figure 5 — learning curves (budget={}, seeds={})",
+        cfg.budget, cfg.seeds
+    );
 
     let mut dump = Vec::new();
     for benchmark in Benchmark::ALL {

@@ -4,7 +4,9 @@
 
 use gcnrl::transfer::pretrain_and_transfer;
 use gcnrl::{AgentKind, GcnRlDesigner};
-use gcnrl_bench::{budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_bench::{
+    budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_rl::DdpgConfig;
 
@@ -27,12 +29,16 @@ fn main() {
         TechnologyNode::n130(),
         TechnologyNode::n250(),
     ] {
-        let fine_cfg = DdpgConfig::default().with_seed(1).with_budget(finetune_budget, warmup);
+        let fine_cfg = DdpgConfig::default()
+            .with_seed(1)
+            .with_budget(finetune_budget, warmup);
         let pre_cfg = DdpgConfig::default()
             .with_seed(1)
             .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
 
-        let scratch = GcnRlDesigner::with_kind(make_env(benchmark, &target, &cfg), fine_cfg, AgentKind::Gcn).run();
+        let scratch =
+            GcnRlDesigner::with_kind(make_env(benchmark, &target, &cfg), fine_cfg, AgentKind::Gcn)
+                .run();
         let (_, transferred, _) = pretrain_and_transfer(
             make_env(benchmark, &source, &cfg),
             make_env(benchmark, &target, &cfg),
@@ -41,8 +47,14 @@ fn main() {
             fine_cfg,
         );
         let series = vec![
-            SeriesSummary { label: "No Transfer".into(), curve: scratch.best_curve() },
-            SeriesSummary { label: "Transfer from 180nm".into(), curve: transferred.best_curve() },
+            SeriesSummary {
+                label: "No Transfer".into(),
+                curve: scratch.best_curve(),
+            },
+            SeriesSummary {
+                label: "Transfer from 180nm".into(),
+                curve: transferred.best_curve(),
+            },
         ];
         print_series(&format!("target node {}", target.name), &series);
         dump.push((target.name.clone(), series));

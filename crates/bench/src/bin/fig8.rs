@@ -3,7 +3,9 @@
 
 use gcnrl::transfer::pretrain_and_transfer;
 use gcnrl::{AgentKind, GcnRlDesigner};
-use gcnrl_bench::{budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary};
+use gcnrl_bench::{
+    budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_rl::DdpgConfig;
 
@@ -12,7 +14,9 @@ fn main() {
     let node = TechnologyNode::tsmc180();
     let finetune_budget = (cfg.budget / 2).max(10);
     let warmup = (finetune_budget / 3).max(3);
-    let fine_cfg = DdpgConfig::default().with_seed(2).with_budget(finetune_budget, warmup);
+    let fine_cfg = DdpgConfig::default()
+        .with_seed(2)
+        .with_budget(finetune_budget, warmup);
     let pre_cfg = DdpgConfig::default()
         .with_seed(2)
         .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
@@ -27,7 +31,8 @@ fn main() {
         (Benchmark::TwoStageTia, Benchmark::ThreeStageTia),
         (Benchmark::ThreeStageTia, Benchmark::TwoStageTia),
     ] {
-        let scratch = GcnRlDesigner::with_kind(make_env(target, &node, &cfg), fine_cfg, AgentKind::Gcn).run();
+        let scratch =
+            GcnRlDesigner::with_kind(make_env(target, &node, &cfg), fine_cfg, AgentKind::Gcn).run();
         let (_, gcn, _) = pretrain_and_transfer(
             make_env(source, &node, &cfg),
             make_env(target, &node, &cfg),
@@ -43,15 +48,27 @@ fn main() {
             fine_cfg,
         );
         let series = vec![
-            SeriesSummary { label: "No Transfer".into(), curve: scratch.best_curve() },
-            SeriesSummary { label: "NG-RL Transfer".into(), curve: ng.best_curve() },
-            SeriesSummary { label: "GCN-RL Transfer".into(), curve: gcn.best_curve() },
+            SeriesSummary {
+                label: "No Transfer".into(),
+                curve: scratch.best_curve(),
+            },
+            SeriesSummary {
+                label: "NG-RL Transfer".into(),
+                curve: ng.best_curve(),
+            },
+            SeriesSummary {
+                label: "GCN-RL Transfer".into(),
+                curve: gcn.best_curve(),
+            },
         ];
         print_series(
             &format!("{} -> {}", source.paper_name(), target.paper_name()),
             &series,
         );
-        dump.push((format!("{}->{}", source.paper_name(), target.paper_name()), series));
+        dump.push((
+            format!("{}->{}", source.paper_name(), target.paper_name()),
+            series,
+        ));
     }
     write_json("fig8", &dump);
 }

@@ -6,8 +6,14 @@ use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
     let node = TechnologyNode::tsmc180();
-    println!("Table I — FoM comparison (budget={}, seeds={})", cfg.budget, cfg.seeds);
-    println!("{:<10} {:>14} {:>14} {:>14} {:>14}", "Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO");
+    println!(
+        "Table I — FoM comparison (budget={}, seeds={})",
+        cfg.budget, cfg.seeds
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO"
+    );
 
     let mut rows: Vec<(String, Vec<String>)> = Vec::new();
     let mut per_bench = Vec::new();
@@ -21,6 +27,9 @@ fn main() {
             method, cells[0], cells[1], cells[2], cells[3]
         );
         rows.push((method.to_string(), cells));
+    }
+    for (results, bench) in per_bench.iter().zip(Benchmark::ALL) {
+        gcnrl_bench::print_exec_stats(&format!("evaluation engine — {bench}"), results);
     }
     write_json("table1", &rows);
 }

@@ -30,9 +30,14 @@ fn print_row(label: &str, metrics: &[(String, f64)]) {
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
     let node = TechnologyNode::tsmc180();
-    println!("Table II — Two-TIA metrics (budget={}, seeds={})", cfg.budget, cfg.seeds);
-    println!("{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
-        "Method", "BW(GHz)", "Gain(Ohm)", "Power(mW)", "Noise(pA)", "Peak(dB)", "GBW");
+    println!(
+        "Table II — Two-TIA metrics (budget={}, seeds={})",
+        cfg.budget, cfg.seeds
+    );
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "Method", "BW(GHz)", "Gain(Ohm)", "Power(mW)", "Noise(pA)", "Peak(dB)", "GBW"
+    );
 
     let mut dump = Vec::new();
     // Top half: all Table I methods, metric breakdown of their best design.

@@ -16,9 +16,14 @@ const METRICS: [&str; 7] = [
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
     let node = TechnologyNode::tsmc180();
-    println!("Table III — Two-Volt metrics (budget={}, seeds={})", cfg.budget, cfg.seeds);
-    println!("{:<10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
-        "Method", "BW(MHz)", "CPM", "DPM", "Power(mW)", "Noise(nV)", "Gain(k)", "GBW(THz)");
+    println!(
+        "Table III — Two-Volt metrics (budget={}, seeds={})",
+        cfg.budget, cfg.seeds
+    );
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "Method", "BW(MHz)", "CPM", "DPM", "Power(mW)", "Noise(nV)", "Gain(k)", "GBW(THz)"
+    );
 
     let mut dump = Vec::new();
     for method in gcnrl_bench::METHODS {

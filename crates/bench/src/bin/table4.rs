@@ -25,7 +25,10 @@ fn main() {
         "Table IV — node transfer from 180nm (pretrain budget={}, finetune budget={}, seeds={})",
         cfg.budget, finetune_budget, cfg.seeds
     );
-    println!("{:<32} {:>10} {:>10} {:>10} {:>10}", "Setting", "250nm", "130nm", "65nm", "45nm");
+    println!(
+        "{:<32} {:>10} {:>10} {:>10} {:>10}",
+        "Setting", "250nm", "130nm", "65nm", "45nm"
+    );
 
     let mut dump = Vec::new();
     for benchmark in [Benchmark::TwoStageTia, Benchmark::ThreeStageTia] {
@@ -68,14 +71,24 @@ fn main() {
         println!(
             "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             format!("{} (no transfer)", benchmark.paper_name()),
-            no_transfer_row[0], no_transfer_row[1], no_transfer_row[2], no_transfer_row[3]
+            no_transfer_row[0],
+            no_transfer_row[1],
+            no_transfer_row[2],
+            no_transfer_row[3]
         );
         println!(
             "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             format!("{} (transfer from 180nm)", benchmark.paper_name()),
-            transfer_row[0], transfer_row[1], transfer_row[2], transfer_row[3]
+            transfer_row[0],
+            transfer_row[1],
+            transfer_row[2],
+            transfer_row[3]
         );
-        dump.push((benchmark.paper_name().to_string(), no_transfer_row, transfer_row));
+        dump.push((
+            benchmark.paper_name().to_string(),
+            no_transfer_row,
+            transfer_row,
+        ));
     }
     write_json("table4", &dump);
 }

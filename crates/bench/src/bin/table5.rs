@@ -42,7 +42,10 @@ fn main() {
         "Table V — topology transfer (pretrain budget={}, finetune budget={}, seeds={})",
         cfg.budget, finetune_budget, cfg.seeds
     );
-    println!("{:<18} {:>22} {:>22}", "Setting", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA");
+    println!(
+        "{:<18} {:>22} {:>22}",
+        "Setting", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA"
+    );
 
     // No transfer: train from scratch on the target with the small budget.
     let mut no_transfer = Vec::new();
@@ -59,19 +62,53 @@ fn main() {
         }
         no_transfer.push(foms.iter().sum::<f64>() / foms.len() as f64);
     }
-    println!("{:<18} {:>22.2} {:>22.2}", "No Transfer", no_transfer[0], no_transfer[1]);
+    println!(
+        "{:<18} {:>22.2} {:>22.2}",
+        "No Transfer", no_transfer[0], no_transfer[1]
+    );
 
     let ng = [
-        transfer_cell(Benchmark::TwoStageTia, Benchmark::ThreeStageTia, AgentKind::NonGcn, &cfg, &node, finetune),
-        transfer_cell(Benchmark::ThreeStageTia, Benchmark::TwoStageTia, AgentKind::NonGcn, &cfg, &node, finetune),
+        transfer_cell(
+            Benchmark::TwoStageTia,
+            Benchmark::ThreeStageTia,
+            AgentKind::NonGcn,
+            &cfg,
+            &node,
+            finetune,
+        ),
+        transfer_cell(
+            Benchmark::ThreeStageTia,
+            Benchmark::TwoStageTia,
+            AgentKind::NonGcn,
+            &cfg,
+            &node,
+            finetune,
+        ),
     ];
     println!("{:<18} {:>22.2} {:>22.2}", "NG-RL Transfer", ng[0], ng[1]);
 
     let gcn = [
-        transfer_cell(Benchmark::TwoStageTia, Benchmark::ThreeStageTia, AgentKind::Gcn, &cfg, &node, finetune),
-        transfer_cell(Benchmark::ThreeStageTia, Benchmark::TwoStageTia, AgentKind::Gcn, &cfg, &node, finetune),
+        transfer_cell(
+            Benchmark::TwoStageTia,
+            Benchmark::ThreeStageTia,
+            AgentKind::Gcn,
+            &cfg,
+            &node,
+            finetune,
+        ),
+        transfer_cell(
+            Benchmark::ThreeStageTia,
+            Benchmark::TwoStageTia,
+            AgentKind::Gcn,
+            &cfg,
+            &node,
+            finetune,
+        ),
     ];
-    println!("{:<18} {:>22.2} {:>22.2}", "GCN-RL Transfer", gcn[0], gcn[1]);
+    println!(
+        "{:<18} {:>22.2} {:>22.2}",
+        "GCN-RL Transfer", gcn[0], gcn[1]
+    );
 
     write_json("table5", &(no_transfer, ng, gcn));
 }

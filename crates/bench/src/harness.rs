@@ -1,7 +1,9 @@
 //! Shared experiment-running machinery.
 
-use gcnrl::{AgentKind, FomConfig, GcnRlDesigner, RunHistory, SizingEnv};
-use gcnrl_baselines::{bayesian_optimization, evolution_strategy, human_expert, mace, random_search};
+use gcnrl::{AgentKind, ExecStats, FomConfig, GcnRlDesigner, RunHistory, SizingEnv};
+use gcnrl_baselines::{
+    bayesian_optimization, evolution_strategy, human_expert, mace, random_search,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_rl::DdpgConfig;
 use serde::Serialize;
@@ -65,6 +67,9 @@ pub struct MethodResult {
     pub best_curve: Vec<f64>,
     /// Metric values of the overall best design.
     pub best_metrics: Vec<(String, f64)>,
+    /// Evaluation-engine statistics summed over the seeds (throughput, cache
+    /// hit rate, wall time inside the engine).
+    pub exec: Option<ExecStats>,
 }
 
 impl MethodResult {
@@ -86,6 +91,7 @@ impl MethodResult {
             best_curve: histories[best_idx].best_curve(),
             best_foms,
             best_metrics,
+            exec: None,
         }
     }
 
@@ -134,20 +140,68 @@ pub fn run_method(
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> RunHistory {
+    run_method_instrumented(method, benchmark, node, cfg, seed).0
+}
+
+/// Runs one named method and also returns its environment's evaluation-engine
+/// statistics (simulator calls, cache hit rate, engine wall time).
+pub fn run_method_instrumented(
+    method: &str,
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> (RunHistory, ExecStats) {
     let env = make_env(benchmark, node, cfg);
     let ddpg = DdpgConfig::default()
         .with_seed(seed)
         .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+    fn run_rl(env: SizingEnv, ddpg: DdpgConfig, kind: AgentKind) -> (RunHistory, ExecStats) {
+        let mut designer = GcnRlDesigner::with_kind(env, ddpg, kind);
+        let history = designer.run();
+        let stats = designer.env().exec_stats();
+        (history, stats)
+    }
     match method {
-        "Human" => human_expert(&env),
-        "Random" => random_search(&env, cfg.budget, seed),
-        "ES" => evolution_strategy(&env, cfg.budget, seed),
-        "BO" => bayesian_optimization(&env, cfg.budget, seed),
-        "MACE" => mace(&env, cfg.budget, seed),
-        "NG-RL" => GcnRlDesigner::with_kind(env, ddpg, AgentKind::NonGcn).run(),
-        "GCN-RL" => GcnRlDesigner::with_kind(env, ddpg, AgentKind::Gcn).run(),
+        "Human" => {
+            let history = human_expert(&env);
+            (history, env.exec_stats())
+        }
+        "Random" => {
+            let history = random_search(&env, cfg.budget, seed);
+            (history, env.exec_stats())
+        }
+        "ES" => {
+            let history = evolution_strategy(&env, cfg.budget, seed);
+            (history, env.exec_stats())
+        }
+        "BO" => {
+            let history = bayesian_optimization(&env, cfg.budget, seed);
+            (history, env.exec_stats())
+        }
+        "MACE" => {
+            let history = mace(&env, cfg.budget, seed);
+            (history, env.exec_stats())
+        }
+        "NG-RL" => run_rl(env, ddpg, AgentKind::NonGcn),
+        "GCN-RL" => run_rl(env, ddpg, AgentKind::Gcn),
         other => panic!("unknown method `{other}`"),
     }
+}
+
+/// Sums engine statistics across runs (cache length keeps the maximum, since
+/// caches are per-environment).
+pub fn merge_exec_stats(stats: impl IntoIterator<Item = ExecStats>) -> ExecStats {
+    stats.into_iter().fold(ExecStats::default(), |mut acc, s| {
+        acc.requests += s.requests;
+        acc.simulated += s.simulated;
+        acc.cache_hits += s.cache_hits;
+        acc.evictions += s.evictions;
+        acc.batches += s.batches;
+        acc.cache_len = acc.cache_len.max(s.cache_len);
+        acc.wall_seconds += s.wall_seconds;
+        acc
+    })
 }
 
 /// Runs every method of Table I on one benchmark, repeating `cfg.seeds` times.
@@ -159,12 +213,31 @@ pub fn run_all_methods(
     METHODS
         .iter()
         .map(|method| {
+            let mut stats = Vec::new();
             let histories: Vec<RunHistory> = (0..cfg.seeds.max(1))
-                .map(|s| run_method(method, benchmark, node, cfg, s as u64))
+                .map(|s| {
+                    let (history, exec) =
+                        run_method_instrumented(method, benchmark, node, cfg, s as u64);
+                    stats.push(exec);
+                    history
+                })
                 .collect();
-            MethodResult::from_histories(method, histories)
+            let mut result = MethodResult::from_histories(method, histories);
+            result.exec = Some(merge_exec_stats(stats));
+            result
         })
         .collect()
+}
+
+/// Prints one engine-statistics line per method (used by the table binaries
+/// after their result tables).
+pub fn print_exec_stats(title: &str, results: &[MethodResult]) {
+    println!("\n{title}");
+    for r in results {
+        if let Some(exec) = &r.exec {
+            println!("  {:<10} {}", r.method, exec.summary());
+        }
+    }
 }
 
 /// Writes an experiment result as JSON under `target/experiments/<name>.json`.
@@ -189,7 +262,11 @@ pub fn print_series(title: &str, series: &[SeriesSummary]) {
             .step_by(step)
             .map(|v| format!("{v:.2}"))
             .collect();
-        println!("  {:<22} final={last:6.3}  curve=[{}]", s.label, samples.join(", "));
+        println!(
+            "  {:<22} final={last:6.3}  curve=[{}]",
+            s.label,
+            samples.join(", ")
+        );
     }
 }
 
@@ -209,7 +286,8 @@ mod tests {
     fn method_result_statistics() {
         let mut h1 = RunHistory::new("X");
         let mut h2 = RunHistory::new("X");
-        let pv = gcnrl_circuit::ParamVector::new(vec![gcnrl_circuit::ComponentParams::Resistance(1.0)]);
+        let pv =
+            gcnrl_circuit::ParamVector::new(vec![gcnrl_circuit::ComponentParams::Resistance(1.0)]);
         let rep = gcnrl_sim::PerformanceReport::new();
         h1.record(1.0, &pv, &rep);
         h2.record(3.0, &pv, &rep);

@@ -9,6 +9,7 @@
 pub mod harness;
 
 pub use harness::{
-    budget_from_env, make_env, print_series, run_all_methods, run_method, write_json,
-    ExperimentConfig, MethodResult, SeriesSummary, METHODS,
+    budget_from_env, make_env, merge_exec_stats, print_exec_stats, print_series, run_all_methods,
+    run_method, run_method_instrumented, write_json, ExperimentConfig, MethodResult, SeriesSummary,
+    METHODS,
 };

@@ -37,9 +37,12 @@ pub fn low_dropout_regulator() -> Circuit {
     b.resistor("R2", "vfb", "gnd").expect("valid net");
     b.capacitor("CL", "vout", "gnd").expect("valid net");
 
-    b.matched("input_pair", &["T1", "T2"]).expect("members exist");
-    b.matched("mirror_load", &["T3", "T4"]).expect("members exist");
-    b.matched("bias_legs_L", &["T5", "T6", "T7"]).expect("members exist");
+    b.matched("input_pair", &["T1", "T2"])
+        .expect("members exist");
+    b.matched("mirror_load", &["T3", "T4"])
+        .expect("members exist");
+    b.matched("bias_legs_L", &["T5", "T6", "T7"])
+        .expect("members exist");
     b.build().expect("low_dropout_regulator is non-empty")
 }
 

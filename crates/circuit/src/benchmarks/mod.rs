@@ -79,7 +79,11 @@ mod tests {
             let g = c.topology_graph();
             assert!(g.is_connected(), "{b} topology graph must be connected");
             // Seven GCN layers must give a global receptive field (paper Sec. III-D).
-            assert!(g.diameter() <= 10, "{b} diameter {} exceeds 10", g.diameter());
+            assert!(
+                g.diameter() <= 10,
+                "{b} diameter {} exceeds 10",
+                g.diameter()
+            );
         }
     }
 

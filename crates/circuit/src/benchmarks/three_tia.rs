@@ -56,10 +56,14 @@ pub fn three_stage_tia() -> Circuit {
     b.pmos("T5", "vout", "vbias", "vdd").expect("valid net");
     b.nmos("T6", "vout", "vbias", "gnd").expect("valid net");
 
-    b.matched("stage1_mirror", &["T7", "T8"]).expect("members exist");
-    b.matched("stage2_mirror", &["T10", "T11"]).expect("members exist");
-    b.matched("stage3_mirror", &["T13", "T14"]).expect("members exist");
-    b.matched("input_mirror_L", &["T1", "T2"]).expect("members exist");
+    b.matched("stage1_mirror", &["T7", "T8"])
+        .expect("members exist");
+    b.matched("stage2_mirror", &["T10", "T11"])
+        .expect("members exist");
+    b.matched("stage3_mirror", &["T13", "T14"])
+        .expect("members exist");
+    b.matched("input_mirror_L", &["T1", "T2"])
+        .expect("members exist");
     b.build().expect("three_stage_tia is non-empty")
 }
 

@@ -34,8 +34,10 @@ pub fn two_stage_tia() -> Circuit {
     b.capacitor("CL", "vout", "gnd").expect("valid net");
 
     // The input device and its mirror share L; the PMOS mirror legs match.
-    b.matched("nmos_mirror_L", &["T1", "T2"]).expect("members exist");
-    b.matched("pmos_mirror", &["T3", "T4"]).expect("members exist");
+    b.matched("nmos_mirror_L", &["T1", "T2"])
+        .expect("members exist");
+    b.matched("pmos_mirror", &["T3", "T4"])
+        .expect("members exist");
     b.build().expect("two_stage_tia is non-empty")
 }
 
@@ -49,8 +51,14 @@ mod tests {
         let c = two_stage_tia();
         assert_eq!(c.num_components(), 9);
         assert_eq!(c.num_transistors(), 6);
-        assert_eq!(c.component_by_name("RF").unwrap().kind, ComponentKind::Resistor);
-        assert_eq!(c.component_by_name("CL").unwrap().kind, ComponentKind::Capacitor);
+        assert_eq!(
+            c.component_by_name("RF").unwrap().kind,
+            ComponentKind::Resistor
+        );
+        assert_eq!(
+            c.component_by_name("CL").unwrap().kind,
+            ComponentKind::Capacitor
+        );
     }
 
     #[test]

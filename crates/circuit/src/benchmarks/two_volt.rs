@@ -38,9 +38,12 @@ pub fn two_stage_voltage_amp() -> Circuit {
     b.capacitor("CS", "vin_n", "vin_p").expect("valid net");
     b.capacitor("CF", "vin_n", "vout").expect("valid net");
 
-    b.matched("input_pair", &["T1", "T2"]).expect("members exist");
-    b.matched("load_mirror", &["T3", "T4"]).expect("members exist");
-    b.matched("bias_mirror_L", &["TB1", "TB2"]).expect("members exist");
+    b.matched("input_pair", &["T1", "T2"])
+        .expect("members exist");
+    b.matched("load_mirror", &["T3", "T4"])
+        .expect("members exist");
+    b.matched("bias_mirror_L", &["TB1", "TB2"])
+        .expect("members exist");
     b.build().expect("two_stage_voltage_amp is non-empty")
 }
 

@@ -154,7 +154,10 @@ impl DesignSpace {
     /// Builds the search space for `circuit` under technology `node`.
     pub fn for_circuit(circuit: &Circuit, node: &TechnologyNode) -> Self {
         let kinds: Vec<ComponentKind> = circuit.components().iter().map(|c| c.kind).collect();
-        let bounds = kinds.iter().map(|k| Self::bounds_for_kind(*k, node)).collect();
+        let bounds = kinds
+            .iter()
+            .map(|k| Self::bounds_for_kind(*k, node))
+            .collect();
         DesignSpace { kinds, bounds }
     }
 
@@ -286,7 +289,11 @@ impl DesignSpace {
     ///
     /// Panics if `unit.len() != self.num_parameters()`.
     pub fn from_unit(&self, unit: &[f64]) -> ParamVector {
-        assert_eq!(unit.len(), self.num_parameters(), "unit vector length mismatch");
+        assert_eq!(
+            unit.len(),
+            self.num_parameters(),
+            "unit vector length mismatch"
+        );
         let mut offset = 0;
         let params = self
             .kinds
@@ -456,8 +463,11 @@ mod tests {
     fn denormalize_respects_bounds_for_extreme_actions() {
         let (space, _) = space();
         for extreme in [-1.0, 1.0, -3.0, 3.0] {
-            let actions: Vec<Vec<f64>> =
-                space.action_sizes().iter().map(|n| vec![extreme; *n]).collect();
+            let actions: Vec<Vec<f64>> = space
+                .action_sizes()
+                .iter()
+                .map(|n| vec![extreme; *n])
+                .collect();
             let pv = space.denormalize(&actions);
             assert!(space.validate(&pv));
         }

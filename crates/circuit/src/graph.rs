@@ -58,10 +58,7 @@ impl TopologyGraph {
                 .filter(|t| !supply.contains(t))
                 .collect();
             for (j, comp_j) in comps.iter().enumerate().skip(i + 1) {
-                let shares = comp_j
-                    .terminals
-                    .iter()
-                    .any(|t| nets_i.contains(&t.index()));
+                let shares = comp_j.terminals.iter().any(|t| nets_i.contains(&t.index()));
                 if shares {
                     edges[i].push(j);
                     edges[j].push(i);
@@ -167,12 +164,7 @@ impl TopologyGraph {
         let mut diameter = 0;
         for start in 0..self.num_vertices {
             let dist = self.bfs_distances(start);
-            let ecc = dist
-                .iter()
-                .filter(|d| d.is_some())
-                .map(|d| d.unwrap())
-                .max()
-                .unwrap_or(0);
+            let ecc = dist.iter().copied().flatten().max().unwrap_or(0);
             diameter = diameter.max(ecc);
         }
         diameter

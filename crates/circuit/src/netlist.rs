@@ -295,7 +295,11 @@ impl CircuitBuilder {
         gate: &str,
         source: &str,
     ) -> Result<ComponentId, CircuitError> {
-        let t = vec![self.resolve(drain)?, self.resolve(gate)?, self.resolve(source)?];
+        let t = vec![
+            self.resolve(drain)?,
+            self.resolve(gate)?,
+            self.resolve(source)?,
+        ];
         self.add_component(name, ComponentKind::Nmos, t)
     }
 
@@ -311,7 +315,11 @@ impl CircuitBuilder {
         gate: &str,
         source: &str,
     ) -> Result<ComponentId, CircuitError> {
-        let t = vec![self.resolve(drain)?, self.resolve(gate)?, self.resolve(source)?];
+        let t = vec![
+            self.resolve(drain)?,
+            self.resolve(gate)?,
+            self.resolve(source)?,
+        ];
         self.add_component(name, ComponentKind::Pmos, t)
     }
 
@@ -347,13 +355,13 @@ impl CircuitBuilder {
         let mut ids = Vec::with_capacity(members.len());
         let mut kind: Option<ComponentKind> = None;
         for m in members {
-            let id = self
-                .by_name
-                .get(*m)
-                .copied()
-                .ok_or_else(|| CircuitError::UnknownComponent {
-                    name: (*m).to_owned(),
-                })?;
+            let id =
+                self.by_name
+                    .get(*m)
+                    .copied()
+                    .ok_or_else(|| CircuitError::UnknownComponent {
+                        name: (*m).to_owned(),
+                    })?;
             let k = self.components[id.index()].kind;
             if let Some(existing) = kind {
                 if existing != k {
@@ -452,7 +460,10 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let c = simple();
-        assert_eq!(c.component_by_name("R1").unwrap().kind, ComponentKind::Resistor);
+        assert_eq!(
+            c.component_by_name("R1").unwrap().kind,
+            ComponentKind::Resistor
+        );
         assert!(c.component_by_name("nope").is_err());
     }
 

@@ -121,7 +121,10 @@ mod tests {
         let node = TechnologyNode::tsmc180();
         let space = circuit.design_space(&node);
         let refiner = Refiner::new(&circuit);
-        assert!(!refiner.groups().is_empty(), "benchmark must declare matching");
+        assert!(
+            !refiner.groups().is_empty(),
+            "benchmark must declare matching"
+        );
 
         // Start from deliberately mismatched actions.
         let actions: Vec<Vec<f64>> = (0..circuit.num_components())

@@ -106,6 +106,7 @@ impl TechnologyNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         name: &str,
         feature_nm: f64,

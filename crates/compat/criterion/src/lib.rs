@@ -1,0 +1,182 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the macro + type surface the benches use ([`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`]) backed by a simple measured-wall-clock harness: each
+//! benchmark is warmed up, then timed over `sample_size` samples, and the
+//! median/mean/min per-iteration times are printed in criterion-like form.
+//! There is no statistical regression analysis and no HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_benchmark(&id.into(), 10, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to smooth scheduler noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Calibration: find an iteration count that takes ≥ ~5 ms per sample,
+    // so short routines are not dominated by timer resolution.
+    let mut iters: u64 = 1;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters = (iters * 4).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            bencher.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+    println!(
+        "  {id:<44} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        format_time(median),
+        format_time(mean),
+        format_time(min),
+        sample_size,
+        iters
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times_a_function() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("compat_smoke");
+        group.sample_size(3);
+        let mut hits = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_sensible_units() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The environment has no crates.io access, so this crate provides the
+//! fraction of serde's surface the code base uses: the [`Serialize`] and
+//! [`Deserialize`] traits, their derive macros (re-exported from the local
+//! `serde_derive` proc-macro crate), and the intermediate [`Value`] tree the
+//! local `serde_json` renders to and parses from.
+//!
+//! Unlike real serde's visitor architecture, this implementation round-trips
+//! through a concrete [`Value`] enum. That is dramatically simpler, and for
+//! the data shapes in this workspace (checkpoints, reports, configs) it is
+//! behaviourally equivalent: every derived type serialises to the same JSON
+//! object layout real serde would produce.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialisation tree (JSON data model plus exact
+/// integers so `u64`/`i64` round-trip without floating-point loss).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Exact signed integer.
+    Int(i64),
+    /// Exact unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (accepts Int/UInt/Num).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as an exact `i128` when lossless.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i128::from(*i)),
+            Value::UInt(u) => Some(i128::from(*u)),
+            Value::Num(f) if f.fract() == 0.0 && f.abs() < 9.007_199_254_740_992e15 => {
+                Some(*f as i128)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map's entries.
+    pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Serialisation/deserialisation error (a message, as in `serde::de::Error`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the serialisation tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde (`for<'de> Deserialize<'de>` bounds in downstream code); this
+/// implementation never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the serialisation tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i128()
+                    .ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i128()
+                    .ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            // Non-finite floats serialise to null (JSON has no inf/NaN).
+            Value::Null => Ok(f64::NAN),
+            _ => value
+                .as_f64()
+                .ok_or_else(|| Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// Static strings deserialise by leaking the parsed string. The only user is
+/// `MetricSpec { name: &'static str, .. }`, which is deserialised a handful
+/// of times per process, so the leak is bounded and intentional.
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::custom("expected string for &'static str"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 2-tuple"))?;
+        if seq.len() != 2 {
+            return Err(Error::custom("expected sequence of length 2"));
+        }
+        Ok((A::from_value(&seq[0])?, B::from_value(&seq[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 3-tuple"))?;
+        if seq.len() != 3 {
+            return Err(Error::custom("expected sequence of length 3"));
+        }
+        Ok((
+            A::from_value(&seq[0])?,
+            B::from_value(&seq[1])?,
+            C::from_value(&seq[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic across hasher states.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(
+            u64::from_value(&18_446_744_073_709_551_615u64.to_value()),
+            Ok(u64::MAX)
+        );
+        assert_eq!(i64::from_value(&(-42i64).to_value()), Ok(-42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn tuples_and_maps_round_trip() {
+        let pair = ("x".to_owned(), 2.5f64);
+        assert_eq!(<(String, f64)>::from_value(&pair.to_value()), Ok(pair));
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("a".to_owned(), 1.0f64);
+        assert_eq!(
+            std::collections::BTreeMap::from_value(&map.to_value()),
+            Ok(map)
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::Num(1.0)).is_err());
+        assert!(String::from_value(&Value::Bool(true)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the local serde compat crate.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly from
+//! the `proc_macro::TokenStream`. Supported shapes (everything this workspace
+//! derives on): non-generic structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!(
+            "serde compat derive supports struct/enum, found `{keyword}`"
+        ));
+    }
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        return Err(format!(
+            "serde compat derive does not support generic type `{name}`; \
+             implement Serialize/Deserialize by hand"
+        ));
+    }
+
+    if keyword == "enum" {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace)?;
+        return Ok(Item {
+            name,
+            kind: ItemKind::Enum(parse_variants(&body)?),
+        });
+    }
+
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?;
+            Ok(Item {
+                name,
+                kind: ItemKind::NamedStruct(fields),
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let count = count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>());
+            Ok(Item {
+                name,
+                kind: ItemKind::TupleStruct(count),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+            name,
+            kind: ItemKind::UnitStruct,
+        }),
+        other => Err(format!("unexpected token after struct name: {other:?}")),
+    }
+}
+
+/// Skips any number of outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // (crate) / (super) / (in path)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delimiter: Delimiter,
+) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delimiter => {
+            *pos += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected {delimiter:?} group, found {other:?}")),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Advances past one type, stopping at a `,` at angle-bracket depth zero.
+/// Parenthesised/bracketed sub-trees arrive as single `Group` tokens, so only
+/// `<`/`>` need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(tokens, &mut pos)?;
+        match peek_punct(tokens, pos) {
+            Some(':') => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(tokens, &mut pos);
+        if matches!(peek_punct(tokens, pos), Some(',')) {
+            pos += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0usize;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(tokens, &mut pos);
+        count += 1;
+        if matches!(peek_punct(tokens, pos), Some(',')) {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the separator.
+        if matches!(peek_punct(tokens, pos), Some('=')) {
+            pos += 1;
+            while pos < tokens.len() && !matches!(peek_punct(tokens, pos), Some(',')) {
+                pos += 1;
+            }
+        }
+        if matches!(peek_punct(tokens, pos), Some(',')) {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::TupleStruct(count) => {
+            let entries: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_owned(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantFields::Tuple(count) => {
+            let binders: Vec<String> = (0..*count).map(|i| format!("f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::Value::Seq(::std::vec![{values}])\
+                 )]),",
+                binds = binders.join(", "),
+                values = values.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from({vname:?}), \
+                     ::serde::Value::Map(::std::vec![{entries}])\
+                 )]),",
+                binds = fields.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::Value::map_get(entries, {f:?})\
+                                 .unwrap_or(&::serde::Value::Null)\
+                         ).map_err(|e| ::serde::Error::custom(\
+                             ::std::format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(count) => {
+            let inits: Vec<String> = (0..*count)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(seq.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for tuple struct {name}\"))?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => {
+            format!("let _ = value; ::core::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            VariantFields::Unit => unit_arms.push(format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}),"
+            )),
+            VariantFields::Tuple(count) => {
+                let inits: Vec<String> = (0..*count)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                                 seq.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let seq = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected sequence payload for {name}::{vname}\"))?;\n\
+                         ::core::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::Value::map_get(entries, {f:?})\
+                                     .unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "{vname:?} => {{\n\
+                         let entries = payload.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map payload for {name}::{vname}\"))?;\n\
+                         ::core::result::Result::Ok({name} :: {vname} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                     {data}\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-entry map for enum {name}\")),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n")
+    )
+}

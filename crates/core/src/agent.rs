@@ -125,6 +125,7 @@ impl GcnAgent {
     /// # Panics
     ///
     /// Panics if `types` is empty or contains an index `>= 4`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         kind: AgentKind,
         state_dim: usize,
@@ -139,13 +140,13 @@ impl GcnAgent {
         assert!(types.iter().all(|t| *t < NUM_TYPES), "invalid type index");
         let n = types.len();
         let type_masks = (0..NUM_TYPES)
-            .map(|t| {
-                Matrix::from_fn(n, 1, |r, _| if types[r] == t { 1.0 } else { 0.0 })
-            })
+            .map(|t| Matrix::from_fn(n, 1, |r, _| if types[r] == t { 1.0 } else { 0.0 }))
             .collect();
         let mut s = seed;
         let mut next_seed = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         GcnAgent {
@@ -221,7 +222,9 @@ impl GcnAgent {
         for (t, dec) in self.actor_decoders.iter().enumerate() {
             let (out, cache) = dec.forward(&h);
             decoder_caches.push(cache);
-            pre_tanh = pre_tanh.add_elem(&self.mask_rows(&out, t)).expect("same shape");
+            pre_tanh = pre_tanh
+                .add_elem(&self.mask_rows(&out, t))
+                .expect("same shape");
         }
         let (actions, tanh_out) = Activation::Tanh.forward(&pre_tanh);
         (
@@ -300,12 +303,7 @@ impl GcnAgent {
 
         // Through the hidden GCN stack (reverse order).
         let mut hidden_grads: Vec<(Matrix, Vec<f64>)> = Vec::with_capacity(self.gcn_layers);
-        for (layer, (cache_l, act_cache)) in self
-            .actor_hidden
-            .iter()
-            .zip(&cache.hidden)
-            .rev()
-        {
+        for (layer, (cache_l, act_cache)) in self.actor_hidden.iter().zip(&cache.hidden).rev() {
             let d_act = Activation::Relu.backward(act_cache, &d_h);
             let grads = layer.layer.backward(cache_l, &d_act);
             d_h = self.backprop_propagate(adjacency, &grads.d_input);
@@ -315,10 +313,14 @@ impl GcnAgent {
 
         // Through the shared input layer.
         let d_input_act = Activation::Relu.backward(&cache.input_act, &d_h);
-        let input_grads = self.actor_input.layer.backward(&cache.input_cache, &d_input_act);
+        let input_grads = self
+            .actor_input
+            .layer
+            .backward(&cache.input_cache, &d_input_act);
 
         // Apply all updates.
-        self.actor_input.apply(&input_grads.d_weight, &input_grads.d_bias);
+        self.actor_input
+            .apply(&input_grads.d_weight, &input_grads.d_bias);
         for (layer, (dw, db)) in self.actor_hidden.iter_mut().zip(&hidden_grads) {
             layer.apply(dw, db);
         }
@@ -346,12 +348,7 @@ impl GcnAgent {
         let mut d_h = out_grads.d_input.clone();
 
         let mut hidden_grads: Vec<(Matrix, Vec<f64>)> = Vec::with_capacity(self.gcn_layers);
-        for (layer, (cache_l, act_cache)) in self
-            .critic_hidden
-            .iter()
-            .zip(&cache.hidden)
-            .rev()
-        {
+        for (layer, (cache_l, act_cache)) in self.critic_hidden.iter().zip(&cache.hidden).rev() {
             let d_act = Activation::Relu.backward(act_cache, &d_h);
             let grads = layer.layer.backward(cache_l, &d_act);
             d_h = self.backprop_propagate(adjacency, &grads.d_input);
@@ -380,11 +377,13 @@ impl GcnAgent {
         }
 
         if apply {
-            self.critic_out.apply(&out_grads.d_weight, &out_grads.d_bias);
+            self.critic_out
+                .apply(&out_grads.d_weight, &out_grads.d_bias);
             for (layer, (dw, db)) in self.critic_hidden.iter_mut().zip(&hidden_grads) {
                 layer.apply(dw, db);
             }
-            self.critic_state.apply(&state_grads.d_weight, &state_grads.d_bias);
+            self.critic_state
+                .apply(&state_grads.d_weight, &state_grads.d_bias);
             for (enc, (dw, db)) in self.critic_action.iter_mut().zip(&action_grads) {
                 enc.apply(dw, db);
             }
@@ -449,7 +448,11 @@ impl GcnAgent {
             gcn_layers: self.gcn_layers,
             actor_input: self.actor_input.layer.clone(),
             actor_hidden: self.actor_hidden.iter().map(|l| l.layer.clone()).collect(),
-            actor_decoders: self.actor_decoders.iter().map(|l| l.layer.clone()).collect(),
+            actor_decoders: self
+                .actor_decoders
+                .iter()
+                .map(|l| l.layer.clone())
+                .collect(),
             critic_state: self.critic_state.layer.clone(),
             critic_action: self.critic_action.iter().map(|l| l.layer.clone()).collect(),
             critic_hidden: self.critic_hidden.iter().map(|l| l.layer.clone()).collect(),

@@ -97,36 +97,46 @@ impl GcnRlDesigner {
         let states = self.env.states().clone();
         let adjacency = self.env.adjacency().clone();
 
-        for episode in 0..self.config.episodes {
-            // (1) Choose an action matrix.
-            let actions = if episode < self.config.warmup {
-                self.env.random_actions(&mut rng)
-            } else {
-                let mut a = self.agent.act(&states, &adjacency);
-                for v in a.as_mut_slice() {
-                    *v = (*v + noise.sample()).clamp(-1.0, 1.0);
-                }
-                noise.decay_step();
-                a
-            };
+        // (1) Warm-up: the random action matrices are independent of the
+        // policy (no network update happens before `warmup`), so they are
+        // drawn up front and evaluated as one batch through the execution
+        // engine — in parallel when it has worker threads. The RNG draw
+        // order, replay contents and history are identical to the serial
+        // episode-by-episode loop because evaluation is pure.
+        let warmup = self.config.warmup.min(self.config.episodes);
+        let warmup_actions: Vec<Matrix> = (0..warmup)
+            .map(|_| self.env.random_actions(&mut rng))
+            .collect();
+        let warmup_outcomes = self.env.evaluate_actions_batch(&warmup_actions);
+        for (actions, outcome) in warmup_actions.into_iter().zip(warmup_outcomes) {
+            history.record(outcome.fom, &outcome.params, &outcome.report);
+            replay.push(actions, outcome.fom);
+            baseline.update(outcome.fom);
+        }
 
-            // (2) Denormalise, refine, simulate, reward.
+        // (2) Exploration episodes: each action depends on the networks
+        // updated from the previous step, so this phase is inherently serial
+        // (it still benefits from the engine's result cache).
+        for episode in warmup..self.config.episodes {
+            let mut actions = self.agent.act(&states, &adjacency);
+            for v in actions.as_mut_slice() {
+                *v = (*v + noise.sample()).clamp(-1.0, 1.0);
+            }
+            noise.decay_step();
+
             let outcome = self.env.evaluate_actions(&actions);
             history.record(outcome.fom, &outcome.params, &outcome.report);
 
-            // (3) Store the transition and update the networks.
             replay.push(actions, outcome.fom);
             baseline.update(outcome.fom);
-            if episode >= self.config.warmup {
-                let batch: Vec<(Matrix, f64)> = replay
-                    .sample(self.config.batch_size, self.config.seed ^ episode as u64)
-                    .into_iter()
-                    .map(|(a, r)| (a.clone(), r))
-                    .collect();
-                self.agent
-                    .critic_update(&states, &adjacency, &batch, baseline.value());
-                self.agent.actor_update(&states, &adjacency);
-            }
+            let batch: Vec<(Matrix, f64)> = replay
+                .sample(self.config.batch_size, self.config.seed ^ episode as u64)
+                .into_iter()
+                .map(|(a, r)| (a.clone(), r))
+                .collect();
+            self.agent
+                .critic_update(&states, &adjacency, &batch, baseline.value());
+            self.agent.actor_update(&states, &adjacency);
         }
         history
     }

@@ -5,8 +5,9 @@ use crate::state::{state_matrix, StateEncoding};
 use gcnrl_circuit::{
     benchmarks::Benchmark, Circuit, DesignSpace, ParamVector, Refiner, TechnologyNode,
 };
+use gcnrl_exec::{BatchEvaluator, EngineConfig, ExecStats};
 use gcnrl_linalg::Matrix;
-use gcnrl_sim::evaluators::{evaluator_for, Evaluator};
+use gcnrl_sim::evaluators::evaluator_for;
 use gcnrl_sim::PerformanceReport;
 use rand::Rng;
 
@@ -23,13 +24,17 @@ pub struct StepOutcome {
 
 /// One optimisation environment: a benchmark circuit in a technology node
 /// with a FoM definition (paper Fig. 2, steps 1-2 and 4-6).
+///
+/// All simulation goes through a [`BatchEvaluator`] from `gcnrl-exec`, so
+/// repeated candidates are served from its content-addressed cache and
+/// [`SizingEnv::evaluate_batch`] fans candidates across its worker pool.
 pub struct SizingEnv {
     benchmark: Benchmark,
     circuit: Circuit,
     node: TechnologyNode,
     space: DesignSpace,
     refiner: Refiner,
-    evaluator: Box<dyn Evaluator>,
+    engine: BatchEvaluator,
     fom: FomConfig,
     encoding: StateEncoding,
     adjacency: Matrix,
@@ -38,7 +43,9 @@ pub struct SizingEnv {
 
 impl SizingEnv {
     /// Creates the environment with the default (transfer-friendly) scalar
-    /// index state encoding.
+    /// index state encoding. The evaluation engine is configured from the
+    /// environment ([`EngineConfig::from_env`]: `GCNRL_THREADS`,
+    /// `GCNRL_CACHE_CAP`, `GCNRL_CACHE_PATH`).
     pub fn new(benchmark: Benchmark, node: &TechnologyNode, fom: FomConfig) -> Self {
         Self::with_encoding(benchmark, node, fom, StateEncoding::ScalarIndex)
     }
@@ -50,10 +57,22 @@ impl SizingEnv {
         fom: FomConfig,
         encoding: StateEncoding,
     ) -> Self {
+        Self::with_engine_config(benchmark, node, fom, encoding, EngineConfig::from_env())
+    }
+
+    /// Creates the environment with an explicit evaluation-engine
+    /// configuration (thread count, cache capacity, persistence).
+    pub fn with_engine_config(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        fom: FomConfig,
+        encoding: StateEncoding,
+        engine_config: EngineConfig,
+    ) -> Self {
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let refiner = Refiner::new(&circuit);
-        let evaluator = evaluator_for(benchmark, node);
+        let engine = BatchEvaluator::new(evaluator_for(benchmark, node), engine_config);
         let adjacency = circuit.topology_graph().normalized_adjacency();
         let states = state_matrix(&circuit, node, encoding);
         SizingEnv {
@@ -62,7 +81,7 @@ impl SizingEnv {
             node: node.clone(),
             space,
             refiner,
-            evaluator,
+            engine,
             fom,
             encoding,
             adjacency,
@@ -134,7 +153,11 @@ impl SizingEnv {
     /// Converts an `n x 3` action matrix (entries in `[-1, 1]`) into a legal
     /// sizing: denormalisation, matching-group refinement, grid rounding.
     pub fn actions_to_params(&self, actions: &Matrix) -> ParamVector {
-        assert_eq!(actions.rows(), self.num_components(), "one action row per component");
+        assert_eq!(
+            actions.rows(),
+            self.num_components(),
+            "one action row per component"
+        );
         let per_component: Vec<Vec<f64>> = (0..actions.rows())
             .map(|r| actions.row(r).to_vec())
             .collect();
@@ -148,9 +171,9 @@ impl SizingEnv {
         self.evaluate_params(params)
     }
 
-    /// Evaluates an already-legal sizing.
+    /// Evaluates an already-legal sizing (cache-aware, serial).
     pub fn evaluate_params(&self, params: ParamVector) -> StepOutcome {
-        let report = self.evaluator.evaluate(&params);
+        let report = self.engine.evaluate(&params);
         let fom = self.fom.fom(&report);
         StepOutcome {
             params,
@@ -159,12 +182,66 @@ impl SizingEnv {
         }
     }
 
+    /// Evaluates a batch of already-legal sizings through the evaluation
+    /// engine, in parallel when the engine has more than one worker thread.
+    ///
+    /// Outcomes are returned in input order, and every outcome is
+    /// bit-identical to what the corresponding [`SizingEnv::evaluate_params`]
+    /// call would produce (evaluators are pure, so thread count and cache
+    /// state are unobservable in the results).
+    pub fn evaluate_batch(&self, params: Vec<ParamVector>) -> Vec<StepOutcome> {
+        let reports = self.engine.evaluate_batch(&params);
+        params
+            .into_iter()
+            .zip(reports)
+            .map(|(params, report)| {
+                let fom = self.fom.fom(&report);
+                StepOutcome {
+                    params,
+                    report,
+                    fom,
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates a batch of `n x 3` action matrices (refine + batched
+    /// simulate + score).
+    pub fn evaluate_actions_batch(&self, actions: &[Matrix]) -> Vec<StepOutcome> {
+        let params = actions.iter().map(|a| self.actions_to_params(a)).collect();
+        self.evaluate_batch(params)
+    }
+
     /// Evaluates a flat unit vector in `[0, 1]^num_parameters`; this is the
     /// interface the black-box baselines use.
     pub fn evaluate_unit(&self, unit: &[f64]) -> StepOutcome {
         let raw = self.space.from_unit(unit);
         let params = self.refiner.refine(&self.space, &raw);
         self.evaluate_params(params)
+    }
+
+    /// Evaluates a batch of flat unit vectors through the evaluation engine
+    /// (the batched counterpart of [`SizingEnv::evaluate_unit`]).
+    pub fn evaluate_units(&self, units: &[Vec<f64>]) -> Vec<StepOutcome> {
+        let params = units
+            .iter()
+            .map(|unit| {
+                let raw = self.space.from_unit(unit);
+                self.refiner.refine(&self.space, &raw)
+            })
+            .collect();
+        self.evaluate_batch(params)
+    }
+
+    /// The evaluation engine serving this environment.
+    pub fn engine(&self) -> &BatchEvaluator {
+        &self.engine
+    }
+
+    /// Cumulative evaluation statistics (throughput, cache hit rate, wall
+    /// time) of this environment's engine.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.engine.stats()
     }
 
     /// Number of flat parameters (the baselines' search dimensionality).
@@ -228,5 +305,32 @@ mod tests {
         let unit = vec![0.5; e.num_unit_parameters()];
         let outcome = e.evaluate_unit(&unit);
         assert!(outcome.fom.is_finite());
+    }
+
+    #[test]
+    fn batch_evaluation_matches_the_serial_path_in_order() {
+        let e = env();
+        let d = e.num_unit_parameters();
+        let units: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 13 + j * 5) % 97) as f64 / 96.0)
+                    .collect()
+            })
+            .collect();
+        let serial: Vec<StepOutcome> = units.iter().map(|u| e.evaluate_unit(u)).collect();
+        let batched = e.evaluate_units(&units);
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn repeated_evaluations_are_cache_hits_with_identical_outcomes() {
+        let e = env();
+        let unit = vec![0.25; e.num_unit_parameters()];
+        let first = e.evaluate_unit(&unit);
+        let hits_before = e.exec_stats().cache_hits;
+        let second = e.evaluate_unit(&unit);
+        assert_eq!(first, second);
+        assert!(e.exec_stats().cache_hits > hits_before);
     }
 }

@@ -1,7 +1,7 @@
 //! The figure of merit (paper Eq. 2).
 
-use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_sim::evaluators::evaluator_for;
+use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+use gcnrl_exec::{BatchEvaluator, EngineConfig};
 use gcnrl_sim::PerformanceReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,17 +90,25 @@ impl FomConfig {
         samples: usize,
         seed: u64,
     ) -> Self {
-        let evaluator = evaluator_for(benchmark, node);
+        // Calibration is an embarrassingly parallel random sweep, so it goes
+        // through the batched evaluation engine.
+        let engine = BatchEvaluator::for_benchmark(benchmark, node, EngineConfig::from_env());
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let specs_list = evaluator.metric_specs().to_vec();
+        let specs_list = engine.metric_specs().to_vec();
         let mut mins = vec![f64::INFINITY; specs_list.len()];
         let mut maxs = vec![f64::NEG_INFINITY; specs_list.len()];
-        for _ in 0..samples.max(2) {
-            let unit: Vec<f64> = (0..space.num_parameters()).map(|_| rng.gen::<f64>()).collect();
-            let report = evaluator.evaluate(&space.from_unit(&unit));
+        let candidates: Vec<ParamVector> = (0..samples.max(2))
+            .map(|_| {
+                let unit: Vec<f64> = (0..space.num_parameters())
+                    .map(|_| rng.gen::<f64>())
+                    .collect();
+                space.from_unit(&unit)
+            })
+            .collect();
+        for report in engine.evaluate_batch(&candidates) {
             for (i, spec) in specs_list.iter().enumerate() {
                 if let Some(v) = report.get(spec.name) {
                     if v.is_finite() {
@@ -120,7 +128,11 @@ impl FomConfig {
                 } else {
                     (0.0, 1.0)
                 };
-                let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+                let span = if (hi - lo).abs() < 1e-12 {
+                    1.0
+                } else {
+                    hi - lo
+                };
                 MetricFom {
                     name: spec.name.to_owned(),
                     weight: spec.direction.default_weight(),
@@ -186,7 +198,10 @@ impl FomConfig {
 
     /// Convenience: returns the weight currently assigned to `metric`.
     pub fn weight(&self, metric: &str) -> Option<f64> {
-        self.metrics.iter().find(|m| m.name == metric).map(|m| m.weight)
+        self.metrics
+            .iter()
+            .find(|m| m.name == metric)
+            .map(|m| m.weight)
     }
 }
 

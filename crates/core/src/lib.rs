@@ -43,6 +43,11 @@ mod state;
 
 pub mod transfer;
 
+/// The evaluation engine every simulation request is routed through
+/// (re-exported so callers can configure threads/cache without a direct
+/// `gcnrl-exec` dependency).
+pub use gcnrl_exec::{BatchEvaluator, EngineConfig, ExecStats};
+
 pub use agent::{AgentKind, GcnAgent};
 pub use designer::GcnRlDesigner;
 pub use env::{SizingEnv, StepOutcome};

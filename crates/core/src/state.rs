@@ -38,11 +38,7 @@ impl StateEncoding {
 ///
 /// Rows follow component-id order; columns are normalised to zero mean and
 /// unit variance across components (constant columns are left at zero).
-pub fn state_matrix(
-    circuit: &Circuit,
-    node: &TechnologyNode,
-    encoding: StateEncoding,
-) -> Matrix {
+pub fn state_matrix(circuit: &Circuit, node: &TechnologyNode, encoding: StateEncoding) -> Matrix {
     let n = circuit.num_components();
     let d = encoding.state_dim(n);
     let mut m = Matrix::zeros(n, d);
@@ -111,8 +107,16 @@ mod tests {
     #[test]
     fn scalar_encoding_dimension_is_topology_independent() {
         let node = TechnologyNode::tsmc180();
-        let a = state_matrix(&benchmarks::two_stage_tia(), &node, StateEncoding::ScalarIndex);
-        let b = state_matrix(&benchmarks::three_stage_tia(), &node, StateEncoding::ScalarIndex);
+        let a = state_matrix(
+            &benchmarks::two_stage_tia(),
+            &node,
+            StateEncoding::ScalarIndex,
+        );
+        let b = state_matrix(
+            &benchmarks::three_stage_tia(),
+            &node,
+            StateEncoding::ScalarIndex,
+        );
         assert_eq!(a.cols(), b.cols());
         assert_ne!(a.rows(), b.rows());
     }

@@ -34,8 +34,7 @@ pub fn save_checkpoint(ckpt: &AgentCheckpoint, path: &Path) -> std::io::Result<(
 /// Returns an I/O error if the file cannot be read or parsed.
 pub fn load_checkpoint(path: &Path) -> std::io::Result<AgentCheckpoint> {
     let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Trains an agent on `source_env`, then fine-tunes it on `target_env` with a

@@ -1,0 +1,73 @@
+//! # gcnrl-exec — parallel batched evaluation with content-addressed caching
+//!
+//! Candidate evaluation dominates every optimisation run in this workspace:
+//! each RL step, ES population member and BO acquisition round pays one full
+//! simulator call. This crate is the execution subsystem that owns that cost
+//! so the optimizers never have to think about it. It sits between the
+//! optimizers (`gcnrl`, `gcnrl-baselines`) and the simulator (`gcnrl-sim`):
+//!
+//! ```text
+//!   GcnRlDesigner / ES / BO / MACE / Random
+//!                  │  ParamVector batches
+//!                  ▼
+//!          ┌───────────────────┐    stats    ┌───────────┐
+//!          │   BatchEvaluator  │────────────▶│ ExecStats │
+//!          └───────┬───────────┘             └───────────┘
+//!          hit ┌───┴────┐ miss
+//!              ▼        ▼
+//!       ┌───────────┐ ┌───────────────┐
+//!       │ResultCache│ │  WorkerPool   │  (std::thread + mpsc)
+//!       │ (LRU+disk)│ │ evaluate(...) │
+//!       └───────────┘ └───────┬───────┘
+//!                             ▼
+//!                     gcnrl-sim Evaluator (pure function)
+//! ```
+//!
+//! The three pillars:
+//!
+//! * [`BatchEvaluator`] — fans a batch of [`ParamVector`]s across a
+//!   configurable worker pool and returns reports **in input order**. Because
+//!   every `Evaluator` is a pure function of its parameter vector, the result
+//!   is bit-identical for any thread count.
+//! * [`ResultCache`] — a content-addressed LRU cache keyed by
+//!   [`CacheKey`] = (benchmark, technology node, quantized parameter vector),
+//!   with hit/miss/eviction counters and optional JSON disk persistence for
+//!   cross-run reuse ([`persist`]).
+//! * [`ExecStats`] — throughput, cache hit rate and wall time, surfaced by
+//!   the bench harness next to each method's result.
+//!
+//! # Example
+//!
+//! ```
+//! use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+//! use gcnrl_exec::{BatchEvaluator, EngineConfig};
+//!
+//! let node = TechnologyNode::tsmc180();
+//! let engine = BatchEvaluator::for_benchmark(
+//!     Benchmark::TwoStageTia,
+//!     &node,
+//!     EngineConfig::default().with_threads(4),
+//! );
+//! let space = Benchmark::TwoStageTia.circuit().design_space(&node);
+//! let batch = vec![space.nominal(); 3];
+//! let reports = engine.evaluate_batch(&batch);
+//! assert_eq!(reports.len(), 3);
+//! // The three candidates are identical, so only one was simulated:
+//! assert_eq!(engine.stats().simulated, 1);
+//! ```
+//!
+//! [`ParamVector`]: gcnrl_circuit::ParamVector
+
+mod cache;
+mod engine;
+pub mod key;
+pub mod persist;
+mod pool;
+mod stats;
+pub mod testing;
+
+pub use cache::ResultCache;
+pub use engine::{BatchEvaluator, EngineConfig};
+pub use key::{quantize, CacheKey};
+pub use pool::WorkerPool;
+pub use stats::{BatchReport, ExecStats};

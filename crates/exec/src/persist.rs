@@ -1,0 +1,249 @@
+//! Optional JSON disk persistence for the result cache, enabling cross-run
+//! reuse: a sweep restarted with the same benchmark/node/candidates skips
+//! every simulation it already paid for.
+//!
+//! Metric values are stored as `f64` bit patterns (alongside a readable
+//! float), so restored reports are bit-identical to the originals even for
+//! non-finite values, which plain JSON cannot represent.
+
+use crate::cache::ResultCache;
+use crate::key::CacheKey;
+use gcnrl_sim::PerformanceReport;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// On-disk format version; bump when [`CacheKey`] or the report layout
+/// changes so stale snapshots are ignored instead of mis-read.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotMetric {
+    name: String,
+    /// Exact `f64::to_bits` of the value (the authoritative field).
+    bits: u64,
+    /// Human-readable rendering; ignored on load.
+    approx: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotEntry {
+    /// Hex content digest, stored for human inspection of snapshot files.
+    digest: String,
+    key: CacheKey,
+    feasible: bool,
+    metrics: Vec<SnapshotMetric>,
+}
+
+impl SnapshotEntry {
+    fn from_report(key: &CacheKey, report: &PerformanceReport) -> Self {
+        SnapshotEntry {
+            digest: format!("{:016x}", key.digest()),
+            key: key.clone(),
+            feasible: report.feasible,
+            metrics: report
+                .iter()
+                .map(|(name, value)| SnapshotMetric {
+                    name: name.to_owned(),
+                    bits: value.to_bits(),
+                    approx: value,
+                })
+                .collect(),
+        }
+    }
+
+    fn to_report(&self) -> PerformanceReport {
+        let mut report = if self.feasible {
+            PerformanceReport::new()
+        } else {
+            PerformanceReport::infeasible()
+        };
+        for metric in &self.metrics {
+            report.set(&metric.name, f64::from_bits(metric.bits));
+        }
+        report
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    entries: Vec<SnapshotEntry>,
+}
+
+fn read_snapshot(path: &Path) -> io::Result<Option<Snapshot>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let json = std::fs::read_to_string(path)?;
+    let snapshot: Snapshot =
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if snapshot.version != SNAPSHOT_VERSION {
+        return Ok(None);
+    }
+    Ok(Some(snapshot))
+}
+
+/// Writes every cached entry to `path` as pretty-printed JSON, **merging**
+/// with any entries already in the file that the cache does not hold: several
+/// engines sharing one snapshot path (e.g. the source and target environments
+/// of a transfer run, dropped in either order) each contribute their
+/// simulations instead of the last writer discarding the others'. An
+/// unreadable existing file is overwritten rather than propagated as an
+/// error, since the cache contents are the authoritative data.
+///
+/// # Errors
+///
+/// Returns any underlying filesystem error.
+pub fn save_cache(cache: &ResultCache, path: &Path) -> io::Result<()> {
+    let mut entries: Vec<SnapshotEntry> = cache
+        .iter()
+        .map(|(key, report)| SnapshotEntry::from_report(key, report))
+        .collect();
+    if let Ok(Some(existing)) = read_snapshot(path) {
+        for entry in existing.entries {
+            if !cache.contains(&entry.key) {
+                entries.push(entry);
+            }
+        }
+    }
+    let snapshot = Snapshot {
+        version: SNAPSHOT_VERSION,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&snapshot)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json)
+}
+
+/// Loads a snapshot previously written by [`save_cache`] into `cache`,
+/// returning how many entries were restored. A missing file restores zero
+/// entries (fresh runs are not an error); a version mismatch is skipped the
+/// same way.
+///
+/// # Errors
+///
+/// Returns an error when the file exists but cannot be read or parsed.
+pub fn load_cache(cache: &mut ResultCache, path: &Path) -> io::Result<usize> {
+    let Some(snapshot) = read_snapshot(path)? else {
+        return Ok(0);
+    };
+    let restored = snapshot.entries.len();
+    for entry in snapshot.entries {
+        let report = entry.to_report();
+        cache.insert(entry.key, report);
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::benchmarks::Benchmark;
+
+    fn key_for(tag: u64) -> CacheKey {
+        CacheKey {
+            benchmark: Benchmark::Ldo,
+            node: "45nm".to_owned(),
+            param_bits: vec![tag, tag + 10],
+        }
+    }
+
+    fn sample_cache() -> ResultCache {
+        let mut cache = ResultCache::new(16);
+        for tag in 0..3u64 {
+            let mut report = PerformanceReport::new();
+            report.set("gain_db", 20.0 + tag as f64);
+            report.set("power_mw", 0.5 / (tag + 1) as f64);
+            cache.insert(key_for(tag), report);
+        }
+        cache
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let cache = sample_cache();
+        let path = std::env::temp_dir().join("gcnrl_exec_persist_test.json");
+        let _ = std::fs::remove_file(&path);
+        save_cache(&cache, &path).expect("save snapshot");
+
+        let mut restored = ResultCache::new(16);
+        let n = load_cache(&mut restored, &path).expect("load snapshot");
+        assert_eq!(n, 3);
+        for (key, report) in cache.iter() {
+            assert_eq!(restored.get(key).as_ref(), Some(report));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_finite_metrics_survive_the_snapshot_bit_exactly() {
+        let mut cache = ResultCache::new(4);
+        let mut report = PerformanceReport::infeasible();
+        report.set("peaking_db", f64::INFINITY);
+        report.set("gain_db", f64::NEG_INFINITY);
+        report.set("noise", f64::NAN);
+        cache.insert(key_for(9), report.clone());
+
+        let path = std::env::temp_dir().join("gcnrl_exec_persist_nonfinite.json");
+        let _ = std::fs::remove_file(&path);
+        save_cache(&cache, &path).expect("save snapshot");
+        let mut restored = ResultCache::new(4);
+        load_cache(&mut restored, &path).expect("load snapshot");
+        let back = restored.get(&key_for(9)).expect("entry restored");
+        assert!(!back.feasible);
+        assert_eq!(back.get("peaking_db"), Some(f64::INFINITY));
+        assert_eq!(back.get("gain_db"), Some(f64::NEG_INFINITY));
+        assert_eq!(back.get("noise").unwrap().to_bits(), f64::NAN.to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_merges_with_entries_already_on_disk() {
+        let path = std::env::temp_dir().join("gcnrl_exec_persist_merge.json");
+        let _ = std::fs::remove_file(&path);
+
+        // First engine persists keys 0..3.
+        save_cache(&sample_cache(), &path).expect("first save");
+
+        // A second engine that never saw those keys persists key 7; the
+        // snapshot must now contain the union.
+        let mut other = ResultCache::new(4);
+        let mut report = PerformanceReport::new();
+        report.set("psrr_db", 61.5);
+        other.insert(key_for(7), report);
+        save_cache(&other, &path).expect("merging save");
+
+        let mut restored = ResultCache::new(16);
+        let n = load_cache(&mut restored, &path).expect("load merged");
+        assert_eq!(n, 4);
+        assert!(restored.get(&key_for(7)).is_some());
+        assert!(restored.get(&key_for(0)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_restores_nothing() {
+        let mut cache = ResultCache::new(4);
+        let n = load_cache(&mut cache, Path::new("/nonexistent/gcnrl/cache.json")).unwrap();
+        assert_eq!(n, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_on_load_but_overwritten_on_save() {
+        let path = std::env::temp_dir().join("gcnrl_exec_corrupt_test.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let mut cache = ResultCache::new(4);
+        assert!(load_cache(&mut cache, &path).is_err());
+        save_cache(&sample_cache(), &path).expect("save over corrupt file");
+        let mut restored = ResultCache::new(16);
+        assert_eq!(load_cache(&mut restored, &path).unwrap(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,122 @@
+//! Execution statistics surfaced by the engine and the bench harness.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Timing and cache statistics of one [`evaluate_batch`]
+/// (`crate::BatchEvaluator::evaluate_batch`) call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchReport {
+    /// Candidates requested.
+    pub size: usize,
+    /// Candidates served from the cache (including intra-batch duplicates).
+    pub cache_hits: usize,
+    /// Candidates that ran in the simulator.
+    pub simulated: usize,
+    /// Worker threads that participated (1 = serial path).
+    pub threads: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Candidates per second over the batch wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.size as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Cumulative statistics of a [`BatchEvaluator`](crate::BatchEvaluator).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct ExecStats {
+    /// Total evaluation requests (single + batched).
+    pub requests: u64,
+    /// Requests that ran the simulator.
+    pub simulated: u64,
+    /// Requests served from the result cache.
+    pub cache_hits: u64,
+    /// Cache entries dropped under LRU pressure.
+    pub evictions: u64,
+    /// Batch calls made.
+    pub batches: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Total wall-clock seconds spent inside the engine.
+    pub wall_seconds: f64,
+}
+
+impl ExecStats {
+    /// Fraction of requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Evaluation requests per engine-wall second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human-readable summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} simulated, {} cached, {:.1}% hit rate) in {:.3}s ({:.0} req/s, {} batches, {} cached entries)",
+            self.requests,
+            self.simulated,
+            self.cache_hits,
+            100.0 * self.hit_rate(),
+            self.wall_seconds,
+            self.throughput(),
+            self.batches,
+            self.cache_len,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_throughput() {
+        let stats = ExecStats {
+            requests: 10,
+            simulated: 4,
+            cache_hits: 6,
+            wall_seconds: 2.0,
+            ..ExecStats::default()
+        };
+        assert_eq!(stats.hit_rate(), 0.6);
+        assert_eq!(stats.throughput(), 5.0);
+        assert!(stats.summary().contains("60.0% hit rate"));
+    }
+
+    #[test]
+    fn empty_stats_are_finite() {
+        let stats = ExecStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn batch_report_throughput() {
+        let report = BatchReport {
+            size: 50,
+            wall: Duration::from_millis(500),
+            ..BatchReport::default()
+        };
+        assert!((report.throughput() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Test/benchmark support: a configurable-latency stand-in evaluator.
+
+use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+use gcnrl_sim::evaluators::Evaluator;
+use gcnrl_sim::{MetricSpec, PerformanceReport};
+use std::time::Duration;
+
+/// A stand-in for an external (process/network-bound) simulator: it sleeps
+/// for a fixed latency, then reports the flat parameter sum.
+///
+/// This is the regime the engine targets — the paper's real bottleneck is
+/// commercial SPICE invocations whose latency is not CPU-bound — and the
+/// sleep makes worker-pool overlap observable even on a single core. Used by
+/// the engine's own tests and the `exec` benchmark in `gcnrl-bench`.
+pub struct LatencyEvaluator {
+    node: TechnologyNode,
+    specs: Vec<MetricSpec>,
+    latency: Duration,
+}
+
+impl LatencyEvaluator {
+    /// Creates an evaluator that sleeps `latency` per candidate.
+    pub fn new(latency: Duration) -> Self {
+        LatencyEvaluator {
+            node: TechnologyNode::tsmc180(),
+            specs: Vec::new(),
+            latency,
+        }
+    }
+}
+
+impl Evaluator for LatencyEvaluator {
+    fn benchmark(&self) -> Benchmark {
+        Benchmark::TwoStageTia
+    }
+
+    fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    fn metric_specs(&self) -> &[MetricSpec] {
+        &self.specs
+    }
+
+    fn evaluate(&self, params: &ParamVector) -> PerformanceReport {
+        std::thread::sleep(self.latency);
+        let mut report = PerformanceReport::new();
+        report.set("flat_sum", params.to_flat().iter().sum());
+        report
+    }
+}

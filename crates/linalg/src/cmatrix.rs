@@ -211,8 +211,8 @@ impl CluDecomposition {
         let mut y = vec![Complex::ZERO; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * *yj;
             }
             y[i] = acc;
         }
@@ -220,8 +220,8 @@ impl CluDecomposition {
         let mut x = vec![Complex::ZERO; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * *xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -256,7 +256,10 @@ mod tests {
         let mut a = CMatrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = c(((i * 3 + j) % 7) as f64 * 0.3, ((i + 2 * j) % 5) as f64 * 0.2);
+                a[(i, j)] = c(
+                    ((i * 3 + j) % 7) as f64 * 0.3,
+                    ((i + 2 * j) % 5) as f64 * 0.2,
+                );
             }
             a[(i, i)] += c(5.0, 1.0); // diagonal dominance
         }
@@ -288,10 +291,7 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = CMatrix::zeros(2, 3);
-        assert!(matches!(
-            a.lu(),
-            Err(LinalgError::InvalidDimensions { .. })
-        ));
+        assert!(matches!(a.lu(), Err(LinalgError::InvalidDimensions { .. })));
     }
 
     #[test]

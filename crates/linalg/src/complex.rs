@@ -133,6 +133,8 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division via the reciprocal is the numerically standard form here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

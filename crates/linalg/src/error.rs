@@ -41,7 +41,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
             LinalgError::NotPositiveDefinite { index } => {
-                write!(f, "matrix is not positive definite at diagonal index {index}")
+                write!(
+                    f,
+                    "matrix is not positive definite at diagonal index {index}"
+                )
             }
             LinalgError::InvalidDimensions { reason } => {
                 write!(f, "invalid matrix dimensions: {reason}")

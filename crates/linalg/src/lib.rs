@@ -35,7 +35,7 @@ mod matrix;
 mod vector;
 
 pub use cholesky::Cholesky;
-pub use cmatrix::{CluDecomposition, CMatrix};
+pub use cmatrix::{CMatrix, CluDecomposition};
 pub use complex::Complex;
 pub use error::LinalgError;
 pub use lu::LuDecomposition;

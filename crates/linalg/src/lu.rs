@@ -99,16 +99,16 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn solve_2x2() {
         let a = Matrix::from_rows(&[&[3.0, 2.0], &[1.0, 4.0]]).unwrap();
-        let x = LuDecomposition::new(&a).unwrap().solve(&[7.0, 9.0]).unwrap();
+        let x = LuDecomposition::new(&a)
+            .unwrap()
+            .solve(&[7.0, 9.0])
+            .unwrap();
         // 3x + 2y = 7, x + 4y = 9 -> x = 1, y = 2
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
@@ -167,7 +170,8 @@ mod tests {
 
     #[test]
     fn determinant_matches_cofactor_expansion() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         let det = LuDecomposition::new(&a).unwrap().det();
         assert!((det - -3.0).abs() < 1e-10);
     }
@@ -203,7 +207,10 @@ mod tests {
     #[test]
     fn pivoting_zero_diagonal() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = LuDecomposition::new(&a).unwrap().solve(&[2.0, 5.0]).unwrap();
+        let x = LuDecomposition::new(&a)
+            .unwrap()
+            .solve(&[2.0, 5.0])
+            .unwrap();
         assert!((x[0] - 5.0).abs() < 1e-14);
         assert!((x[1] - 2.0).abs() < 1e-14);
     }

@@ -354,7 +354,8 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_elem(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_elem(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -362,7 +363,8 @@ impl Mul for &Matrix {
     type Output = Matrix;
 
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+        self.matmul(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 

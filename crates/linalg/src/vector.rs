@@ -34,7 +34,11 @@ pub fn vec_add(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the slices have different lengths.
 pub fn vec_sub(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "vector subtraction requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "vector subtraction requires equal lengths"
+    );
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 

@@ -16,7 +16,11 @@ use gcnrl_linalg::Matrix;
 /// Panics if `adjacency` is not square or its dimension does not match the
 /// number of rows of `features`.
 pub fn gcn_propagate(adjacency: &Matrix, features: &Matrix) -> Matrix {
-    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
     assert_eq!(
         adjacency.cols(),
         features.rows(),
@@ -32,7 +36,11 @@ pub fn gcn_propagate(adjacency: &Matrix, features: &Matrix) -> Matrix {
 ///
 /// Panics under the same conditions as [`gcn_propagate`].
 pub fn gcn_backprop(adjacency: &Matrix, d_output: &Matrix) -> Matrix {
-    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
     adjacency
         .transpose()
         .matmul(d_output)

@@ -49,7 +49,11 @@ impl Linear {
     ///
     /// Panics if `bias.len() != weight.cols()`.
     pub fn from_parameters(weight: Matrix, bias: Vec<f64>) -> Self {
-        assert_eq!(bias.len(), weight.cols(), "bias length must match output dim");
+        assert_eq!(
+            bias.len(),
+            weight.cols(),
+            "bias length must match output dim"
+        );
         Linear { weight, bias }
     }
 
@@ -127,7 +131,11 @@ impl Linear {
     ///
     /// Panics if the update shapes do not match the parameters.
     pub fn apply_update(&mut self, d_weight: &Matrix, d_bias: &[f64]) {
-        assert_eq!(d_weight.shape(), self.weight.shape(), "weight shape mismatch");
+        assert_eq!(
+            d_weight.shape(),
+            self.weight.shape(),
+            "weight shape mismatch"
+        );
         assert_eq!(d_bias.len(), self.bias.len(), "bias length mismatch");
         self.weight = self.weight.sub_elem(d_weight).expect("shape checked");
         for (b, d) in self.bias.iter_mut().zip(d_bias) {

@@ -78,9 +78,10 @@ impl<A: Clone> ReplayBuffer<A> {
 
     /// The best reward seen so far, if any transition is stored.
     pub fn best_reward(&self) -> Option<f64> {
-        self.rewards.iter().copied().fold(None, |acc, r| {
-            Some(acc.map_or(r, |a: f64| a.max(r)))
-        })
+        self.rewards
+            .iter()
+            .copied()
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
     }
 }
 

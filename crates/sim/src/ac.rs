@@ -165,9 +165,17 @@ mod tests {
 
     fn single_pole(r: f64, c: f64) -> AcCircuit {
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1.0 / r,
+        });
         ckt.add(AcElement::Capacitance { a: 0, b: GROUND, c });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         ckt
     }
 
@@ -192,7 +200,10 @@ mod tests {
         let ckt = single_pole(r, c);
         let resp = sweep(&ckt, 0, &log_sweep(1e3, 1e12, 40)).unwrap();
         let bw = resp.bandwidth_3db();
-        assert!((bw - expected).abs() / expected < 0.05, "bw {bw} vs {expected}");
+        assert!(
+            (bw - expected).abs() / expected < 0.05,
+            "bw {bw} vs {expected}"
+        );
         assert!((resp.dc_gain() - r).abs() / r < 1e-3);
         assert!(resp.peaking_db() < 1e-9);
         assert!((resp.gbw() - r * bw).abs() < 1e-6 * r * bw);
@@ -206,7 +217,11 @@ mod tests {
         let c = 1e-6;
         let mut ckt = single_pole(r, c);
         // scale the source to get a DC gain of 1000 V/A * 1 A = 1000.
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ZERO });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ZERO,
+        });
         let resp = sweep(&ckt, 0, &log_sweep(1.0, 1e9, 30)).unwrap();
         let fu = resp.unity_gain_freq().expect("crosses unity");
         let pole = 1.0 / (2.0 * std::f64::consts::PI * r * c);
@@ -220,8 +235,16 @@ mod tests {
     fn never_crossing_unity_returns_none() {
         // Attenuator: gain < 1 everywhere.
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 10.0 });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 10.0,
+        });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         let resp = sweep(&ckt, 0, &log_sweep(1.0, 1e6, 10)).unwrap();
         assert!(resp.unity_gain_freq().is_none());
         assert!(resp.phase_margin_deg().is_none());

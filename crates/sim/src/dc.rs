@@ -206,11 +206,7 @@ impl DcCircuit {
                     // The chain rule through the polarity mirroring makes the
                     // signed derivatives identical for NMOS and PMOS:
                     //   d(id_signed)/dVg = +gm, d/dVd = +gds, d/dVs = -(gm+gds).
-                    let entries = [
-                        (*gate, gm),
-                        (*drain, gds),
-                        (*source, -(gm + gds)),
-                    ];
+                    let entries = [(*gate, gm), (*drain, gds), (*source, -(gm + gds))];
                     for (col, dval) in entries {
                         if *drain != DC_GROUND && col != DC_GROUND {
                             jac[(*drain, col)] += dval;
@@ -258,12 +254,11 @@ impl DcCircuit {
             if residual_norm < self.tolerance {
                 return Ok(v);
             }
-            let lu = LuDecomposition::new(&jac).map_err(|_| SimError::SingularSystem {
-                frequency_hz: 0.0,
-            })?;
-            let delta = lu.solve(&res).map_err(|_| SimError::SingularSystem {
-                frequency_hz: 0.0,
-            })?;
+            let lu = LuDecomposition::new(&jac)
+                .map_err(|_| SimError::SingularSystem { frequency_hz: 0.0 })?;
+            let delta = lu
+                .solve(&res)
+                .map_err(|_| SimError::SingularSystem { frequency_hz: 0.0 })?;
             for i in 0..n {
                 let step = delta[i].clamp(-MAX_STEP_V, MAX_STEP_V);
                 v[i] -= step;
@@ -300,8 +295,16 @@ pub fn resistor_diode_reference(
     // equivalent (current source vdd/r in parallel with r to ground), which
     // keeps the network single-node.
     let mut ckt = DcCircuit::new(1);
-    ckt.add(DcElement::CurrentSource { a: DC_GROUND, b: 0, i: vdd / r_bias });
-    ckt.add(DcElement::Resistor { a: 0, b: DC_GROUND, r: r_bias });
+    ckt.add(DcElement::CurrentSource {
+        a: DC_GROUND,
+        b: 0,
+        i: vdd / r_bias,
+    });
+    ckt.add(DcElement::Resistor {
+        a: 0,
+        b: DC_GROUND,
+        r: r_bias,
+    });
     ckt.add(DcElement::Mosfet {
         drain: 0,
         gate: 0,
@@ -326,7 +329,11 @@ mod tests {
         let mut ckt = DcCircuit::new(2);
         ckt.add(DcElement::VoltageSource { node: 0, v: 1.0 });
         ckt.add(DcElement::Resistor { a: 0, b: 1, r: 1e3 });
-        ckt.add(DcElement::Resistor { a: 1, b: DC_GROUND, r: 1e3 });
+        ckt.add(DcElement::Resistor {
+            a: 1,
+            b: DC_GROUND,
+            r: 1e3,
+        });
         let v = ckt.solve(None).unwrap();
         assert!((v[0] - 1.0).abs() < 1e-6);
         assert!((v[1] - 0.5).abs() < 1e-4);
@@ -335,8 +342,16 @@ mod tests {
     #[test]
     fn current_source_into_resistor() {
         let mut ckt = DcCircuit::new(1);
-        ckt.add(DcElement::CurrentSource { a: DC_GROUND, b: 0, i: 1e-3 });
-        ckt.add(DcElement::Resistor { a: 0, b: DC_GROUND, r: 2e3 });
+        ckt.add(DcElement::CurrentSource {
+            a: DC_GROUND,
+            b: 0,
+            i: 1e-3,
+        });
+        ckt.add(DcElement::Resistor {
+            a: 0,
+            b: DC_GROUND,
+            r: 2e3,
+        });
         let v = ckt.solve(None).unwrap();
         assert!((v[0] - 2.0).abs() < 1e-3);
     }
@@ -347,7 +362,11 @@ mod tests {
         let node = TechnologyNode::tsmc180();
         let sizing = MosSizing::new(10.0, 0.18, 1);
         let mut ckt = DcCircuit::new(1);
-        ckt.add(DcElement::CurrentSource { a: DC_GROUND, b: 0, i: 100e-6 });
+        ckt.add(DcElement::CurrentSource {
+            a: DC_GROUND,
+            b: 0,
+            i: 100e-6,
+        });
         ckt.add(DcElement::Mosfet {
             drain: 0,
             gate: 0,
@@ -394,7 +413,11 @@ mod tests {
             sizing: MosSizing::new(20.0, 0.18, 1),
             model: node.pmos,
         });
-        ckt.add(DcElement::Resistor { a: 2, b: DC_GROUND, r: 10e3 });
+        ckt.add(DcElement::Resistor {
+            a: 2,
+            b: DC_GROUND,
+            r: 10e3,
+        });
         let v = ckt.solve(Some(vec![1.8, 0.8, 0.9])).unwrap();
         assert!(v[2] > 0.5, "drain voltage {}", v[2]);
         assert!(v[2] <= 1.8 + 1e-6);
@@ -407,8 +430,16 @@ mod tests {
         // absurd tolerance instead.
         let mut ckt = DcCircuit::new(1);
         ckt.tolerance = 0.0;
-        ckt.add(DcElement::CurrentSource { a: DC_GROUND, b: 0, i: 1e-3 });
-        ckt.add(DcElement::Resistor { a: 0, b: DC_GROUND, r: 1e3 });
+        ckt.add(DcElement::CurrentSource {
+            a: DC_GROUND,
+            b: 0,
+            i: 1e-3,
+        });
+        ckt.add(DcElement::Resistor {
+            a: 0,
+            b: DC_GROUND,
+            r: 1e3,
+        });
         assert!(matches!(
             ckt.solve(None),
             Err(SimError::DcNoConvergence { .. }) | Ok(_)

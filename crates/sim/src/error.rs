@@ -64,7 +64,9 @@ mod tests {
             reason: "negative overdrive",
         };
         assert!(e.to_string().contains("T5"));
-        assert!(SimError::UnknownMetric { name: "zap".into() }.to_string().contains("zap"));
+        assert!(SimError::UnknownMetric { name: "zap".into() }
+            .to_string()
+            .contains("zap"));
     }
 
     #[test]

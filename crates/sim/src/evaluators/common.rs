@@ -141,27 +141,59 @@ impl<'a> SmallSignalBuilder<'a> {
                         });
                     }
                     if op.gds > 0.0 {
-                        ac.add(AcElement::Conductance { a: drain, b: source, g: op.gds });
+                        ac.add(AcElement::Conductance {
+                            a: drain,
+                            b: source,
+                            g: op.gds,
+                        });
                     }
-                    ac.add(AcElement::Capacitance { a: gate, b: source, c: op.cgs });
-                    ac.add(AcElement::Capacitance { a: gate, b: drain, c: op.cgd });
-                    ac.add(AcElement::Capacitance { a: drain, b: GROUND, c: op.cdb });
-                    noise.push(NoiseSource { a: drain, b: source, psd: op.thermal_noise_psd() });
+                    ac.add(AcElement::Capacitance {
+                        a: gate,
+                        b: source,
+                        c: op.cgs,
+                    });
+                    ac.add(AcElement::Capacitance {
+                        a: gate,
+                        b: drain,
+                        c: op.cgd,
+                    });
+                    ac.add(AcElement::Capacitance {
+                        a: drain,
+                        b: GROUND,
+                        c: op.cdb,
+                    });
+                    noise.push(NoiseSource {
+                        a: drain,
+                        b: source,
+                        psd: op.thermal_noise_psd(),
+                    });
                 }
                 ComponentKind::Resistor => {
                     let r = params
                         .get(comp.id)
                         .as_resistance()
                         .expect("resistor component has resistance");
-                    ac.add(AcElement::Conductance { a: nodes[0], b: nodes[1], g: 1.0 / r });
-                    noise.push(NoiseSource { a: nodes[0], b: nodes[1], psd: resistor_noise_psd(r) });
+                    ac.add(AcElement::Conductance {
+                        a: nodes[0],
+                        b: nodes[1],
+                        g: 1.0 / r,
+                    });
+                    noise.push(NoiseSource {
+                        a: nodes[0],
+                        b: nodes[1],
+                        psd: resistor_noise_psd(r),
+                    });
                 }
                 ComponentKind::Capacitor => {
                     let c = params
                         .get(comp.id)
                         .as_capacitance()
                         .expect("capacitor component has capacitance");
-                    ac.add(AcElement::Capacitance { a: nodes[0], b: nodes[1], c });
+                    ac.add(AcElement::Capacitance {
+                        a: nodes[0],
+                        b: nodes[1],
+                        c,
+                    });
                 }
             }
         }

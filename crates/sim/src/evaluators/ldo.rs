@@ -8,7 +8,9 @@
 //! themselves come from the MNA AC solver, so they respond to every device
 //! size.
 
-use super::common::{capacitance, mirror_ratio, mos_device, resistance, BiasTable, SmallSignalBuilder};
+use super::common::{
+    capacitance, mirror_ratio, mos_device, resistance, BiasTable, SmallSignalBuilder,
+};
 use super::Evaluator;
 use crate::ac::{log_sweep, sweep, FrequencyResponse};
 use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
@@ -26,13 +28,41 @@ const V_STEP: f64 = 0.2;
 /// Metrics reported for the LDO (paper Sec. IV-A): settling times for load and
 /// supply steps, load regulation, PSRR, and power.
 const METRICS: [MetricSpec; 7] = [
-    MetricSpec { name: "tl_plus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "tl_minus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "lr_mv_ma", unit: "mV/mA", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "tv_plus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "tv_minus_us", unit: "us", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "psrr_db", unit: "dB", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
+    MetricSpec {
+        name: "tl_plus_us",
+        unit: "us",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "tl_minus_us",
+        unit: "us",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "lr_mv_ma",
+        unit: "mV/mA",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "tv_plus_us",
+        unit: "us",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "tv_minus_us",
+        unit: "us",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "psrr_db",
+        unit: "dB",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "power_mw",
+        unit: "mW",
+        direction: MetricDirection::LowerIsBetter,
+    },
 ];
 
 /// Performance evaluator for the low-dropout regulator.
@@ -113,7 +143,11 @@ impl LdoEvaluator {
         let r2 = resistance(&self.circuit, params, "R2");
         let beta = r2 / (r1 + r2);
         Some(FrequencyResponse::new(
-            forward.points().iter().map(|(f, v)| (*f, *v * beta)).collect(),
+            forward
+                .points()
+                .iter()
+                .map(|(f, v)| (*f, *v * beta))
+                .collect(),
         ))
     }
 }
@@ -181,7 +215,8 @@ impl Evaluator for LdoEvaluator {
         let coupling = pass.gds * r_out_open;
         let line_disturbance = V_STEP * coupling / (1.0 + t0);
         let tv_plus_us = (5.0 * tau_loop * (1.0 + coupling) + line_disturbance * tau_loop) * 1e6;
-        let tv_minus_us = (5.0 * tau_loop * (1.0 + 1.5 * coupling) + line_disturbance * tau_loop) * 1e6;
+        let tv_minus_us =
+            (5.0 * tau_loop * (1.0 + 1.5 * coupling) + line_disturbance * tau_loop) * 1e6;
 
         // PSRR at DC: supply ripple divided by loop rejection.
         let psrr_db = 20.0 * ((1.0 + t0) / coupling.max(1e-9)).log10();
@@ -211,7 +246,11 @@ mod tests {
         let eval = LdoEvaluator::new(node.clone());
         let space = eval.circuit.design_space(&node);
         let r = eval.evaluate(&space.nominal());
-        assert!(r.get("psrr_db").unwrap() > 0.0, "psrr {:?}", r.get("psrr_db"));
+        assert!(
+            r.get("psrr_db").unwrap() > 0.0,
+            "psrr {:?}",
+            r.get("psrr_db")
+        );
         assert!(r.get("tl_plus_us").unwrap() > 0.0);
         assert!(r.get("lr_mv_ma").unwrap() > 0.0);
         // The pass device must dominate the power budget (~10 mA load at 1.8 V).
@@ -230,8 +269,14 @@ mod tests {
         let mut large = small.clone();
         small[cl_offset] = 0.1;
         large[cl_offset] = 0.95;
-        let t_small = eval.evaluate(&space.from_unit(&small)).get("tl_plus_us").unwrap();
-        let t_large = eval.evaluate(&space.from_unit(&large)).get("tl_plus_us").unwrap();
+        let t_small = eval
+            .evaluate(&space.from_unit(&small))
+            .get("tl_plus_us")
+            .unwrap();
+        let t_large = eval
+            .evaluate(&space.from_unit(&large))
+            .get("tl_plus_us")
+            .unwrap();
         assert!(t_small > 0.0 && t_large > 0.0);
     }
 
@@ -246,8 +291,17 @@ mod tests {
         let mut wide = narrow.clone();
         narrow[t8_offset] = 0.1;
         wide[t8_offset] = 0.95;
-        let lr_narrow = eval.evaluate(&space.from_unit(&narrow)).get("lr_mv_ma").unwrap();
-        let lr_wide = eval.evaluate(&space.from_unit(&wide)).get("lr_mv_ma").unwrap();
-        assert!(lr_wide <= lr_narrow, "LR should improve: {lr_narrow} -> {lr_wide}");
+        let lr_narrow = eval
+            .evaluate(&space.from_unit(&narrow))
+            .get("lr_mv_ma")
+            .unwrap();
+        let lr_wide = eval
+            .evaluate(&space.from_unit(&wide))
+            .get("lr_mv_ma")
+            .unwrap();
+        assert!(
+            lr_wide <= lr_narrow,
+            "LR should improve: {lr_narrow} -> {lr_wide}"
+        );
     }
 }

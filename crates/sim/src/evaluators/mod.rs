@@ -45,9 +45,7 @@ pub trait Evaluator: Send + Sync {
 pub fn evaluator_for(benchmark: Benchmark, node: &TechnologyNode) -> Box<dyn Evaluator> {
     match benchmark {
         Benchmark::TwoStageTia => Box::new(TwoStageTiaEvaluator::new(node.clone())),
-        Benchmark::TwoStageVoltageAmp => {
-            Box::new(TwoStageVoltageAmpEvaluator::new(node.clone()))
-        }
+        Benchmark::TwoStageVoltageAmp => Box::new(TwoStageVoltageAmpEvaluator::new(node.clone())),
         Benchmark::ThreeStageTia => Box::new(ThreeStageTiaEvaluator::new(node.clone())),
         Benchmark::Ldo => Box::new(LdoEvaluator::new(node.clone())),
     }
@@ -94,7 +92,11 @@ mod tests {
             let circuit = b.circuit();
             let space = circuit.design_space(&node);
             let pv = space.nominal();
-            assert_eq!(eval.evaluate(&pv), eval.evaluate(&pv), "{b} not deterministic");
+            assert_eq!(
+                eval.evaluate(&pv),
+                eval.evaluate(&pv),
+                "{b} not deterministic"
+            );
         }
     }
 
@@ -106,7 +108,11 @@ mod tests {
         let circuit = b.circuit();
         let space = circuit.design_space(&node);
         // All actions at the extreme lower corner: minimum widths and lengths.
-        let actions: Vec<Vec<f64>> = space.action_sizes().iter().map(|n| vec![-1.0; *n]).collect();
+        let actions: Vec<Vec<f64>> = space
+            .action_sizes()
+            .iter()
+            .map(|n| vec![-1.0; *n])
+            .collect();
         let report = eval.evaluate(&space.denormalize(&actions));
         let nominal = eval.evaluate(&space.nominal());
         // Either infeasible, or clearly different from the nominal design.

@@ -12,10 +12,26 @@ use gcnrl_linalg::Complex;
 /// Metrics reported for the Three-TIA (paper Sec. IV-A): bandwidth, gain and
 /// power, plus the derived gain–bandwidth product.
 const METRICS: [MetricSpec; 4] = [
-    MetricSpec { name: "bw_ghz", unit: "GHz", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "gain_ohm", unit: "Ohm", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "gbw_thz_ohm", unit: "THz*Ohm", direction: MetricDirection::HigherIsBetter },
+    MetricSpec {
+        name: "bw_ghz",
+        unit: "GHz",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "gain_ohm",
+        unit: "Ohm",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "power_mw",
+        unit: "mW",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "gbw_thz_ohm",
+        unit: "THz*Ohm",
+        direction: MetricDirection::HigherIsBetter,
+    },
 ];
 
 /// Performance evaluator for the three-stage TIA.
@@ -89,8 +105,7 @@ impl ThreeStageTiaEvaluator {
         table.insert("T5", t5.operating_point(id16.max(id6), headroom));
         table.insert("T6", t6.operating_point(id6, headroom));
 
-        table.supply_current =
-            i_ref + id1 + id2 + id8 + id3 + id11 + id4 + id14 + id16.max(id6);
+        table.supply_current = i_ref + id1 + id2 + id8 + id3 + id11 + id4 + id14 + id16.max(id6);
         table
     }
 }
@@ -115,7 +130,11 @@ impl Evaluator for ThreeStageTiaEvaluator {
 
         let vin = builder.ac_node("vin");
         let vout = builder.ac_node("vout");
-        ac.add(AcElement::CurrentSource { a: GROUND, b: vin, value: Complex::ONE });
+        ac.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: vin,
+            value: Complex::ONE,
+        });
 
         let freqs = log_sweep(1e3, 100e9, 12);
         let Ok(resp) = sweep(&ac, vout, &freqs) else {
@@ -180,8 +199,14 @@ mod tests {
         let mut high = low.clone();
         low[0] = 0.3;
         high[0] = 0.9;
-        let p_low_rb = eval.evaluate(&space.from_unit(&low)).get("power_mw").unwrap();
-        let p_high_rb = eval.evaluate(&space.from_unit(&high)).get("power_mw").unwrap();
+        let p_low_rb = eval
+            .evaluate(&space.from_unit(&low))
+            .get("power_mw")
+            .unwrap();
+        let p_high_rb = eval
+            .evaluate(&space.from_unit(&high))
+            .get("power_mw")
+            .unwrap();
         assert!(p_high_rb < p_low_rb, "power {p_low_rb} -> {p_high_rb}");
     }
 }

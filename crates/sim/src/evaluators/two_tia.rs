@@ -17,12 +17,36 @@ const NOISE_FREQ: f64 = 1e6;
 /// Metrics reported for the Two-TIA (paper Table II): bandwidth, transimpedance
 /// gain, power, input-referred current noise, peaking, and the derived GBW.
 const METRICS: [MetricSpec; 6] = [
-    MetricSpec { name: "bw_ghz", unit: "GHz", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "gain_ohm", unit: "Ohm", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "noise_pa_rthz", unit: "pA/sqrt(Hz)", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "peaking_db", unit: "dB", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "gbw_thz_ohm", unit: "THz*Ohm", direction: MetricDirection::HigherIsBetter },
+    MetricSpec {
+        name: "bw_ghz",
+        unit: "GHz",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "gain_ohm",
+        unit: "Ohm",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "power_mw",
+        unit: "mW",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "noise_pa_rthz",
+        unit: "pA/sqrt(Hz)",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "peaking_db",
+        unit: "dB",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "gbw_thz_ohm",
+        unit: "THz*Ohm",
+        direction: MetricDirection::HigherIsBetter,
+    },
 ];
 
 /// Performance evaluator for the two-stage TIA.
@@ -102,7 +126,11 @@ impl Evaluator for TwoStageTiaEvaluator {
 
         let vin = builder.ac_node("vin");
         let vout = builder.ac_node("vout");
-        ac.add(AcElement::CurrentSource { a: GROUND, b: vin, value: Complex::ONE });
+        ac.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: vin,
+            value: Complex::ONE,
+        });
 
         let freqs = log_sweep(1e3, 100e9, 12);
         let Ok(resp) = sweep(&ac, vout, &freqs) else {
@@ -167,7 +195,8 @@ mod tests {
         let eval = TwoStageTiaEvaluator::new(node.clone());
         let space = eval.circuit.design_space(&node);
         let nominal = space.nominal();
-        let mut actions: Vec<Vec<f64>> = space.action_sizes().iter().map(|n| vec![0.0; *n]).collect();
+        let mut actions: Vec<Vec<f64>> =
+            space.action_sizes().iter().map(|n| vec![0.0; *n]).collect();
         // Make T6 (index 5) much wider: more mirror current, more power.
         actions[5][0] = 0.9;
         let wide = space.denormalize(&actions);
@@ -187,8 +216,14 @@ mod tests {
         let rf_offset: usize = space.action_sizes().iter().take(7).sum();
         unit_lo[rf_offset] = 0.3;
         unit_hi[rf_offset] = 0.9;
-        let g_lo = eval.evaluate(&space.from_unit(&unit_lo)).get("gain_ohm").unwrap();
-        let g_hi = eval.evaluate(&space.from_unit(&unit_hi)).get("gain_ohm").unwrap();
+        let g_lo = eval
+            .evaluate(&space.from_unit(&unit_lo))
+            .get("gain_ohm")
+            .unwrap();
+        let g_hi = eval
+            .evaluate(&space.from_unit(&unit_hi))
+            .get("gain_ohm")
+            .unwrap();
         assert!(g_hi > g_lo, "gain should grow with RF: {g_lo} -> {g_hi}");
     }
 

@@ -14,13 +14,41 @@ const NOISE_FREQ: f64 = 1e5;
 
 /// Metrics reported for the Two-Volt amplifier (paper Table III).
 const METRICS: [MetricSpec; 7] = [
-    MetricSpec { name: "bw_mhz", unit: "MHz", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "cpm_deg", unit: "deg", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "dpm_deg", unit: "deg", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "power_mw", unit: "mW", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "noise_nv_rthz", unit: "nV/sqrt(Hz)", direction: MetricDirection::LowerIsBetter },
-    MetricSpec { name: "gain_kvv", unit: "x1000 V/V", direction: MetricDirection::HigherIsBetter },
-    MetricSpec { name: "gbw_thz", unit: "THz", direction: MetricDirection::HigherIsBetter },
+    MetricSpec {
+        name: "bw_mhz",
+        unit: "MHz",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "cpm_deg",
+        unit: "deg",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "dpm_deg",
+        unit: "deg",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "power_mw",
+        unit: "mW",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "noise_nv_rthz",
+        unit: "nV/sqrt(Hz)",
+        direction: MetricDirection::LowerIsBetter,
+    },
+    MetricSpec {
+        name: "gain_kvv",
+        unit: "x1000 V/V",
+        direction: MetricDirection::HigherIsBetter,
+    },
+    MetricSpec {
+        name: "gbw_thz",
+        unit: "THz",
+        direction: MetricDirection::HigherIsBetter,
+    },
 ];
 
 /// Performance evaluator for the two-stage voltage amplifier.
@@ -220,8 +248,14 @@ mod tests {
         };
         unit[l_index_t1] = 0.8;
         unit[l_index_t2] = 0.8;
-        let long = eval.evaluate(&space.from_unit(&unit)).get("gain_kvv").unwrap();
-        assert!(long > short, "gain should rise with input length: {short} -> {long}");
+        let long = eval
+            .evaluate(&space.from_unit(&unit))
+            .get("gain_kvv")
+            .unwrap();
+        assert!(
+            long > short,
+            "gain should rise with input length: {short} -> {long}"
+        );
     }
 
     #[test]
@@ -235,8 +269,17 @@ mod tests {
         let mut large = small.clone();
         small[cc_offset] = 0.1;
         large[cc_offset] = 0.95;
-        let bw_small = eval.evaluate(&space.from_unit(&small)).get("bw_mhz").unwrap();
-        let bw_large = eval.evaluate(&space.from_unit(&large)).get("bw_mhz").unwrap();
-        assert!(bw_large < bw_small, "bw should fall with CC: {bw_small} -> {bw_large}");
+        let bw_small = eval
+            .evaluate(&space.from_unit(&small))
+            .get("bw_mhz")
+            .unwrap();
+        let bw_large = eval
+            .evaluate(&space.from_unit(&large))
+            .get("bw_mhz")
+            .unwrap();
+        assert!(
+            bw_large < bw_small,
+            "bw should fall with CC: {bw_small} -> {bw_large}"
+        );
     }
 }

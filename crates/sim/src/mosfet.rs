@@ -235,9 +235,7 @@ mod tests {
         assert!((op.gm - 2.0 * id / op.vov.max(0.07)).abs() / op.gm < 1e-12);
         // Longer devices have more intrinsic gain.
         let d_long = device(&node, 20.0, 1.0, 1);
-        assert!(
-            d_long.operating_point(id, 0.9).intrinsic_gain() > op.intrinsic_gain()
-        );
+        assert!(d_long.operating_point(id, 0.9).intrinsic_gain() > op.intrinsic_gain());
         assert!(op.ft() > 1e8, "ft unexpectedly low: {}", op.ft());
     }
 

@@ -69,8 +69,16 @@ mod tests {
         // resistance gives an output voltage PSD of 4kT·R.
         let r = 10e3;
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
-        let sources = [NoiseSource { a: GROUND, b: 0, psd: resistor_noise_psd(r) }];
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1.0 / r,
+        });
+        let sources = [NoiseSource {
+            a: GROUND,
+            b: 0,
+            psd: resistor_noise_psd(r),
+        }];
         let psd = output_noise_psd(&ckt, &sources, 0, 1.0).unwrap();
         let expected = 4.0 * KT * r;
         assert!((psd - expected).abs() / expected < 1e-6);
@@ -80,11 +88,27 @@ mod tests {
     fn uncorrelated_sources_add_in_power() {
         let r = 1e3;
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
-        let one = [NoiseSource { a: GROUND, b: 0, psd: 1e-24 }];
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1.0 / r,
+        });
+        let one = [NoiseSource {
+            a: GROUND,
+            b: 0,
+            psd: 1e-24,
+        }];
         let two = [
-            NoiseSource { a: GROUND, b: 0, psd: 1e-24 },
-            NoiseSource { a: GROUND, b: 0, psd: 1e-24 },
+            NoiseSource {
+                a: GROUND,
+                b: 0,
+                psd: 1e-24,
+            },
+            NoiseSource {
+                a: GROUND,
+                b: 0,
+                psd: 1e-24,
+            },
         ];
         let p1 = output_noise_psd(&ckt, &one, 0, 1.0).unwrap();
         let p2 = output_noise_psd(&ckt, &two, 0, 1.0).unwrap();
@@ -96,8 +120,16 @@ mod tests {
     #[test]
     fn zero_psd_sources_are_skipped() {
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 });
-        let sources = [NoiseSource { a: GROUND, b: 0, psd: 0.0 }];
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1e-3,
+        });
+        let sources = [NoiseSource {
+            a: GROUND,
+            b: 0,
+            psd: 0.0,
+        }];
         assert_eq!(output_noise_psd(&ckt, &sources, 0, 1.0).unwrap(), 0.0);
     }
 
@@ -106,9 +138,17 @@ mod tests {
         let r = 10e3;
         let c = 1e-9;
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1.0 / r,
+        });
         ckt.add(AcElement::Capacitance { a: 0, b: GROUND, c });
-        let sources = [NoiseSource { a: GROUND, b: 0, psd: resistor_noise_psd(r) }];
+        let sources = [NoiseSource {
+            a: GROUND,
+            b: 0,
+            psd: resistor_noise_psd(r),
+        }];
         let pole = 1.0 / (2.0 * std::f64::consts::PI * r * c);
         let low = output_noise_psd(&ckt, &sources, 0, pole / 100.0).unwrap();
         let high = output_noise_psd(&ckt, &sources, 0, pole * 100.0).unwrap();

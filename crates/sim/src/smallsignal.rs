@@ -293,9 +293,21 @@ mod tests {
     fn resistive_divider() {
         // 1 A into node 0, two 1 kΩ in series to ground via node 1.
         let mut ckt = AcCircuit::new(2);
-        ckt.add(AcElement::Conductance { a: 0, b: 1, g: 1e-3 });
-        ckt.add(AcElement::Conductance { a: 1, b: GROUND, g: 1e-3 });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: 1,
+            g: 1e-3,
+        });
+        ckt.add(AcElement::Conductance {
+            a: 1,
+            b: GROUND,
+            g: 1e-3,
+        });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         let v = ckt.solve(0.0).unwrap();
         assert!((v[0].re - 2000.0).abs() < 1e-4);
         assert!((v[1].re - 1000.0).abs() < 1e-4);
@@ -307,9 +319,17 @@ mod tests {
         let c = 1e-9;
         let f3db = 1.0 / (2.0 * std::f64::consts::PI * r * c);
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1.0 / r });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1.0 / r,
+        });
         ckt.add(AcElement::Capacitance { a: 0, b: GROUND, c });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         let lo = ckt.solve(1.0).unwrap()[0].abs();
         let at_pole = ckt.solve(f3db).unwrap()[0].abs();
         assert!((lo - r).abs() / r < 1e-3);
@@ -328,7 +348,11 @@ mod tests {
             ctrl_n: GROUND,
             gm: 1e-3,
         });
-        ckt.add(AcElement::Conductance { a: 1, b: GROUND, g: 1e-4 });
+        ckt.add(AcElement::Conductance {
+            a: 1,
+            b: GROUND,
+            g: 1e-4,
+        });
         let v = ckt.solve(1.0).unwrap();
         assert!((v[0].re - 1.0).abs() < 1e-3);
         assert!((v[1].re + 10.0).abs() < 0.05, "gain {}", v[1].re);
@@ -346,7 +370,11 @@ mod tests {
             ctrl_n: GROUND,
             gm,
         });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         let v = ckt.solve(10.0).unwrap();
         assert!((v[0].abs() - 1.0 / gm).abs() < 1e-6);
     }
@@ -354,8 +382,16 @@ mod tests {
     #[test]
     fn injection_solve_ignores_builtin_sources() {
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::real(5.0) });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1e-3,
+        });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::real(5.0),
+        });
         let v = ckt.solve_injection(1.0, GROUND, 0).unwrap();
         assert!((v[0].re - 1000.0).abs() < 1e-6);
     }
@@ -364,8 +400,16 @@ mod tests {
     fn floating_node_does_not_panic() {
         // Node 1 floats; GMIN keeps the system solvable.
         let mut ckt = AcCircuit::new(2);
-        ckt.add(AcElement::Conductance { a: 0, b: GROUND, g: 1e-3 });
-        ckt.add(AcElement::CurrentSource { a: GROUND, b: 0, value: Complex::ONE });
+        ckt.add(AcElement::Conductance {
+            a: 0,
+            b: GROUND,
+            g: 1e-3,
+        });
+        ckt.add(AcElement::CurrentSource {
+            a: GROUND,
+            b: 0,
+            value: Complex::ONE,
+        });
         assert!(ckt.solve(1e3).is_ok());
     }
 
@@ -373,6 +417,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_node_panics() {
         let mut ckt = AcCircuit::new(1);
-        ckt.add(AcElement::Conductance { a: 3, b: GROUND, g: 1.0 });
+        ckt.add(AcElement::Conductance {
+            a: 3,
+            b: GROUND,
+            g: 1.0,
+        });
     }
 }

@@ -22,16 +22,20 @@ fn main() {
     };
     let ddpg = DdpgConfig::default().with_budget(budget, 40);
 
-    let mut results = Vec::new();
-    results.push(human_expert(&make_env()));
-    results.push(random_search(&make_env(), budget, 0));
-    results.push(evolution_strategy(&make_env(), budget, 0));
-    results.push(bayesian_optimization(&make_env(), budget, 0));
-    results.push(mace(&make_env(), budget, 0));
-    results.push(GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::NonGcn).run());
-    results.push(GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::Gcn).run());
+    let results = vec![
+        human_expert(&make_env()),
+        random_search(&make_env(), budget, 0),
+        evolution_strategy(&make_env(), budget, 0),
+        bayesian_optimization(&make_env(), budget, 0),
+        mace(&make_env(), budget, 0),
+        GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::NonGcn).run(),
+        GcnRlDesigner::with_kind(make_env(), ddpg, AgentKind::Gcn).run(),
+    ];
 
-    println!("{benchmark} @ {} — best FoM after {budget} simulations", node.name);
+    println!(
+        "{benchmark} @ {} — best FoM after {budget} simulations",
+        node.name
+    );
     for history in &results {
         println!("  {:<8} {:>8.3}", history.method, history.best_fom());
     }

@@ -33,7 +33,11 @@ fn main() {
     let mut designer = GcnRlDesigner::new(env, config);
     let history = designer.run();
 
-    println!("best FoM after {} simulations: {:.3}", history.len(), history.best_fom());
+    println!(
+        "best FoM after {} simulations: {:.3}",
+        history.len(),
+        history.best_fom()
+    );
     if let Some(report) = &history.best_report {
         println!("best design metrics:");
         for (name, value) in report.iter() {

@@ -41,6 +41,12 @@ fn main() {
     }
 
     println!("pre-training at 180nm:    best FoM = {:.3}", pre.best_fom());
-    println!("45nm from scratch:        best FoM = {:.3}", scratch.best_fom());
-    println!("45nm with transfer:       best FoM = {:.3}", fine.best_fom());
+    println!(
+        "45nm from scratch:        best FoM = {:.3}",
+        scratch.best_fom()
+    );
+    println!(
+        "45nm with transfer:       best FoM = {:.3}",
+        fine.best_fom()
+    );
 }

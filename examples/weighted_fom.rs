@@ -29,6 +29,9 @@ fn main() {
             .as_ref()
             .and_then(|r| r.get(metric))
             .unwrap_or(f64::NAN);
-        println!("{label:<22} best FoM = {:>7.3}   emphasised metric {metric} = {value:.4}", history.best_fom());
+        println!(
+            "{label:<22} best FoM = {:>7.3}   emphasised metric {metric} = {value:.4}",
+            history.best_fom()
+        );
     }
 }

@@ -6,6 +6,8 @@
 //! * [`gcnrl`] — the GCN-RL designer itself (environment, agent, transfer).
 //! * [`circuit`] — netlists, technology nodes, design spaces, benchmarks.
 //! * [`sim`] — the analog performance simulator.
+//! * [`exec`] — the parallel batched evaluation engine with content-addressed
+//!   result caching that sits between the optimizers and the simulator.
 //! * [`baselines`] — random search, ES, BO, MACE and the human-expert row.
 //! * [`nn`] / [`rl`] / [`linalg`] — the supporting substrates.
 //!
@@ -14,6 +16,7 @@
 pub use gcnrl;
 pub use gcnrl_baselines as baselines;
 pub use gcnrl_circuit as circuit;
+pub use gcnrl_exec as exec;
 pub use gcnrl_linalg as linalg;
 pub use gcnrl_nn as nn;
 pub use gcnrl_rl as rl;

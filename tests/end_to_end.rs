@@ -31,7 +31,10 @@ fn gcn_rl_runs_on_every_benchmark() {
         let mut designer = GcnRlDesigner::new(env, tiny_ddpg(0));
         let history = designer.run();
         assert_eq!(history.len(), 40, "{benchmark}: wrong number of episodes");
-        assert!(history.best_fom().is_finite(), "{benchmark}: non-finite FoM");
+        assert!(
+            history.best_fom().is_finite(),
+            "{benchmark}: non-finite FoM"
+        );
         let params = history.best_params.expect("a best design exists");
         assert!(
             designer.env().design_space().validate(&params),
@@ -57,22 +60,37 @@ fn rl_with_more_budget_is_at_least_as_good_on_average() {
     let node = TechnologyNode::tsmc180();
     let short = {
         let env = small_env(Benchmark::Ldo, &node);
-        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(15, 8)).run().best_fom()
+        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(15, 8))
+            .run()
+            .best_fom()
     };
     let long = {
         let env = small_env(Benchmark::Ldo, &node);
-        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(60, 20)).run().best_fom()
+        GcnRlDesigner::new(env, tiny_ddpg(2).with_budget(60, 20))
+            .run()
+            .best_fom()
     };
-    assert!(long >= short, "longer budget should not hurt: {short} vs {long}");
+    assert!(
+        long >= short,
+        "longer budget should not hurt: {short} vs {long}"
+    );
 }
 
 #[test]
 fn ng_rl_and_gcn_rl_explore_differently() {
     let node = TechnologyNode::tsmc180();
-    let gcn = GcnRlDesigner::with_kind(small_env(Benchmark::TwoStageTia, &node), tiny_ddpg(3), AgentKind::Gcn)
-        .run();
-    let ng = GcnRlDesigner::with_kind(small_env(Benchmark::TwoStageTia, &node), tiny_ddpg(3), AgentKind::NonGcn)
-        .run();
+    let gcn = GcnRlDesigner::with_kind(
+        small_env(Benchmark::TwoStageTia, &node),
+        tiny_ddpg(3),
+        AgentKind::Gcn,
+    )
+    .run();
+    let ng = GcnRlDesigner::with_kind(
+        small_env(Benchmark::TwoStageTia, &node),
+        tiny_ddpg(3),
+        AgentKind::NonGcn,
+    )
+    .run();
     // Same seeds -> identical warm-up, but the policies must diverge afterwards.
     let gcn_curve = gcn.best_curve();
     let ng_curve = ng.best_curve();

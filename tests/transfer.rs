@@ -45,7 +45,12 @@ fn technology_transfer_produces_checkpoints_reusable_from_disk() {
     let _ = std::fs::remove_file(&path);
 
     // The loaded checkpoint can warm-start a fresh fine-tuning run.
-    let reused = transfer_from_checkpoint(&loaded, env(Benchmark::TwoStageTia, &n65), AgentKind::Gcn, tiny(1));
+    let reused = transfer_from_checkpoint(
+        &loaded,
+        env(Benchmark::TwoStageTia, &n65),
+        AgentKind::Gcn,
+        tiny(1),
+    );
     assert_eq!(reused.len(), 24);
 }
 
