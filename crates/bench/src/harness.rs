@@ -238,6 +238,12 @@ pub fn print_exec_stats(title: &str, results: &[MethodResult]) {
             println!("  {:<10} {}", r.method, exec.summary());
         }
     }
+    // Cumulative linear-solver counters: how much symbolic reuse the sparse
+    // MNA path achieved across every evaluation above.
+    println!(
+        "  solver     {}",
+        gcnrl_sim::solver_stats::snapshot().summary()
+    );
 }
 
 /// Writes an experiment result as JSON under `target/experiments/<name>.json`.

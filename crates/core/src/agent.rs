@@ -14,8 +14,9 @@
 //! the paper's NG-RL ablation.
 
 use gcnrl_linalg::Matrix;
-use gcnrl_nn::{gcn_backprop, gcn_propagate, Activation, Adam, Linear, LinearCache};
+use gcnrl_nn::{gcn_backprop, gcn_propagate, Activation, Adam, Linear, LinearCache, SharedMatrix};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Whether the agent aggregates features over the topology graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,7 +50,7 @@ impl OptLinear {
         }
     }
 
-    fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+    fn forward(&self, x: &SharedMatrix) -> (Matrix, LinearCache) {
         self.layer.forward(x)
     }
 
@@ -204,17 +205,23 @@ impl GcnAgent {
     }
 
     /// Actor forward pass: returns the `n x 3` action matrix and the cache.
+    ///
+    /// Intermediate activations are moved into shared handles so every layer
+    /// cache borrows its input instead of cloning it; the one `states` copy
+    /// below is the only matrix duplicated per pass.
     pub fn actor_forward(&self, states: &Matrix, adjacency: &Matrix) -> (Matrix, ActorCache) {
-        let (pre, input_cache) = self.actor_input.forward(states);
-        let (mut h, input_act) = Activation::Relu.forward(&pre);
+        let states = Arc::new(states.clone());
+        let (pre, input_cache) = self.actor_input.forward(&states);
+        let (h, input_act) = Activation::Relu.forward(&pre);
+        let mut h = Arc::new(h);
 
         let mut hidden = Vec::with_capacity(self.gcn_layers);
         for layer in &self.actor_hidden {
-            let agg = self.propagate(adjacency, &h);
+            let agg = Arc::new(self.propagate(adjacency, &h));
             let (pre, cache) = layer.forward(&agg);
             let (act, act_cache) = Activation::Relu.forward(&pre);
             hidden.push((cache, act_cache));
-            h = act;
+            h = Arc::new(act);
         }
 
         let mut pre_tanh = Matrix::zeros(h.rows(), ACTION_DIM);
@@ -247,24 +254,28 @@ impl GcnAgent {
         actions: &Matrix,
         adjacency: &Matrix,
     ) -> (f64, CriticCache) {
-        let (hs, state_cache) = self.critic_state.forward(states);
-        let mut ha = Matrix::zeros(states.rows(), self.hidden_dim);
+        let num_rows = states.rows();
+        let states = Arc::new(states.clone());
+        let actions = Arc::new(actions.clone());
+        let (hs, state_cache) = self.critic_state.forward(&states);
+        let mut ha = Matrix::zeros(num_rows, self.hidden_dim);
         let mut action_caches = Vec::with_capacity(NUM_TYPES);
         for (t, enc) in self.critic_action.iter().enumerate() {
-            let (out, cache) = enc.forward(actions);
+            let (out, cache) = enc.forward(&actions);
             action_caches.push(cache);
             ha = ha.add_elem(&self.mask_rows(&out, t)).expect("same shape");
         }
         let combined = hs.add_elem(&ha).expect("same shape");
-        let (mut h, combine_act) = Activation::Relu.forward(&combined);
+        let (h, combine_act) = Activation::Relu.forward(&combined);
+        let mut h = Arc::new(h);
 
         let mut hidden = Vec::with_capacity(self.gcn_layers);
         for layer in &self.critic_hidden {
-            let agg = self.propagate(adjacency, &h);
+            let agg = Arc::new(self.propagate(adjacency, &h));
             let (pre, cache) = layer.forward(&agg);
             let (act, act_cache) = Activation::Relu.forward(&pre);
             hidden.push((cache, act_cache));
-            h = act;
+            h = Arc::new(act);
         }
         let (values, out_cache) = self.critic_out.forward(&h);
         let q = values.sum() / values.rows() as f64;

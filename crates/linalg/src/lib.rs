@@ -11,6 +11,9 @@
 //!   partial pivoting for real and complex systems.
 //! * [`Cholesky`] — factorisation of symmetric positive-definite matrices,
 //!   used by the Bayesian-optimisation baseline.
+//! * [`sparse`] — CSR matrices and a sparse LU whose symbolic analysis is
+//!   computed once per sparsity pattern and reused across numeric
+//!   refactorisations; this is the hot path of the MNA solvers in `gcnrl-sim`.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@ mod complex;
 mod error;
 mod lu;
 mod matrix;
+pub mod sparse;
 mod vector;
 
 pub use cholesky::Cholesky;

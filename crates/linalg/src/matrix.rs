@@ -216,6 +216,58 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self^T * rhs` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn matmul_transa(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transa",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.rows {
+            let lhs_row = self.row(i);
+            let rhs_row = rhs.row(i);
+            for (k, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, &b) in out.row_mut(k).iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs^T` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_transb(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transb",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = self.row(i);
+            for j in 0..rhs.rows {
+                out[(i, j)] = lhs_row.iter().zip(rhs.row(j)).map(|(a, b)| a * b).sum();
+            }
+        }
+        Ok(out)
+    }
+
     /// Matrix–vector product `self * v`.
     ///
     /// # Errors
@@ -434,6 +486,23 @@ mod tests {
             a.matmul(&b),
             Err(LinalgError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| ((r * 5 + c * 3) % 7) as f64 - 2.0);
+        let b = Matrix::from_fn(4, 2, |r, c| ((r + 2 * c) % 5) as f64 * 0.5);
+        assert_eq!(
+            a.matmul_transa(&b).unwrap(),
+            a.transpose().matmul(&b).unwrap()
+        );
+        let c = Matrix::from_fn(5, 3, |r, c| (r as f64 - c as f64) * 0.25);
+        assert_eq!(
+            a.matmul_transb(&c).unwrap(),
+            a.matmul(&c.transpose()).unwrap()
+        );
+        assert!(a.matmul_transa(&c).is_err());
+        assert!(a.matmul_transb(&b).is_err());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+use super::pattern::SparsityPattern;
+use super::scalar::SparseScalar;
+use crate::LinalgError;
+use std::sync::Arc;
+
+/// A square sparse matrix in CSR form: an immutable, shareable
+/// [`SparsityPattern`] plus one value per structural nonzero slot.
+///
+/// The pattern is behind an `Arc` so repeated assemblies over the same
+/// structure (every frequency point of an AC sweep, every Newton iteration)
+/// share it instead of rebuilding it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    pattern: Arc<SparsityPattern>,
+    values: Vec<T>,
+}
+
+impl<T: SparseScalar> CsrMatrix<T> {
+    /// Creates a zero-valued matrix over `pattern`.
+    pub fn zeros(pattern: Arc<SparsityPattern>) -> Self {
+        let nnz = pattern.nnz();
+        CsrMatrix {
+            pattern,
+            values: vec![T::ZERO; nnz],
+        }
+    }
+
+    /// Wraps explicit slot values over `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if `values.len()` differs
+    /// from the pattern's slot count.
+    pub fn from_values(pattern: Arc<SparsityPattern>, values: Vec<T>) -> Result<Self, LinalgError> {
+        if values.len() != pattern.nnz() {
+            return Err(LinalgError::InvalidDimensions {
+                reason: "value array length must equal pattern nnz",
+            });
+        }
+        Ok(CsrMatrix { pattern, values })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.pattern.n()
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// The shared structure.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Slot values in CSR order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable slot values (the restamping hook: structure cannot change).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Value at `(r, c)`; structural zeros read as `T::ZERO`.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.pattern.slot(r, c).map_or(T::ZERO, |s| self.values[s])
+    }
+
+    /// Adds `v` to the slot at `(r, c)` (the MNA stamp operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is structurally zero: stamps may only touch slots
+    /// that were declared when the pattern was built.
+    pub fn stamp(&mut self, r: usize, c: usize, v: T) {
+        let slot = self
+            .pattern
+            .slot(r, c)
+            .unwrap_or_else(|| panic!("stamp at structurally-zero position ({r}, {c})"));
+        self.values[slot] += v;
+    }
+
+    /// Resets every slot to zero, keeping the structure.
+    pub fn clear(&mut self) {
+        self.values.fill(T::ZERO);
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.n()`.
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>, LinalgError> {
+        let mut y = vec![T::ZERO; self.n()];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free matrix–vector product `y = self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) -> Result<(), LinalgError> {
+        let n = self.n();
+        if x.len() != n || y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_matvec",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        y.fill(T::ZERO);
+        for (r, c, s) in self.pattern.iter() {
+            y[r] += self.values[s] * x[c];
+        }
+        Ok(())
+    }
+}
+
+/// Accumulating triplet (COO) builder for [`CsrMatrix`].
+///
+/// Entries may be pushed in any order; duplicates are summed when the matrix
+/// is built.  This is the convenient one-shot construction path — code that
+/// re-assembles over a fixed structure should instead build a
+/// [`SparsityPattern`] once and write slots directly.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder<T> {
+    n: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: SparseScalar> TripletBuilder<T> {
+    /// Creates a builder for an `n x n` matrix.
+    pub fn new(n: usize) -> Self {
+        TripletBuilder {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records `a[(r, c)] += v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn push(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.n && c < self.n, "triplet index out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of raw (pre-dedup) triplets recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no triplets have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the CSR matrix, summing duplicate positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimensions`] if `n == 0`.
+    pub fn build(&self) -> Result<CsrMatrix<T>, LinalgError> {
+        let positions: Vec<(usize, usize)> = self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let pattern = Arc::new(SparsityPattern::from_positions(self.n, &positions)?);
+        let mut m = CsrMatrix::zeros(pattern);
+        for &(r, c, v) in &self.entries {
+            m.stamp(r, c, v);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_accumulate_duplicates() {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.0);
+        b.push(2, 1, -1.0);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let m = b.build().unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense_computation() {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 0, 2.0);
+        b.push(0, 2, 1.0);
+        b.push(1, 1, -3.0);
+        b.push(2, 0, 4.0);
+        let m = b.build().unwrap();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![5.0, -6.0, 4.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn restamping_keeps_structure() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let mut m = b.build().unwrap();
+        let pattern = m.pattern().clone();
+        m.clear();
+        m.stamp(0, 0, 5.0);
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert!(Arc::ptr_eq(&pattern, m.pattern()));
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally-zero")]
+    fn stamping_outside_pattern_panics() {
+        let mut b = TripletBuilder::new(2);
+        b.push(0, 0, 1.0);
+        let mut m = b.build().unwrap();
+        m.stamp(0, 1, 1.0);
+    }
+
+    #[test]
+    fn from_values_validates_length() {
+        let pattern = Arc::new(SparsityPattern::from_positions(2, &[(0, 0), (1, 1)]).unwrap());
+        assert!(CsrMatrix::from_values(pattern.clone(), vec![1.0]).is_err());
+        let m = CsrMatrix::from_values(pattern, vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+}

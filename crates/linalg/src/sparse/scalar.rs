@@ -1,0 +1,92 @@
+use crate::Complex;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Scalar types the sparse kernels are generic over.
+///
+/// The sparse CSR matrices and the LU factorisation work identically for the
+/// real Newton Jacobians (`f64`) and the complex AC admittance systems
+/// ([`Complex`]); this trait captures the handful of operations they need.
+pub trait SparseScalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Magnitude used for pivot viability checks (absolute value / modulus).
+    fn magnitude(self) -> f64;
+
+    /// Squared magnitude: cheaper than [`SparseScalar::magnitude`] (no
+    /// square root / hypot) and sufficient wherever only a comparison is
+    /// needed — the hot-path pivot and residual checks use this.
+    fn magnitude_sq(self) -> f64;
+
+    /// Returns `true` when the value is finite in every component.
+    fn is_finite_scalar(self) -> bool;
+}
+
+impl SparseScalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+
+    fn magnitude_sq(self) -> f64 {
+        self * self
+    }
+
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl SparseScalar for Complex {
+    const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+
+    fn magnitude_sq(self) -> f64 {
+        self.abs_sq()
+    }
+
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: SparseScalar>(a: T, b: T) -> T {
+        (a + b) * b - a / b
+    }
+
+    #[test]
+    fn trait_is_usable_for_both_scalars() {
+        assert_eq!(roundtrip(0.0f64, 1.0), 1.0);
+        let z = roundtrip(Complex::ZERO, Complex::ONE);
+        assert_eq!(z, Complex::ONE);
+        assert_eq!(Complex::new(3.0, 4.0).magnitude(), 5.0);
+        assert!(1.0f64.is_finite_scalar());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite_scalar());
+    }
+}

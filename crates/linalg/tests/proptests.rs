@@ -1,5 +1,6 @@
 //! Property-based tests for the linear-algebra kernel.
 
+use gcnrl_linalg::sparse::{splu, TripletBuilder};
 use gcnrl_linalg::{Cholesky, Complex, LuDecomposition, Matrix};
 use proptest::prelude::*;
 
@@ -58,6 +59,51 @@ proptest! {
         for i in 0..3 {
             for j in 0..3 {
                 prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The sparse symbolic-once LU agrees with the dense LU on random sparse
+    /// diagonally dominant systems.
+    #[test]
+    fn sparse_lu_matches_dense_lu(
+        offdiag in prop::collection::vec(-5.0f64..5.0, 12),
+        rows in prop::collection::vec(0usize..6, 12),
+        cols in prop::collection::vec(0usize..6, 12),
+        b in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let n = 6;
+        let mut dense = Matrix::zeros(n, n);
+        let mut triplets = TripletBuilder::new(n);
+        for ((&v, &r), &c) in offdiag.iter().zip(&rows).zip(&cols) {
+            dense[(r, c)] += v;
+            triplets.push(r, c, v);
+        }
+        // Diagonal dominance keeps both factorisations comfortably stable.
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| dense[(i, j)].abs()).sum();
+            dense[(i, i)] += row_sum + 1.0;
+            triplets.push(i, i, row_sum + 1.0);
+        }
+        let sparse = triplets.build().unwrap();
+        let x_dense = LuDecomposition::new(&dense).unwrap().solve(&b).unwrap();
+        let x_sparse = splu(&sparse).unwrap().solve(&b).unwrap();
+        for (d, s) in x_dense.iter().zip(&x_sparse) {
+            prop_assert!((d - s).abs() < 1e-9 * (1.0 + d.abs()), "{} vs {}", d, s);
+        }
+    }
+
+    /// Transpose-free matrix products equal their explicit-transpose forms.
+    #[test]
+    fn transposed_products_agree(a in small_matrix(4), b in small_matrix(4)) {
+        let ta = a.matmul_transa(&b).unwrap();
+        let ta_ref = a.transpose().matmul(&b).unwrap();
+        let tb = a.matmul_transb(&b).unwrap();
+        let tb_ref = a.matmul(&b.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((ta[(i, j)] - ta_ref[(i, j)]).abs() < 1e-12);
+                prop_assert!((tb[(i, j)] - tb_ref[(i, j)]).abs() < 1e-12);
             }
         }
     }

@@ -41,9 +41,9 @@ pub fn gcn_backprop(adjacency: &Matrix, d_output: &Matrix) -> Matrix {
         adjacency.cols(),
         "adjacency must be square"
     );
+    // `Â^T dL/dH'` without materialising the transpose.
     adjacency
-        .transpose()
-        .matmul(d_output)
+        .matmul_transa(d_output)
         .expect("dimensions checked")
 }
 

@@ -19,10 +19,11 @@
 //! ```
 //! use gcnrl_nn::{Activation, Linear};
 //! use gcnrl_linalg::Matrix;
+//! use std::sync::Arc;
 //!
 //! let layer = Linear::xavier(4, 8, 42);
-//! let x = Matrix::filled(3, 4, 0.5);
-//! let (y, cache) = layer.forward(&x);
+//! let x = Arc::new(Matrix::filled(3, 4, 0.5));
+//! let (y, cache) = layer.forward(&x); // the cache shares x, no copy
 //! let (dy, _) = Activation::Relu.forward(&y);
 //! assert_eq!(dy.shape(), (3, 8));
 //! let grads = layer.backward(&cache, &Matrix::filled(3, 8, 1.0));
@@ -37,4 +38,4 @@ mod linear;
 pub use activation::Activation;
 pub use adam::Adam;
 pub use gcn::{gcn_backprop, gcn_propagate};
-pub use linear::{Linear, LinearCache, LinearGradients};
+pub use linear::{Linear, LinearCache, LinearGradients, SharedMatrix};

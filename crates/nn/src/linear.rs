@@ -2,6 +2,11 @@ use gcnrl_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A reference-counted activation matrix shared between the forward-pass
+/// caller and the backward-pass cache, so caching an input never copies it.
+pub type SharedMatrix = Arc<Matrix>;
 
 /// A dense (fully-connected) layer `Y = X W + b`.
 ///
@@ -13,10 +18,11 @@ pub struct Linear {
     bias: Vec<f64>,
 }
 
-/// Forward-pass cache needed by [`Linear::backward`].
+/// Forward-pass cache needed by [`Linear::backward`]; holds a shared
+/// reference to the input activation rather than a clone of it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinearCache {
-    input: Matrix,
+    input: SharedMatrix,
 }
 
 /// Gradients produced by [`Linear::backward`].
@@ -82,12 +88,14 @@ impl Linear {
         self.weight.rows() * self.weight.cols() + self.bias.len()
     }
 
-    /// Forward pass.  Returns the output and the cache for the backward pass.
+    /// Forward pass.  Returns the output and the cache for the backward pass;
+    /// the cache shares `x` (no copy) — pass `Arc::new(x)` when handing over
+    /// an owned intermediate activation.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.in_dim()`.
-    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+    pub fn forward(&self, x: &SharedMatrix) -> (Matrix, LinearCache) {
         assert_eq!(x.cols(), self.in_dim(), "input feature dimension mismatch");
         let mut y = x.matmul(&self.weight).expect("dimensions checked");
         for r in 0..y.rows() {
@@ -106,16 +114,17 @@ impl Linear {
     pub fn backward(&self, cache: &LinearCache, d_output: &Matrix) -> LinearGradients {
         assert_eq!(d_output.rows(), cache.input.rows(), "row count mismatch");
         assert_eq!(d_output.cols(), self.out_dim(), "output dimension mismatch");
+        // Transpose-free products: X^T dY and dY W^T without allocating the
+        // transposed operands.
         let d_weight = cache
             .input
-            .transpose()
-            .matmul(d_output)
+            .matmul_transa(d_output)
             .expect("dimensions checked");
         let d_bias: Vec<f64> = (0..self.out_dim())
             .map(|c| (0..d_output.rows()).map(|r| d_output[(r, c)]).sum())
             .collect();
         let d_input = d_output
-            .matmul(&self.weight.transpose())
+            .matmul_transb(&self.weight)
             .expect("dimensions checked");
         LinearGradients {
             d_weight,
@@ -172,16 +181,27 @@ mod tests {
             Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap(),
             vec![0.5, -0.5],
         );
-        let x = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let x = Arc::new(Matrix::from_rows(&[&[3.0, 4.0]]).unwrap());
         let (y, _) = layer.forward(&x);
         assert_eq!(y[(0, 0)], 3.5);
         assert_eq!(y[(0, 1)], 7.5);
     }
 
     #[test]
+    fn forward_cache_shares_the_input_without_copying() {
+        let layer = Linear::xavier(2, 2, 3);
+        let x = Arc::new(Matrix::filled(1, 2, 1.0));
+        let (_, cache) = layer.forward(&x);
+        // Two strong references: the caller's and the cache's shared one.
+        assert_eq!(Arc::strong_count(&x), 2);
+        drop(cache);
+        assert_eq!(Arc::strong_count(&x), 1);
+    }
+
+    #[test]
     fn backward_gradients_match_finite_differences() {
         let layer = Linear::xavier(3, 2, 7);
-        let x = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.3);
+        let x = Arc::new(Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.3));
         let (y, cache) = layer.forward(&x);
         // Loss = sum of outputs, so dL/dY = 1.
         let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
@@ -231,7 +251,7 @@ mod tests {
     #[should_panic(expected = "feature dimension mismatch")]
     fn wrong_input_dim_panics() {
         let layer = Linear::xavier(3, 2, 0);
-        let x = Matrix::zeros(1, 4);
+        let x = Arc::new(Matrix::zeros(1, 4));
         let _ = layer.forward(&x);
     }
 

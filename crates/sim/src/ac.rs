@@ -142,6 +142,10 @@ impl FrequencyResponse {
 
 /// Sweeps the circuit's transfer function to `output` over `freqs`.
 ///
+/// Compiles the circuit once (see [`crate::CompiledAc`]) and solves every
+/// frequency point by a value-only restamp plus numeric refactorisation
+/// against the shared symbolic analysis — no per-point element walk.
+///
 /// # Errors
 ///
 /// Propagates [`SimError::SingularSystem`] from any frequency point.
@@ -150,12 +154,23 @@ pub fn sweep(
     output: NodeIndex,
     freqs: &[f64],
 ) -> Result<FrequencyResponse, SimError> {
-    let mut points = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let v = circuit.solve(f)?;
-        points.push((f, v[output]));
-    }
-    Ok(FrequencyResponse::new(points))
+    let mut compiled = circuit.compile()?;
+    sweep_compiled(&mut compiled, output, freqs)
+}
+
+/// Sweeps an already-compiled circuit, reusing its factorisation machinery.
+///
+/// # Errors
+///
+/// Propagates [`SimError::SingularSystem`] from any frequency point.
+pub fn sweep_compiled(
+    compiled: &mut crate::CompiledAc,
+    output: NodeIndex,
+    freqs: &[f64],
+) -> Result<FrequencyResponse, SimError> {
+    Ok(FrequencyResponse::new(
+        compiled.sweep_voltages(output, freqs)?,
+    ))
 }
 
 #[cfg(test)]

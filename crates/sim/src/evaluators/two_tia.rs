@@ -2,9 +2,9 @@
 
 use super::common::{mirror_ratio, mos_device, resistance, BiasTable, SmallSignalBuilder};
 use super::Evaluator;
-use crate::ac::{log_sweep, sweep};
+use crate::ac::{log_sweep, sweep_compiled};
 use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
-use crate::noise::output_noise_density;
+use crate::noise::output_noise_density_compiled;
 use crate::smallsignal::{AcElement, GROUND};
 use gcnrl_circuit::{benchmarks, benchmarks::Benchmark, Circuit, ParamVector, TechnologyNode};
 use gcnrl_linalg::Complex;
@@ -132,8 +132,14 @@ impl Evaluator for TwoStageTiaEvaluator {
             value: Complex::ONE,
         });
 
+        // One compiled circuit serves the sweep, the spot transfer solve and
+        // every noise-injection solve: the sparsity pattern and its symbolic
+        // factorisation are shared across all of them.
+        let Ok(mut sim) = ac.compile() else {
+            return PerformanceReport::infeasible();
+        };
         let freqs = log_sweep(1e3, 100e9, 12);
-        let Ok(resp) = sweep(&ac, vout, &freqs) else {
+        let Ok(resp) = sweep_compiled(&mut sim, vout, &freqs) else {
             return PerformanceReport::infeasible();
         };
 
@@ -144,12 +150,13 @@ impl Evaluator for TwoStageTiaEvaluator {
 
         // Input-referred current noise: output voltage noise divided by the
         // mid-band transimpedance, in pA/sqrt(Hz).
-        let zt_spot = ac
-            .solve(NOISE_FREQ)
+        let zt_spot = sim
+            .solve_at(NOISE_FREQ)
             .map(|v| v[vout].abs())
             .unwrap_or(gain_ohm)
             .max(1e-3);
-        let vn_out = output_noise_density(&ac, &noise_sources, vout, NOISE_FREQ).unwrap_or(0.0);
+        let vn_out = output_noise_density_compiled(&mut sim, &noise_sources, vout, NOISE_FREQ)
+            .unwrap_or(0.0);
         let noise_pa = vn_out / zt_spot * 1e12;
 
         let mut report = PerformanceReport::new();

@@ -2,9 +2,9 @@
 
 use super::common::{capacitance, mirror_ratio, mos_device, BiasTable, SmallSignalBuilder};
 use super::Evaluator;
-use crate::ac::{log_sweep, sweep, FrequencyResponse};
+use crate::ac::{log_sweep, sweep, sweep_compiled, FrequencyResponse};
 use crate::metrics::{MetricDirection, MetricSpec, PerformanceReport};
-use crate::noise::output_noise_density;
+use crate::noise::output_noise_density_compiled;
 use gcnrl_circuit::{benchmarks, benchmarks::Benchmark, Circuit, ParamVector, TechnologyNode};
 
 /// Reference current through the diode-connected bias device `TB1`, amps.
@@ -156,8 +156,13 @@ impl Evaluator for TwoStageVoltageAmpEvaluator {
         ac_ol.drive_voltage(vin_p, 0.5);
         ac_ol.drive_voltage(vin_n, -0.5);
 
+        // One compiled circuit serves the open-loop sweep, the spot transfer
+        // solve and every noise-injection solve.
+        let Ok(mut sim_ol) = ac_ol.compile() else {
+            return PerformanceReport::infeasible();
+        };
         let freqs = log_sweep(10.0, 10e9, 12);
-        let Ok(resp_ol) = sweep(&ac_ol, vout, &freqs) else {
+        let Ok(resp_ol) = sweep_compiled(&mut sim_ol, vout, &freqs) else {
             return PerformanceReport::infeasible();
         };
 
@@ -189,12 +194,13 @@ impl Evaluator for TwoStageVoltageAmpEvaluator {
         let cpm = self.common_mode_phase_margin(&bias, gbw_hz);
 
         // Input-referred voltage noise in nV/sqrt(Hz).
-        let a_spot = ac_ol
-            .solve(NOISE_FREQ)
+        let a_spot = sim_ol
+            .solve_at(NOISE_FREQ)
             .map(|v| v[vout].abs())
             .unwrap_or(gain_ol)
             .max(1e-6);
-        let vn_out = output_noise_density(&ac_ol, &noise_sources, vout, NOISE_FREQ).unwrap_or(0.0);
+        let vn_out = output_noise_density_compiled(&mut sim_ol, &noise_sources, vout, NOISE_FREQ)
+            .unwrap_or(0.0);
         let noise_nv = vn_out / a_spot * 1e9;
 
         let mut report = PerformanceReport::new();

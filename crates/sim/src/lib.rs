@@ -13,6 +13,10 @@
 //! * [`smallsignal`] / [`ac`] — a complex-valued modified-nodal-analysis (MNA)
 //!   solver and logarithmic AC sweeps with gain/bandwidth/phase-margin
 //!   extraction.
+//! * [`compiled`] — the sweep hot path: circuits pre-compiled into
+//!   `Y(ω) = G + jωC` stamp slots over a shared sparsity pattern, refactored
+//!   numerically against a symbolic-once sparse LU (dense fallback for tiny
+//!   matrices), with [`solver_stats`] counting the reuse.
 //! * [`noise`] — output-referred thermal-noise integration through the same
 //!   MNA transfer functions.
 //! * [`metrics`] — named performance metrics with "higher/lower is better"
@@ -35,15 +39,19 @@
 //! ```
 
 pub mod ac;
+pub mod compiled;
 pub mod dc;
 pub mod evaluators;
 pub mod metrics;
 pub mod mosfet;
 pub mod noise;
 pub mod smallsignal;
+pub mod solver_stats;
 
 mod error;
 
+pub use compiled::CompiledAc;
 pub use error::SimError;
 pub use metrics::{MetricDirection, MetricSpec, PerformanceReport};
 pub use smallsignal::{AcCircuit, AcElement, NodeIndex};
+pub use solver_stats::SolverStats;

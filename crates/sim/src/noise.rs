@@ -6,6 +6,7 @@
 //! output node is accumulated in power.  The evaluators then refer the output
 //! noise back to the input by dividing by the signal transfer function.
 
+use crate::compiled::CompiledAc;
 use crate::smallsignal::{AcCircuit, NodeIndex};
 use crate::SimError;
 
@@ -31,13 +32,31 @@ pub fn output_noise_psd(
     output: NodeIndex,
     freq_hz: f64,
 ) -> Result<f64, SimError> {
+    let mut compiled = circuit.compile()?;
+    output_noise_psd_compiled(&mut compiled, sources, output, freq_hz)
+}
+
+/// [`output_noise_psd`] against an already-compiled circuit: the admittance
+/// matrix is factored **once** at `freq_hz` and every noise source reuses the
+/// factorisation for its injection solve (the legacy path refactored per
+/// source).
+///
+/// # Errors
+///
+/// Propagates [`SimError::SingularSystem`] from the underlying solves.
+pub fn output_noise_psd_compiled(
+    compiled: &mut CompiledAc,
+    sources: &[NoiseSource],
+    output: NodeIndex,
+    freq_hz: f64,
+) -> Result<f64, SimError> {
     let mut total = 0.0;
+    compiled.factor_at(freq_hz)?;
     for src in sources {
         if src.psd <= 0.0 {
             continue;
         }
-        let v = circuit.solve_injection(freq_hz, src.a, src.b)?;
-        let gain_sq = v[output].abs_sq();
+        let gain_sq = compiled.injection_gain(src.a, src.b, output)?.abs_sq();
         total += src.psd * gain_sq;
     }
     Ok(total)
@@ -55,6 +74,20 @@ pub fn output_noise_density(
     freq_hz: f64,
 ) -> Result<f64, SimError> {
     Ok(output_noise_psd(circuit, sources, output, freq_hz)?.sqrt())
+}
+
+/// [`output_noise_density`] against an already-compiled circuit.
+///
+/// # Errors
+///
+/// Propagates [`SimError::SingularSystem`] from the underlying solves.
+pub fn output_noise_density_compiled(
+    compiled: &mut CompiledAc,
+    sources: &[NoiseSource],
+    output: NodeIndex,
+    freq_hz: f64,
+) -> Result<f64, SimError> {
+    Ok(output_noise_psd_compiled(compiled, sources, output, freq_hz)?.sqrt())
 }
 
 #[cfg(test)]

@@ -91,8 +91,9 @@ pub struct AcCircuit {
 }
 
 /// Leakage conductance from every node to ground, keeping the admittance
-/// matrix non-singular for floating nodes.
-const GMIN: f64 = 1e-12;
+/// matrix non-singular for floating nodes.  Shared with the compiled sweep
+/// path so both backends solve bit-identical systems.
+pub(crate) const GMIN: f64 = 1e-12;
 
 impl AcCircuit {
     /// Creates an empty circuit with `num_nodes` signal nodes (ground excluded).
@@ -238,6 +239,13 @@ impl AcCircuit {
 
     /// Solves for all node voltages at `freq_hz` using the circuit's own
     /// independent sources as excitation.
+    ///
+    /// This is the one-shot **dense reference path** (fresh assembly and a
+    /// dense LU per call).  Sweeps and noise analyses go through
+    /// [`AcCircuit::compile`](crate::CompiledAc) instead, which assembles
+    /// `G + jωC` over cached stamp slots and reuses a symbolic-once sparse
+    /// factorisation; this method remains the equivalence baseline the sparse
+    /// path is validated against.
     ///
     /// # Errors
     ///

@@ -1,0 +1,113 @@
+//! Process-wide counters for the linear-solver hot path.
+//!
+//! The execution engine fans evaluations out over worker threads, so the
+//! counters are lock-free atomics.  The bench harness snapshots them to report
+//! how much work the symbolic-reuse machinery actually saved (one symbolic
+//! analysis amortised over many numeric refactorisations) and how often the
+//! dense small-matrix fallback fired.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SYMBOLIC_ANALYSES: AtomicU64 = AtomicU64::new(0);
+static SPARSE_REFACTORS: AtomicU64 = AtomicU64::new(0);
+static SPARSE_SOLVES: AtomicU64 = AtomicU64::new(0);
+static DENSE_FACTORS: AtomicU64 = AtomicU64::new(0);
+static DENSE_SOLVES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the solver counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Symbolic LU analyses performed (once per sparsity pattern).
+    pub symbolic_analyses: u64,
+    /// Numeric sparse refactorisations against a shared symbolic analysis.
+    pub sparse_refactors: u64,
+    /// Right-hand sides solved through the sparse path.
+    pub sparse_solves: u64,
+    /// Dense factorisations (small-matrix fallback or legacy path).
+    pub dense_factors: u64,
+    /// Right-hand sides solved through the dense fallback.
+    pub dense_solves: u64,
+}
+
+impl SolverStats {
+    /// Numeric refactorisations amortised per symbolic analysis.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.symbolic_analyses == 0 {
+            0.0
+        } else {
+            self.sparse_refactors as f64 / self.symbolic_analyses as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} symbolic analyses, {} sparse refactors ({:.1}x reuse), {} sparse solves, {} dense factors, {} dense solves",
+            self.symbolic_analyses,
+            self.sparse_refactors,
+            self.reuse_ratio(),
+            self.sparse_solves,
+            self.dense_factors,
+            self.dense_solves,
+        )
+    }
+}
+
+pub(crate) fn record_symbolic_analysis() {
+    SYMBOLIC_ANALYSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_sparse_refactor() {
+    SPARSE_REFACTORS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_sparse_solve() {
+    SPARSE_SOLVES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_dense_factor() {
+    DENSE_FACTORS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_dense_solve() {
+    DENSE_SOLVES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> SolverStats {
+    SolverStats {
+        symbolic_analyses: SYMBOLIC_ANALYSES.load(Ordering::Relaxed),
+        sparse_refactors: SPARSE_REFACTORS.load(Ordering::Relaxed),
+        sparse_solves: SPARSE_SOLVES.load(Ordering::Relaxed),
+        dense_factors: DENSE_FACTORS.load(Ordering::Relaxed),
+        dense_solves: DENSE_SOLVES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets every counter to zero (bench-harness bookkeeping).
+pub fn reset() {
+    SYMBOLIC_ANALYSES.store(0, Ordering::Relaxed);
+    SPARSE_REFACTORS.store(0, Ordering::Relaxed);
+    SPARSE_SOLVES.store(0, Ordering::Relaxed);
+    DENSE_FACTORS.store(0, Ordering::Relaxed);
+    DENSE_SOLVES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ratio_and_summary() {
+        let stats = SolverStats {
+            symbolic_analyses: 2,
+            sparse_refactors: 50,
+            sparse_solves: 60,
+            dense_factors: 3,
+            dense_solves: 3,
+        };
+        assert!((stats.reuse_ratio() - 25.0).abs() < 1e-12);
+        assert!(stats.summary().contains("25.0x reuse"));
+        assert_eq!(SolverStats::default().reuse_ratio(), 0.0);
+    }
+}
