@@ -30,16 +30,16 @@ pub(crate) fn bo_with_name(
 
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
-    // Scores a set of points as one engine batch (parallel simulation; the
+    // Scores a set of points as one rollout batch (parallel simulation; the
     // recorded trajectory is identical to evaluating them one by one).
     let evaluate_batch = |points: Vec<Vec<f64>>,
                           xs: &mut Vec<Vec<f64>>,
                           ys: &mut Vec<f64>,
                           history: &mut RunHistory| {
-        for (outcome, x) in env.evaluate_units(&points).into_iter().zip(points) {
-            history.record(outcome.fom, &outcome.params, &outcome.report);
-            xs.push(x);
-            ys.push(outcome.fom);
+        for r in env.rollout_units(points) {
+            history.record(r.reward, &r.outcome.params, &r.outcome.report);
+            xs.push(r.action);
+            ys.push(r.reward);
         }
     };
 

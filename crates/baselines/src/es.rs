@@ -25,10 +25,11 @@ pub fn evolution_strategy(env: &SizingEnv, budget: usize, seed: u64) -> RunHisto
 
     while evaluations < budget {
         let normal: Normal<f64> = Normal::new(0.0, 1.0).expect("valid sigma");
-        // Draw the whole generation first, then score it as one batch through
-        // the evaluation engine: the population is mutually independent, so
-        // the engine can simulate it in parallel while the RNG stream and the
-        // recorded trajectory stay identical to the serial loop.
+        // Draw the whole generation first, then score it as one rollout batch
+        // through the evaluation engine: the population is mutually
+        // independent, so the engine can simulate it in parallel while the
+        // RNG stream and the recorded trajectory stay identical to the serial
+        // loop.
         let population = lambda.min(budget - evaluations);
         let candidates: Vec<Vec<f64>> = (0..population)
             .map(|_| {
@@ -37,24 +38,24 @@ pub fn evolution_strategy(env: &SizingEnv, budget: usize, seed: u64) -> RunHisto
                     .collect()
             })
             .collect();
-        let mut scored: Vec<(f64, Vec<f64>)> = Vec::with_capacity(population);
-        for (outcome, candidate) in env.evaluate_units(&candidates).into_iter().zip(candidates) {
-            history.record(outcome.fom, &outcome.params, &outcome.report);
-            scored.push((outcome.fom, candidate));
+        let generation = env.rollout_units(candidates);
+        for r in generation.iter() {
+            history.record(r.reward, &r.outcome.params, &r.outcome.report);
             evaluations += 1;
         }
-        if scored.is_empty() {
+        if generation.is_empty() {
             break;
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let elite = &scored[..mu.min(scored.len())];
-        // Recombine: new mean is the average of the elite.
+        // Recombine: new mean is the average of the µ highest-priority
+        // rollouts (priority = reward, stable rank on ties).
+        let order = generation.ranked();
+        let elite = &order[..mu.min(order.len())];
         for (i, m) in mean.iter_mut().enumerate() {
-            *m = elite.iter().map(|(_, c)| c[i]).sum::<f64>() / elite.len() as f64;
+            *m = elite.iter().map(|&e| generation[e].action[i]).sum::<f64>() / elite.len() as f64;
         }
         // Step-size adaptation: grow when the generation improved on the
         // previous parent, shrink otherwise.
-        let gen_best = elite[0].0;
+        let gen_best = generation[elite[0]].reward;
         if gen_best > best_parent_fom {
             sigma = (sigma * 1.15).min(0.5);
             best_parent_fom = gen_best;

@@ -12,7 +12,9 @@ const BATCH: usize = 3;
 /// approximates the acquisition ensemble by taking the top-`BATCH` candidates
 /// of the expected-improvement front per iteration, which captures the method's
 /// defining property — several simulations per surrogate refit — without the
-/// full multi-objective NSGA-II machinery.
+/// full multi-objective NSGA-II machinery.  Each acquisition batch is scored
+/// through the same `RolloutBatch` population path the other optimizers use,
+/// so the engine sees it as one parallel, cache-deduplicated round.
 pub fn mace(env: &SizingEnv, budget: usize, seed: u64) -> RunHistory {
     bo_with_name(env, budget, seed, "MACE", BATCH)
 }

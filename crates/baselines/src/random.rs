@@ -9,10 +9,10 @@ const BATCH: usize = 256;
 /// Uniform random search over the unit design space.
 ///
 /// This is the paper's "Random" row: every episode draws an independent
-/// uniform sample of all parameters. Samples are scored in batches through
-/// the environment's evaluation engine, which parallelises the simulator
-/// calls without changing the recorded trajectory (sampling order and
-/// results are identical to the serial loop).
+/// uniform sample of all parameters. Samples are scored as
+/// [`gcnrl_rl::RolloutBatch`]es through the environment's evaluation engine,
+/// which parallelises the simulator calls without changing the recorded
+/// trajectory (sampling order and results are identical to the serial loop).
 pub fn random_search(env: &SizingEnv, budget: usize, seed: u64) -> RunHistory {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut history = RunHistory::new("Random");
@@ -23,8 +23,8 @@ pub fn random_search(env: &SizingEnv, budget: usize, seed: u64) -> RunHistory {
         let units: Vec<Vec<f64>> = (0..batch)
             .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
             .collect();
-        for outcome in env.evaluate_units(&units) {
-            history.record(outcome.fom, &outcome.params, &outcome.report);
+        for r in env.rollout_units(units).iter() {
+            history.record(r.reward, &r.outcome.params, &r.outcome.report);
         }
         remaining -= batch;
     }

@@ -13,6 +13,7 @@ fn bench_optimizers(c: &mut Criterion) {
         warmup: 8,
         seeds: 1,
         calibration: 6,
+        rollout_k: 1,
     };
     let node = TechnologyNode::tsmc180();
     let mut group = c.benchmark_group("optimizer_20_steps");

@@ -1,25 +1,37 @@
 //! Table I: FoM comparison of all methods on the four benchmark circuits.
+//!
+//! All `benchmark × method × seed` cells go into one work queue drained by
+//! the sharded coordinator (`GCNRL_WORKERS` concurrent cells, shared
+//! `GCNRL_CACHE_CAP` budget) instead of the old sequential nested loops; the
+//! assembled table is identical for any worker count.
 
-use gcnrl_bench::{budget_from_env, run_all_methods, write_json, ExperimentConfig};
+use gcnrl_bench::{
+    budget_from_env, method_results, run_cells, table_cells, write_json, CoordinatorConfig,
+    ExperimentConfig,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
     println!(
-        "Table I — FoM comparison (budget={}, seeds={})",
-        cfg.budget, cfg.seeds
+        "Table I — FoM comparison (budget={}, seeds={}, rollout_k={}, {} workers)",
+        cfg.budget, cfg.seeds, cfg.rollout_k, coord.workers
     );
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>14}",
         "Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO"
     );
 
+    let cells = table_cells(&Benchmark::ALL, &node, &cfg);
+    let results = run_cells(&cells, &cfg, &coord);
+    let per_bench: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| method_results(&results, b))
+        .collect();
+
     let mut rows: Vec<(String, Vec<String>)> = Vec::new();
-    let mut per_bench = Vec::new();
-    for b in Benchmark::ALL {
-        per_bench.push(run_all_methods(b, &node, &cfg));
-    }
     for (i, method) in gcnrl_bench::METHODS.iter().enumerate() {
         let cells: Vec<String> = per_bench.iter().map(|r| r[i].formatted()).collect();
         println!(

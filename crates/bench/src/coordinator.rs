@@ -1,0 +1,286 @@
+//! The sharded Table I coordinator: one work queue of
+//! `(benchmark, node, method, seed)` cells drained by a worker pool.
+//!
+//! The table binaries used to run every cell sequentially in nested loops.
+//! Here every cell becomes an independent shard with its own engine instance
+//! carved out of a **shared cache/LRU budget** (`GCNRL_CACHE_CAP` split
+//! evenly across the cells, so a 28-cell Table I run cannot exceed the same
+//! memory bound a single run would), and the cells are drained concurrently
+//! by `gcnrl-exec`'s [`WorkerPool`].  Each cell's engine is single-threaded —
+//! the parallelism lives at the cell level, which avoids nested pools — and
+//! every optimisation run is a deterministic function of its seed, so the
+//! assembled results are **identical for any worker count** (pinned by the
+//! `coordinator` integration test at 1/2/4 workers).
+//!
+//! When `GCNRL_CACHE_PATH` is set, all cells append to the same cache log
+//! (see `gcnrl_exec::persist::CacheLog`), so concurrent shards share
+//! simulation results across runs without a save-at-drop race.
+
+use crate::harness::{
+    merge_exec_stats, method_result_from_histories, run_method_with_engine, ExperimentConfig,
+    MethodResult, METHODS,
+};
+use gcnrl::{EngineConfig, ExecStats, RunHistory};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_exec::WorkerPool;
+use std::sync::mpsc::channel;
+
+/// One schedulable cell of a table run.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Benchmark circuit of the cell.
+    pub benchmark: Benchmark,
+    /// Technology node of the cell.
+    pub node: TechnologyNode,
+    /// Method name (one of [`METHODS`]).
+    pub method: String,
+    /// Seed of the repetition.
+    pub seed: u64,
+}
+
+/// The outcome of one drained cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell this result belongs to.
+    pub spec: CellSpec,
+    /// The optimisation trajectory of the cell.
+    pub history: RunHistory,
+    /// The cell engine's evaluation statistics.
+    pub exec: ExecStats,
+}
+
+/// How the coordinator drains its queue.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Concurrent cells (worker threads draining the queue).
+    pub workers: usize,
+    /// Total cached reports across *all* cell engines; each cell gets an
+    /// equal share (at least one entry).
+    pub cache_budget: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_budget: 65_536,
+        }
+    }
+}
+
+impl CoordinatorConfig {
+    /// Reads the configuration from environment variables, falling back to
+    /// the defaults: `GCNRL_WORKERS` (concurrent cells, default: available
+    /// parallelism), `GCNRL_CACHE_CAP` (shared cache budget).
+    pub fn from_env() -> Self {
+        let read = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        let mut config = Self::default();
+        if let Some(workers) = read("GCNRL_WORKERS") {
+            config.workers = workers.max(1);
+        }
+        if let Some(budget) = read("GCNRL_CACHE_CAP") {
+            config.cache_budget = budget.max(1);
+        }
+        config
+    }
+
+    /// Returns a copy with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns a copy with a different shared cache budget.
+    pub fn with_cache_budget(mut self, budget: usize) -> Self {
+        self.cache_budget = budget.max(1);
+        self
+    }
+}
+
+/// Builds the full cell grid `benchmarks × METHODS × seeds` in table order.
+pub fn table_cells(
+    benchmarks: &[Benchmark],
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &benchmark in benchmarks {
+        for method in METHODS {
+            for seed in 0..cfg.seeds.max(1) {
+                cells.push(CellSpec {
+                    benchmark,
+                    node: node.clone(),
+                    method: method.to_owned(),
+                    seed: seed as u64,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The engine configuration one cell runs under: single-threaded (the
+/// parallelism is at the cell level), with an equal share of the coordinator's
+/// cache budget; persistence (`GCNRL_CACHE_PATH`) is inherited from the
+/// environment so all cells share one append-only log.
+fn cell_engine_config(coord: &CoordinatorConfig, num_cells: usize) -> EngineConfig {
+    EngineConfig::from_env()
+        .with_threads(1)
+        .with_cache_capacity((coord.cache_budget / num_cells.max(1)).max(1))
+}
+
+/// Drains `cells` through a pool of `coord.workers` threads and returns the
+/// results in cell order.
+///
+/// Every cell is an independent deterministic computation, so the returned
+/// histories and engine statistics do not depend on the worker count or on
+/// the order in which the pool happens to schedule the cells.
+///
+/// # Panics
+///
+/// Re-raises the first cell panic on the calling thread (like the serial
+/// loops it replaces would).
+pub fn run_cells(
+    cells: &[CellSpec],
+    cfg: &ExperimentConfig,
+    coord: &CoordinatorConfig,
+) -> Vec<CellResult> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let engine = cell_engine_config(coord, cells.len());
+
+    // A single worker needs no pool (and keeps panic backtraces direct).
+    if coord.workers <= 1 || cells.len() == 1 {
+        return cells
+            .iter()
+            .map(|spec| run_one(spec.clone(), cfg, engine.clone()))
+            .collect();
+    }
+
+    type CellOutcome = Result<CellResult, Box<dyn std::any::Any + Send + 'static>>;
+    let pool = WorkerPool::new(coord.workers.min(cells.len()));
+    let (tx, rx) = channel::<(usize, CellOutcome)>();
+    for (index, spec) in cells.iter().cloned().enumerate() {
+        let tx = tx.clone();
+        let cfg = *cfg;
+        let engine = engine.clone();
+        pool.execute(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_one(spec, &cfg, engine)
+            }));
+            // A closed receiver means the coordinator already panicked.
+            let _ = tx.send((index, outcome));
+        });
+    }
+    drop(tx);
+
+    let mut results: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
+    for _ in 0..cells.len() {
+        let (index, outcome) = rx.recv().expect("cell jobs always send an outcome");
+        match outcome {
+            Ok(result) => results[index] = Some(result),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell reports once"))
+        .collect()
+}
+
+fn run_one(spec: CellSpec, cfg: &ExperimentConfig, engine: EngineConfig) -> CellResult {
+    let (history, exec) = run_method_with_engine(
+        &spec.method,
+        spec.benchmark,
+        &spec.node,
+        cfg,
+        spec.seed,
+        engine,
+    );
+    CellResult {
+        spec,
+        history,
+        exec,
+    }
+}
+
+/// Folds the cell results of one benchmark into per-method [`MethodResult`]s
+/// in table order (seeds grouped per method, engine statistics merged).
+pub fn method_results(results: &[CellResult], benchmark: Benchmark) -> Vec<MethodResult> {
+    METHODS
+        .iter()
+        .map(|method| {
+            let mut histories = Vec::new();
+            let mut stats = Vec::new();
+            for cell in results {
+                if cell.spec.benchmark == benchmark && cell.spec.method == *method {
+                    histories.push(cell.history.clone());
+                    stats.push(cell.exec);
+                }
+            }
+            assert!(
+                !histories.is_empty(),
+                "no cells for method `{method}` on {benchmark}"
+            );
+            let mut result = method_result_from_histories(method, histories);
+            result.exec = Some(merge_exec_stats(stats));
+            result
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::TechnologyNode;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            budget: 6,
+            warmup: 2,
+            seeds: 2,
+            calibration: 4,
+            rollout_k: 1,
+        }
+    }
+
+    #[test]
+    fn table_cells_enumerate_benchmarks_methods_and_seeds_in_order() {
+        let node = TechnologyNode::tsmc180();
+        let cells = table_cells(
+            &[Benchmark::TwoStageTia, Benchmark::Ldo],
+            &node,
+            &tiny_cfg(),
+        );
+        assert_eq!(cells.len(), 2 * METHODS.len() * 2);
+        assert_eq!(cells[0].benchmark, Benchmark::TwoStageTia);
+        assert_eq!(cells[0].method, "Human");
+        assert_eq!(cells[0].seed, 0);
+        assert_eq!(cells[1].seed, 1);
+        assert_eq!(cells.last().unwrap().benchmark, Benchmark::Ldo);
+        assert_eq!(cells.last().unwrap().method, "GCN-RL");
+    }
+
+    #[test]
+    fn cell_engines_split_the_shared_cache_budget() {
+        let coord = CoordinatorConfig::default()
+            .with_workers(2)
+            .with_cache_budget(100);
+        let engine = cell_engine_config(&coord, 7);
+        assert_eq!(engine.threads, 1);
+        assert_eq!(engine.cache_capacity, 14);
+        // The budget floor is one entry per cell.
+        assert_eq!(cell_engine_config(&coord, 1000).cache_capacity, 1);
+    }
+
+    #[test]
+    fn empty_queue_is_a_no_op() {
+        let coord = CoordinatorConfig::default();
+        assert!(run_cells(&[], &tiny_cfg(), &coord).is_empty());
+    }
+}

@@ -1,6 +1,9 @@
 //! Shared experiment-running machinery.
 
-use gcnrl::{AgentKind, ExecStats, FomConfig, GcnRlDesigner, RunHistory, SizingEnv};
+use gcnrl::{
+    AgentKind, EngineConfig, ExecStats, FomConfig, GcnRlDesigner, RunHistory, SizingEnv,
+    StateEncoding,
+};
 use gcnrl_baselines::{
     bayesian_optimization, evolution_strategy, human_expert, mace, random_search,
 };
@@ -23,6 +26,9 @@ pub struct ExperimentConfig {
     /// Random-sampling budget used to calibrate the FoM normalisation
     /// (the paper uses 5000).
     pub calibration: usize,
+    /// Speculative rollout width `k` for the RL methods (candidates proposed
+    /// and batch-evaluated per policy step; 1 = classic serial exploration).
+    pub rollout_k: usize,
 }
 
 impl ExperimentConfig {
@@ -33,13 +39,14 @@ impl ExperimentConfig {
             warmup: 15,
             seeds: 1,
             calibration: 20,
+            rollout_k: 1,
         }
     }
 }
 
 /// Reads the experiment scale from environment variables, falling back to the
 /// given defaults: `GCNRL_BUDGET`, `GCNRL_WARMUP`, `GCNRL_SEEDS`,
-/// `GCNRL_CALIBRATION`.
+/// `GCNRL_CALIBRATION`, `GCNRL_ROLLOUT_K`.
 pub fn budget_from_env(default: ExperimentConfig) -> ExperimentConfig {
     let read = |name: &str, fallback: usize| {
         std::env::var(name)
@@ -52,6 +59,7 @@ pub fn budget_from_env(default: ExperimentConfig) -> ExperimentConfig {
         warmup: read("GCNRL_WARMUP", default.warmup),
         seeds: read("GCNRL_SEEDS", default.seeds),
         calibration: read("GCNRL_CALIBRATION", default.calibration),
+        rollout_k: read("GCNRL_ROLLOUT_K", default.rollout_k).max(1),
     }
 }
 
@@ -128,8 +136,21 @@ pub struct SeriesSummary {
 
 /// Builds a calibrated environment for a benchmark at a node.
 pub fn make_env(benchmark: Benchmark, node: &TechnologyNode, cfg: &ExperimentConfig) -> SizingEnv {
-    let fom = FomConfig::calibrated(benchmark, node, cfg.calibration, 7);
-    SizingEnv::new(benchmark, node, fom)
+    make_env_with_engine(benchmark, node, cfg, EngineConfig::from_env())
+}
+
+/// Builds a calibrated environment with an explicit evaluation-engine
+/// configuration (the sharded coordinator's per-cell path: the calibration
+/// sweep and the optimisation run both stay on the cell's engine budget).
+pub fn make_env_with_engine(
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+    engine: EngineConfig,
+) -> SizingEnv {
+    let fom =
+        FomConfig::calibrated_with_engine(benchmark, node, cfg.calibration, 7, engine.clone());
+    SizingEnv::with_engine_config(benchmark, node, fom, StateEncoding::ScalarIndex, engine)
 }
 
 /// Runs one named method on an environment with the given seed.
@@ -152,10 +173,24 @@ pub fn run_method_instrumented(
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> (RunHistory, ExecStats) {
-    let env = make_env(benchmark, node, cfg);
+    run_method_with_engine(method, benchmark, node, cfg, seed, EngineConfig::from_env())
+}
+
+/// Runs one named method against an explicitly configured evaluation engine
+/// (the unit of work one coordinator shard executes).
+pub fn run_method_with_engine(
+    method: &str,
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    engine: EngineConfig,
+) -> (RunHistory, ExecStats) {
+    let env = make_env_with_engine(benchmark, node, cfg, engine);
     let ddpg = DdpgConfig::default()
         .with_seed(seed)
-        .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+        .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2))
+        .with_rollout_k(cfg.rollout_k);
     fn run_rl(env: SizingEnv, ddpg: DdpgConfig, kind: AgentKind) -> (RunHistory, ExecStats) {
         let mut designer = GcnRlDesigner::with_kind(env, ddpg, kind);
         let history = designer.run();
@@ -204,29 +239,29 @@ pub fn merge_exec_stats(stats: impl IntoIterator<Item = ExecStats>) -> ExecStats
     })
 }
 
-/// Runs every method of Table I on one benchmark, repeating `cfg.seeds` times.
+/// Runs every method of Table I on one benchmark, repeating `cfg.seeds`
+/// times.  The cells are drained by the sharded coordinator (see
+/// [`crate::coordinator`]), so on multi-core hosts the methods and seeds run
+/// concurrently under a shared cache budget; results are identical for any
+/// worker count.
 pub fn run_all_methods(
     benchmark: Benchmark,
     node: &TechnologyNode,
     cfg: &ExperimentConfig,
 ) -> Vec<MethodResult> {
-    METHODS
-        .iter()
-        .map(|method| {
-            let mut stats = Vec::new();
-            let histories: Vec<RunHistory> = (0..cfg.seeds.max(1))
-                .map(|s| {
-                    let (history, exec) =
-                        run_method_instrumented(method, benchmark, node, cfg, s as u64);
-                    stats.push(exec);
-                    history
-                })
-                .collect();
-            let mut result = MethodResult::from_histories(method, histories);
-            result.exec = Some(merge_exec_stats(stats));
-            result
-        })
-        .collect()
+    let cells = crate::coordinator::table_cells(&[benchmark], node, cfg);
+    let results = crate::coordinator::run_cells(
+        &cells,
+        cfg,
+        &crate::coordinator::CoordinatorConfig::from_env(),
+    );
+    crate::coordinator::method_results(&results, benchmark)
+}
+
+/// Groups per-seed histories into one [`MethodResult`] (used by the sharded
+/// coordinator's aggregation step).
+pub fn method_result_from_histories(method: &str, histories: Vec<RunHistory>) -> MethodResult {
+    MethodResult::from_histories(method, histories)
 }
 
 /// Prints one engine-statistics line per method (used by the table binaries
@@ -310,6 +345,7 @@ mod tests {
             warmup: 4,
             seeds: 1,
             calibration: 6,
+            rollout_k: 1,
         };
         let node = TechnologyNode::tsmc180();
         for method in METHODS {

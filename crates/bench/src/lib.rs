@@ -6,10 +6,14 @@
 //! set the `GCNRL_BUDGET`, `GCNRL_SEEDS` and `GCNRL_CALIBRATION` environment
 //! variables to run at larger scale (see EXPERIMENTS.md).
 
+pub mod coordinator;
 pub mod harness;
 
+pub use coordinator::{
+    method_results, run_cells, table_cells, CellResult, CellSpec, CoordinatorConfig,
+};
 pub use harness::{
-    budget_from_env, make_env, merge_exec_stats, print_exec_stats, print_series, run_all_methods,
-    run_method, run_method_instrumented, write_json, ExperimentConfig, MethodResult, SeriesSummary,
-    METHODS,
+    budget_from_env, make_env, make_env_with_engine, merge_exec_stats, print_exec_stats,
+    print_series, run_all_methods, run_method, run_method_instrumented, run_method_with_engine,
+    write_json, ExperimentConfig, MethodResult, SeriesSummary, METHODS,
 };

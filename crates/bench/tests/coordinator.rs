@@ -1,0 +1,70 @@
+//! Determinism of the sharded Table I coordinator: the same cell queue
+//! drained by 1, 2 and 4 workers must produce identical cell results and
+//! identical merged engine statistics (wall time excluded — it is the only
+//! nondeterministic field).
+
+use gcnrl::ExecStats;
+use gcnrl_bench::{merge_exec_stats, run_cells, table_cells, CoordinatorConfig, ExperimentConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        budget: 8,
+        warmup: 3,
+        seeds: 1,
+        calibration: 4,
+        rollout_k: 2,
+    }
+}
+
+/// Zeroes the wall-clock field so the remaining counters can be compared
+/// exactly across runs.
+fn deterministic(stats: ExecStats) -> ExecStats {
+    ExecStats {
+        wall_seconds: 0.0,
+        ..stats
+    }
+}
+
+#[test]
+fn shard_order_and_worker_count_do_not_change_the_table() {
+    let node = TechnologyNode::tsmc180();
+    let cfg = tiny_cfg();
+    // Two benchmarks × 7 methods × 1 seed = 14 cells: enough to interleave
+    // while staying CI-sized.
+    let cells = table_cells(&[Benchmark::TwoStageTia, Benchmark::Ldo], &node, &cfg);
+
+    let runs: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&workers| {
+            let coord = CoordinatorConfig::default()
+                .with_workers(workers)
+                .with_cache_budget(4096);
+            run_cells(&cells, &cfg, &coord)
+        })
+        .collect();
+
+    let reference = &runs[0];
+    for (run, workers) in runs.iter().zip([1usize, 2, 4]) {
+        assert_eq!(run.len(), cells.len(), "workers={workers}");
+        for (cell, expected) in run.iter().zip(reference.iter()) {
+            assert_eq!(
+                cell.history, expected.history,
+                "workers={workers}: cell ({}, {}, seed {}) diverged",
+                cell.spec.benchmark, cell.spec.method, cell.spec.seed
+            );
+            assert_eq!(
+                deterministic(cell.exec),
+                deterministic(expected.exec),
+                "workers={workers}: exec stats of ({}, {}) diverged",
+                cell.spec.benchmark,
+                cell.spec.method
+            );
+        }
+        // Merged totals across the whole queue are identical too.
+        let merged = deterministic(merge_exec_stats(run.iter().map(|c| c.exec)));
+        let merged_ref = deterministic(merge_exec_stats(reference.iter().map(|c| c.exec)));
+        assert_eq!(merged, merged_ref, "workers={workers}: merged totals");
+        assert!(merged.requests > 0, "the queue actually simulated");
+    }
+}

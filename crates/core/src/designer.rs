@@ -83,7 +83,28 @@ impl GcnRlDesigner {
     }
 
     /// Runs the full search (Algorithm 1) and returns the history.
+    ///
+    /// Exploration is a speculative batched rollout pipeline: every policy
+    /// step proposes `config.rollout_k` correlated noisy action matrices
+    /// (propose), scores them as **one** engine batch so the worker pool and
+    /// result cache see the whole round at once (evaluate), then ingests all
+    /// `k` transitions into the replay buffer and steps the actor/critic once
+    /// against the best-of-`k` reward baseline (learn).  `episodes` counts
+    /// simulations, so a `k = 4` run makes a quarter as many network updates
+    /// at the same simulation budget — each round costs one parallel engine
+    /// batch plus one network step, which is what makes the wall clock
+    /// shrink with `k`.  With `rollout_k = 1` the pipeline is bit-identical
+    /// to the classic serial trainer (pinned by the `serial_equivalence`
+    /// regression test).
     pub fn run(&mut self) -> RunHistory {
+        self.run_observed(&mut |_| {})
+    }
+
+    /// Like [`GcnRlDesigner::run`], additionally invoking `observer` with the
+    /// history after the warm-up phase and after every exploration round.
+    /// Benchmarks use this to measure time-to-quality without the history
+    /// itself carrying timestamps (which would break bit-exact comparisons).
+    pub fn run_observed(&mut self, observer: &mut dyn FnMut(&RunHistory)) -> RunHistory {
         let mut history = RunHistory::new(self.method_name());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut noise = ExplorationNoise::new(
@@ -107,36 +128,66 @@ impl GcnRlDesigner {
         let warmup_actions: Vec<Matrix> = (0..warmup)
             .map(|_| self.env.random_actions(&mut rng))
             .collect();
-        let warmup_outcomes = self.env.evaluate_actions_batch(&warmup_actions);
-        for (actions, outcome) in warmup_actions.into_iter().zip(warmup_outcomes) {
-            history.record(outcome.fom, &outcome.params, &outcome.report);
-            replay.push(actions, outcome.fom);
-            baseline.update(outcome.fom);
+        let warmup_rollouts = self.env.rollout_actions(warmup_actions);
+        for r in warmup_rollouts.iter() {
+            history.record(r.reward, &r.outcome.params, &r.outcome.report);
+            baseline.update(r.reward);
         }
+        replay.ingest(&warmup_rollouts);
+        observer(&history);
 
-        // (2) Exploration episodes: each action depends on the networks
-        // updated from the previous step, so this phase is inherently serial
-        // (it still benefits from the engine's result cache).
-        for episode in warmup..self.config.episodes {
-            let mut actions = self.agent.act(&states, &adjacency);
-            for v in actions.as_mut_slice() {
-                *v = (*v + noise.sample()).clamp(-1.0, 1.0);
-            }
+        // (2) Exploration rounds: propose → evaluate → learn.
+        let k = self.config.rollout_k.max(1);
+        let rho = self.config.rollout_rho.clamp(0.0, 1.0);
+        let mut episode = warmup;
+        while episode < self.config.episodes {
+            let width = k.min(self.config.episodes - episode);
+
+            // Propose: one policy action, `width` correlated perturbations.
+            let base = self.agent.act(&states, &adjacency);
+            let entries = base.rows() * base.cols();
+            let proposals: Vec<Matrix> = noise
+                .sample_correlated(width, entries, rho)
+                .into_iter()
+                .map(|perturbation| {
+                    let mut actions = base.clone();
+                    for (v, n) in actions.as_mut_slice().iter_mut().zip(perturbation) {
+                        *v = (*v + n).clamp(-1.0, 1.0);
+                    }
+                    actions
+                })
+                .collect();
             noise.decay_step();
 
-            let outcome = self.env.evaluate_actions(&actions);
-            history.record(outcome.fom, &outcome.params, &outcome.report);
+            // Evaluate: the whole round is one engine batch (parallel fan-out
+            // plus cache dedup of near-quantized repeat candidates).
+            let rollouts = self.env.rollout_actions(proposals);
 
-            replay.push(actions, outcome.fom);
-            baseline.update(outcome.fom);
+            // Learn: every candidate enters the history and the replay
+            // buffer wholesale; the EMA baseline advances on the best-of-`k`
+            // reward and the actor/critic step once per round (for `k = 1`
+            // both are exactly the serial trainer's update).  One update per
+            // *round* rather than per simulation is what makes the wall
+            // clock shrink with `k`: a round costs one parallel engine batch
+            // plus one network step.
+            for r in rollouts.iter() {
+                history.record(r.reward, &r.outcome.params, &r.outcome.report);
+            }
+            replay.ingest(&rollouts);
+            let best = rollouts.best().expect("non-empty rollout round");
+            baseline.update(best.reward);
+
+            let step_seed = self.config.seed ^ (history.len() as u64 - 1);
             let batch: Vec<(Matrix, f64)> = replay
-                .sample(self.config.batch_size, self.config.seed ^ episode as u64)
+                .sample(self.config.batch_size, step_seed)
                 .into_iter()
                 .map(|(a, r)| (a.clone(), r))
                 .collect();
             self.agent
                 .critic_update(&states, &adjacency, &batch, baseline.value());
             self.agent.actor_update(&states, &adjacency);
+            episode += width;
+            observer(&history);
         }
         history
     }
@@ -189,6 +240,50 @@ mod tests {
         let mut designer = GcnRlDesigner::with_kind(env, tiny_config(), AgentKind::NonGcn);
         let history = designer.run();
         assert_eq!(history.method, "NG-RL");
+        assert_eq!(history.len(), 30);
+    }
+
+    #[test]
+    fn batched_rollouts_spend_the_same_simulation_budget() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        for k in [4usize, 7] {
+            let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom.clone());
+            let cfg = tiny_config().with_rollout_k(k);
+            let mut designer = GcnRlDesigner::new(env, cfg);
+            let history = designer.run();
+            // 30 episodes = 30 simulations regardless of the rollout width
+            // (the last round is truncated when k does not divide the budget).
+            assert_eq!(history.len(), 30, "k={k}");
+            assert!(history.best_fom().is_finite());
+            assert!(history.best_curve().windows(2).all(|w| w[1] >= w[0]));
+        }
+    }
+
+    #[test]
+    fn batched_run_is_deterministic_per_seed() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let run = |seed| {
+            let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom.clone());
+            let cfg = tiny_config().with_seed(seed).with_rollout_k(4);
+            GcnRlDesigner::new(env, cfg).run()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).best_curve(), run(4).best_curve());
+    }
+
+    #[test]
+    fn observer_sees_warmup_plus_one_call_per_round() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        let cfg = tiny_config().with_rollout_k(5);
+        let mut designer = GcnRlDesigner::new(env, cfg);
+        let mut lengths = Vec::new();
+        let history = designer.run_observed(&mut |h| lengths.push(h.len()));
+        // Warm-up (10 sims) then 20 exploration sims in rounds of 5.
+        assert_eq!(lengths, vec![10, 15, 20, 25, 30]);
         assert_eq!(history.len(), 30);
     }
 

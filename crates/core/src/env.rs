@@ -7,7 +7,8 @@ use gcnrl_circuit::{
 };
 use gcnrl_exec::{BatchEvaluator, EngineConfig, ExecStats};
 use gcnrl_linalg::Matrix;
-use gcnrl_sim::evaluators::evaluator_for;
+use gcnrl_rl::RolloutBatch;
+use gcnrl_sim::evaluators::{evaluator_for, Evaluator};
 use gcnrl_sim::PerformanceReport;
 use rand::Rng;
 
@@ -69,10 +70,32 @@ impl SizingEnv {
         encoding: StateEncoding,
         engine_config: EngineConfig,
     ) -> Self {
+        Self::with_custom_evaluator(
+            benchmark,
+            node,
+            fom,
+            encoding,
+            engine_config,
+            evaluator_for(benchmark, node),
+        )
+    }
+
+    /// Creates the environment around a caller-supplied evaluator (e.g. an
+    /// instrumented or latency-injecting wrapper in benchmarks). The
+    /// evaluator should model the same benchmark/technology pair it is
+    /// registered under, since both end up in the engine's cache keys.
+    pub fn with_custom_evaluator(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        fom: FomConfig,
+        encoding: StateEncoding,
+        engine_config: EngineConfig,
+        evaluator: Box<dyn Evaluator>,
+    ) -> Self {
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let refiner = Refiner::new(&circuit);
-        let engine = BatchEvaluator::new(evaluator_for(benchmark, node), engine_config);
+        let engine = BatchEvaluator::new(evaluator, engine_config);
         let adjacency = circuit.topology_graph().normalized_adjacency();
         let states = state_matrix(&circuit, node, encoding);
         SizingEnv {
@@ -166,20 +189,21 @@ impl SizingEnv {
     }
 
     /// Evaluates an `n x 3` action matrix: refine, simulate, score.
+    ///
+    /// Thin wrapper over [`SizingEnv::evaluate_actions_batch`] with a batch
+    /// of one; every singular entry point shares the batched code path.
     pub fn evaluate_actions(&self, actions: &Matrix) -> StepOutcome {
-        let params = self.actions_to_params(actions);
-        self.evaluate_params(params)
+        self.evaluate_actions_batch(std::slice::from_ref(actions))
+            .pop()
+            .expect("batch of one yields one outcome")
     }
 
-    /// Evaluates an already-legal sizing (cache-aware, serial).
+    /// Evaluates an already-legal sizing (cache-aware; thin wrapper over
+    /// [`SizingEnv::evaluate_batch`] with a batch of one).
     pub fn evaluate_params(&self, params: ParamVector) -> StepOutcome {
-        let report = self.engine.evaluate(&params);
-        let fom = self.fom.fom(&report);
-        StepOutcome {
-            params,
-            report,
-            fom,
-        }
+        self.evaluate_batch(vec![params])
+            .pop()
+            .expect("batch of one yields one outcome")
     }
 
     /// Evaluates a batch of already-legal sizings through the evaluation
@@ -213,11 +237,12 @@ impl SizingEnv {
     }
 
     /// Evaluates a flat unit vector in `[0, 1]^num_parameters`; this is the
-    /// interface the black-box baselines use.
+    /// interface the black-box baselines use (thin wrapper over
+    /// [`SizingEnv::evaluate_units`] with a batch of one).
     pub fn evaluate_unit(&self, unit: &[f64]) -> StepOutcome {
-        let raw = self.space.from_unit(unit);
-        let params = self.refiner.refine(&self.space, &raw);
-        self.evaluate_params(params)
+        self.evaluate_units(std::slice::from_ref(&unit.to_vec()))
+            .pop()
+            .expect("batch of one yields one outcome")
     }
 
     /// Evaluates a batch of flat unit vectors through the evaluation engine
@@ -231,6 +256,37 @@ impl SizingEnv {
             })
             .collect();
         self.evaluate_batch(params)
+    }
+
+    /// Evaluates a batch of action matrices and packages them as a
+    /// [`RolloutBatch`] (reward = FoM, priority defaulting to the reward):
+    /// the unit the batched exploration pipeline and the replay buffer
+    /// consume.
+    pub fn rollout_actions(&self, actions: Vec<Matrix>) -> RolloutBatch<Matrix, StepOutcome> {
+        let outcomes = self.evaluate_actions_batch(&actions);
+        actions
+            .into_iter()
+            .zip(outcomes)
+            .map(|(action, outcome)| {
+                let fom = outcome.fom;
+                (action, outcome, fom)
+            })
+            .collect()
+    }
+
+    /// Evaluates a batch of flat unit vectors and packages them as a
+    /// [`RolloutBatch`] — the population-scoring path shared by the ES /
+    /// Random / BO / MACE baselines.
+    pub fn rollout_units(&self, units: Vec<Vec<f64>>) -> RolloutBatch<Vec<f64>, StepOutcome> {
+        let outcomes = self.evaluate_units(&units);
+        units
+            .into_iter()
+            .zip(outcomes)
+            .map(|(unit, outcome)| {
+                let fom = outcome.fom;
+                (unit, outcome, fom)
+            })
+            .collect()
     }
 
     /// The evaluation engine serving this environment.
@@ -321,6 +377,26 @@ mod tests {
         let serial: Vec<StepOutcome> = units.iter().map(|u| e.evaluate_unit(u)).collect();
         let batched = e.evaluate_units(&units);
         assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn rollout_batches_carry_fom_as_reward_and_match_the_batch_path() {
+        let e = env();
+        let d = e.num_unit_parameters();
+        let units: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..d).map(|j| ((i * 7 + j) % 13) as f64 / 12.0).collect())
+            .collect();
+        let outcomes = e.evaluate_units(&units);
+        let batch = e.rollout_units(units.clone());
+        assert_eq!(batch.len(), 4);
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(r.action, units[i]);
+            assert_eq!(r.outcome, outcomes[i]);
+            assert_eq!(r.reward, outcomes[i].fom);
+            assert_eq!(r.priority, r.reward);
+        }
+        let best = batch.best().expect("non-empty batch");
+        assert!(batch.iter().all(|r| r.reward <= best.reward));
     }
 
     #[test]

@@ -90,9 +90,23 @@ impl FomConfig {
         samples: usize,
         seed: u64,
     ) -> Self {
+        Self::calibrated_with_engine(benchmark, node, samples, seed, EngineConfig::from_env())
+    }
+
+    /// Like [`FomConfig::calibrated`], with an explicit evaluation-engine
+    /// configuration.  The sharded bench coordinator uses this to keep each
+    /// cell's calibration sweep on the cell's own engine budget (one worker
+    /// thread per cell) instead of spawning a nested pool per shard.
+    pub fn calibrated_with_engine(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        samples: usize,
+        seed: u64,
+        engine_config: EngineConfig,
+    ) -> Self {
         // Calibration is an embarrassingly parallel random sweep, so it goes
         // through the batched evaluation engine.
-        let engine = BatchEvaluator::for_benchmark(benchmark, node, EngineConfig::from_env());
+        let engine = BatchEvaluator::for_benchmark(benchmark, node, engine_config);
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let mut rng = StdRng::seed_from_u64(seed);

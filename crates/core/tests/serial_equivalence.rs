@@ -1,0 +1,138 @@
+//! The `k = 1` equivalence guard for the batched rollout pipeline.
+//!
+//! The refactor of `GcnRlDesigner::run` into a propose → evaluate → learn
+//! pipeline must be invisible at rollout width 1: with a fixed seed the
+//! produced `RunHistory` has to be **bit-identical** to the pre-refactor
+//! serial trainer.  This test re-implements that serial loop verbatim (one
+//! noisy action per network update, episode-by-episode evaluation) from the
+//! public agent/environment API and pins the pipeline against it.
+
+use gcnrl::{AgentKind, FomConfig, GcnAgent, GcnRlDesigner, RunHistory, SizingEnv};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_linalg::Matrix;
+use gcnrl_rl::{DdpgConfig, EmaBaseline, ExplorationNoise, ReplayBuffer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The pre-refactor serial trainer (the exact loop `GcnRlDesigner::run` ran
+/// before speculative batched rollouts), reproduced against the same
+/// environment and agent construction.
+fn reference_serial_run(env: &SizingEnv, config: DdpgConfig, kind: AgentKind) -> RunHistory {
+    let types = env.component_types();
+    let mut agent = GcnAgent::new(
+        kind,
+        env.states().cols(),
+        config.hidden_dim,
+        config.gcn_layers,
+        &types,
+        config.actor_lr,
+        config.critic_lr,
+        config.seed,
+    );
+    let method = match kind {
+        AgentKind::Gcn => "GCN-RL",
+        AgentKind::NonGcn => "NG-RL",
+    };
+
+    let mut history = RunHistory::new(method);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut noise =
+        ExplorationNoise::new(config.noise_sigma, config.noise_decay, config.seed ^ 0x5eed);
+    let mut baseline = EmaBaseline::new(config.baseline_decay);
+    let mut replay: ReplayBuffer<Matrix> = ReplayBuffer::new(config.replay_capacity);
+
+    let states = env.states().clone();
+    let adjacency = env.adjacency().clone();
+
+    // Warm-up: uniformly random actions, one evaluation per episode.
+    let warmup = config.warmup.min(config.episodes);
+    for _ in 0..warmup {
+        let actions = env.random_actions(&mut rng);
+        let outcome = env.evaluate_actions(&actions);
+        history.record(outcome.fom, &outcome.params, &outcome.report);
+        replay.push(actions, outcome.fom);
+        baseline.update(outcome.fom);
+    }
+
+    // Exploration: one noisy action per network update.
+    for episode in warmup..config.episodes {
+        let mut actions = agent.act(&states, &adjacency);
+        for v in actions.as_mut_slice() {
+            *v = (*v + noise.sample()).clamp(-1.0, 1.0);
+        }
+        noise.decay_step();
+
+        let outcome = env.evaluate_actions(&actions);
+        history.record(outcome.fom, &outcome.params, &outcome.report);
+
+        replay.push(actions, outcome.fom);
+        baseline.update(outcome.fom);
+        let batch: Vec<(Matrix, f64)> = replay
+            .sample(config.batch_size, config.seed ^ episode as u64)
+            .into_iter()
+            .map(|(a, r)| (a.clone(), r))
+            .collect();
+        agent.critic_update(&states, &adjacency, &batch, baseline.value());
+        agent.actor_update(&states, &adjacency);
+    }
+    history
+}
+
+fn config(seed: u64) -> DdpgConfig {
+    DdpgConfig {
+        episodes: 24,
+        warmup: 8,
+        batch_size: 8,
+        hidden_dim: 16,
+        gcn_layers: 2,
+        seed,
+        ..DdpgConfig::default()
+    }
+}
+
+#[test]
+fn k1_pipeline_reproduces_the_serial_trainer_bit_identically() {
+    let node = TechnologyNode::tsmc180();
+    for (benchmark, kind, seed) in [
+        (Benchmark::TwoStageTia, AgentKind::Gcn, 5u64),
+        (Benchmark::Ldo, AgentKind::NonGcn, 9u64),
+    ] {
+        let fom = FomConfig::calibrated(benchmark, &node, 8, 0);
+        let cfg = config(seed);
+        assert_eq!(cfg.rollout_k, 1, "the default rollout width is serial");
+
+        let reference_env = SizingEnv::new(benchmark, &node, fom.clone());
+        let reference = reference_serial_run(&reference_env, cfg, kind);
+
+        let env = SizingEnv::new(benchmark, &node, fom);
+        let mut designer = GcnRlDesigner::with_kind(env, cfg, kind);
+        let history = designer.run();
+
+        // Bit-identical: every record (fom and best-fom trajectories), the
+        // best parameter vector and the best report all match exactly.
+        assert_eq!(history, reference, "{benchmark:?}/{kind:?} diverged");
+    }
+}
+
+#[test]
+fn wider_rollouts_change_the_trajectory_but_keep_the_budget() {
+    let node = TechnologyNode::tsmc180();
+    let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+    let serial = {
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom.clone());
+        GcnRlDesigner::new(env, config(3)).run()
+    };
+    let batched = {
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        GcnRlDesigner::new(env, config(3).with_rollout_k(4)).run()
+    };
+    assert_eq!(serial.len(), batched.len(), "same simulation budget");
+    // Warm-up is policy-independent, so it is identical; exploration uses the
+    // same RNG stream differently and diverges.
+    assert_eq!(
+        serial.best_curve()[..8],
+        batched.best_curve()[..8],
+        "warm-up phase must be unaffected by the rollout width"
+    );
+    assert_ne!(serial.records, batched.records);
+}

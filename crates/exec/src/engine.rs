@@ -26,8 +26,11 @@ pub struct EngineConfig {
     /// Significant decimal digits kept when quantizing parameters into cache
     /// keys (see [`crate::key::quantize`]).
     pub quantize_digits: i32,
-    /// When set, the cache is loaded from this JSON file at construction and
-    /// saved back on drop (and on [`BatchEvaluator::save_cache`]).
+    /// When set, the cache is backed by an append-only record log at this
+    /// path: existing entries (log records, or a legacy JSON snapshot which
+    /// is converted in place) are replayed at construction, and every fresh
+    /// simulation result is appended as it is inserted — so concurrent
+    /// engines sharing the path contribute hits to each other's next open.
     pub persist_path: Option<PathBuf>,
 }
 
@@ -97,12 +100,30 @@ fn read_env_usize(name: &str) -> Option<usize> {
 #[derive(Debug)]
 struct EngineState {
     cache: ResultCache,
+    /// Append-only persistence log; fresh simulation results are appended
+    /// under this lock, right after their cache insert.
+    log: Option<persist::CacheLog>,
     /// Cache hits served to duplicate candidates inside a single batch
     /// (the cache itself never sees those lookups).
     dup_hits: u64,
     batches: u64,
     wall: Duration,
     last_batch: BatchReport,
+}
+
+impl EngineState {
+    /// Inserts a fresh simulation result and mirrors it to the log (a failed
+    /// append downgrades to in-memory-only caching with a warning rather
+    /// than failing the evaluation).
+    fn insert_fresh(&mut self, key: CacheKey, report: PerformanceReport) {
+        if let Some(log) = &mut self.log {
+            if let Err(error) = log.append(&key, &report) {
+                eprintln!("gcnrl-exec: cache log append failed, disabling persistence: {error}");
+                self.log = None;
+            }
+        }
+        self.cache.insert(key, report);
+    }
 }
 
 /// The evaluation engine the optimizers talk to instead of a raw
@@ -131,17 +152,20 @@ impl std::fmt::Debug for BatchEvaluator {
 
 impl BatchEvaluator {
     /// Wraps an existing evaluator. When the config carries a persistence
-    /// path, a readable snapshot at that path pre-populates the cache
-    /// (corrupt or missing snapshots start empty).
+    /// path, the append-only log at that path pre-populates the cache
+    /// (legacy JSON snapshots are converted in place; unreadable files start
+    /// empty) and stays open for live appends.
     pub fn new(evaluator: Box<dyn Evaluator>, config: EngineConfig) -> Self {
         let node_name = evaluator.technology().name.to_string();
         let mut cache = ResultCache::new(config.cache_capacity);
+        let mut log = None;
         if let Some(path) = &config.persist_path {
-            if let Err(error) = persist::load_cache(&mut cache, path) {
-                eprintln!(
-                    "gcnrl-exec: ignoring unreadable cache snapshot {}: {error}",
+            match persist::CacheLog::open(path, &mut cache) {
+                Ok((opened, _restored)) => log = Some(opened),
+                Err(error) => eprintln!(
+                    "gcnrl-exec: cannot open cache log {}, running without persistence: {error}",
                     path.display()
-                );
+                ),
             }
         }
         BatchEvaluator {
@@ -150,6 +174,7 @@ impl BatchEvaluator {
             node_name,
             state: Mutex::new(EngineState {
                 cache,
+                log,
                 dup_hits: 0,
                 batches: 0,
                 wall: Duration::ZERO,
@@ -212,24 +237,14 @@ impl BatchEvaluator {
         }
     }
 
-    /// Evaluates one candidate through the cache (always on the calling
-    /// thread — a single simulation has nothing to parallelize).
+    /// Evaluates one candidate through the cache — a thin wrapper over
+    /// [`BatchEvaluator::evaluate_batch`] with a batch of one, so the
+    /// singular and batched entry points cannot drift apart (a single
+    /// simulation never touches the worker pool).
     pub fn evaluate(&self, params: &ParamVector) -> PerformanceReport {
-        let start = Instant::now();
-        let key = self.key_for(params);
-        // NB: bind the lookup result first — `if let` on `lock().get()` keeps
-        // the guard alive for the whole body, which would deadlock below.
-        let cached = self.lock_state().cache.get(&key);
-        if let Some(report) = cached {
-            let mut state = self.lock_state();
-            state.wall += start.elapsed();
-            return report;
-        }
-        let report = self.evaluator.evaluate(params);
-        let mut state = self.lock_state();
-        state.cache.insert(key, report.clone());
-        state.wall += start.elapsed();
-        report
+        self.evaluate_batch(std::slice::from_ref(params))
+            .pop()
+            .expect("batch of one yields one report")
     }
 
     /// Evaluates a batch of candidates, returning reports in input order.
@@ -290,7 +305,7 @@ impl BatchEvaluator {
         {
             let mut state = self.lock_state();
             for (key, indices, report) in fresh {
-                state.cache.insert(key, report.clone());
+                state.insert_fresh(key, report.clone());
                 for i in indices {
                     results[i] = Some(report.clone());
                 }
@@ -400,15 +415,17 @@ impl BatchEvaluator {
         self.lock_state().last_batch
     }
 
-    /// Writes the cache to the configured persistence path (no-op without
-    /// one).
+    /// Forces every appended log record to disk (no-op without persistence).
+    /// Entries are appended live as simulations complete, so unlike the
+    /// legacy snapshot flow there is nothing to serialise here — this is a
+    /// durability barrier, not a save.
     ///
     /// # Errors
     ///
     /// Returns any underlying filesystem error.
     pub fn save_cache(&self) -> io::Result<()> {
-        if let Some(path) = &self.config.persist_path {
-            persist::save_cache(&self.lock_state().cache, path)?;
+        if let Some(log) = &mut self.lock_state().log {
+            log.sync()?;
         }
         Ok(())
     }
@@ -418,7 +435,7 @@ impl Drop for BatchEvaluator {
     fn drop(&mut self) {
         if self.config.persist_path.is_some() {
             if let Err(error) = self.save_cache() {
-                eprintln!("gcnrl-exec: failed to persist cache on drop: {error}");
+                eprintln!("gcnrl-exec: failed to sync cache log on drop: {error}");
             }
         }
     }
@@ -539,6 +556,33 @@ mod tests {
             wall < delay * 6,
             "batch of 8 x {delay:?} jobs on 4 threads took {wall:?}; no overlap happened"
         );
+    }
+
+    #[test]
+    fn live_appends_are_visible_to_engines_opened_later() {
+        let node = TechnologyNode::tsmc180();
+        let path = std::env::temp_dir().join("gcnrl_exec_engine_live_log.log");
+        let _ = std::fs::remove_file(&path);
+        let config = EngineConfig::serial().with_persist_path(&path);
+        let candidate = candidates(1).remove(0);
+
+        // Engine A stays alive the whole time: its entries reach the log at
+        // insert time, not at drop time.
+        let a = BatchEvaluator::for_benchmark(Benchmark::TwoStageTia, &node, config.clone());
+        let first = a.evaluate(&candidate);
+        assert_eq!(a.stats().simulated, 1);
+
+        let b = BatchEvaluator::for_benchmark(Benchmark::TwoStageTia, &node, config);
+        let second = b.evaluate(&candidate);
+        assert_eq!(second, first, "replayed report must be bit-identical");
+        assert_eq!(
+            b.stats().simulated,
+            0,
+            "engine B must be served from engine A's live appends"
+        );
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

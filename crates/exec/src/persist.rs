@@ -1,6 +1,16 @@
-//! Optional JSON disk persistence for the result cache, enabling cross-run
-//! reuse: a sweep restarted with the same benchmark/node/candidates skips
-//! every simulation it already paid for.
+//! Disk persistence for the result cache, enabling cross-run reuse: a sweep
+//! restarted with the same benchmark/node/candidates skips every simulation
+//! it already paid for.
+//!
+//! The primary format is an **append-only record log** ([`CacheLog`]): a
+//! header line followed by one compact JSON record per cached entry.  Fresh
+//! simulation results are appended at insert time, so several engines —
+//! including engines in different processes of a sharded run — can share one
+//! log file and contribute hits concurrently (appends interleave at line
+//! granularity; a torn final line is skipped on replay).  The older
+//! whole-file JSON snapshot format ([`save_cache`]/[`load_cache`]) remains
+//! readable: [`CacheLog::open`] detects a legacy snapshot, replays it, and
+//! rewrites the file in log format.
 //!
 //! Metric values are stored as `f64` bit patterns (alongside a readable
 //! float), so restored reports are bit-identical to the originals even for
@@ -10,8 +20,10 @@ use crate::cache::ResultCache;
 use crate::key::CacheKey;
 use gcnrl_sim::PerformanceReport;
 use serde::{Deserialize, Serialize};
-use std::io;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
 use std::path::Path;
+use std::sync::Mutex;
 
 /// On-disk format version; bump when [`CacheKey`] or the report layout
 /// changes so stale snapshots are ignored instead of mis-read.
@@ -121,6 +133,164 @@ pub fn save_cache(cache: &ResultCache, path: &Path) -> io::Result<()> {
     std::fs::write(path, json)
 }
 
+/// First line of every cache log; a version bump invalidates old logs the
+/// same way [`SNAPSHOT_VERSION`] invalidates old snapshots.
+pub const LOG_VERSION: u32 = 1;
+
+const LOG_FORMAT: &str = "gcnrl-cache-log";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LogHeader {
+    format: String,
+    version: u32,
+}
+
+/// An open append-only cache log.
+///
+/// Created by [`CacheLog::open`], which replays the entries already on disk
+/// into the cache; afterwards every fresh simulation result is appended as
+/// one self-contained line via [`CacheLog::append`].  The file is opened in
+/// append mode, so engines in other processes sharing the path contribute
+/// their entries live instead of overwriting each other at drop time the way
+/// the legacy snapshot format did.
+#[derive(Debug)]
+pub struct CacheLog {
+    file: File,
+}
+
+impl CacheLog {
+    /// Opens (creating if needed) the log at `path` and replays its entries
+    /// into `cache`, returning the log handle and how many entries were
+    /// restored.
+    ///
+    /// Three on-disk states are handled:
+    /// * a log file — replayed line by line, unparseable lines (torn
+    ///   concurrent appends, truncation) are skipped;
+    /// * a legacy JSON snapshot — replayed via the read-compat path and
+    ///   rewritten in log format so subsequent appends are valid;
+    /// * anything unreadable (corrupt header, stale version) — replaced by a
+    ///   fresh empty log, since the cache contents are reproducible.
+    ///
+    /// Concurrency: opens within one process are serialised by a global lock
+    /// (the sharded coordinator constructs many engines on one path at
+    /// once), and the rewrite paths never truncate in place — a fresh log is
+    /// created with `create_new` (losing the creation race just retries as a
+    /// reader) and a conversion/replacement is written to a temp file and
+    /// atomically renamed over the path, so a reader or appender in another
+    /// process can never observe a half-written file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying filesystem error.
+    pub fn open(path: &Path, cache: &mut ResultCache) -> io::Result<(Self, usize)> {
+        static OPEN_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = match OPEN_LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+
+        loop {
+            if !path.exists() {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                // O_CREAT|O_EXCL: exactly one creator writes the header; a
+                // process losing the race loops back and reads the winner's
+                // file instead of truncating it.
+                match OpenOptions::new().create_new(true).append(true).open(path) {
+                    Ok(mut file) => {
+                        let header = LogHeader {
+                            format: LOG_FORMAT.to_owned(),
+                            version: LOG_VERSION,
+                        };
+                        let mut line = serde_json::to_string(&header).expect("header");
+                        line.push('\n');
+                        file.write_all(line.as_bytes())?;
+                        file.sync_all()?;
+                        return Ok((CacheLog { file }, 0));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            let content = std::fs::read_to_string(path)?;
+            let mut restored = 0usize;
+            if let Ok(snapshot) = serde_json::from_str::<Snapshot>(&content) {
+                // Legacy whole-file snapshot: replay, then convert to a log.
+                if snapshot.version == SNAPSHOT_VERSION {
+                    for entry in snapshot.entries {
+                        cache.insert(entry.key.clone(), entry.to_report());
+                        restored += 1;
+                    }
+                }
+            } else {
+                let mut lines = content.lines();
+                let header_ok = lines
+                    .next()
+                    .and_then(|line| serde_json::from_str::<LogHeader>(line).ok())
+                    .is_some_and(|h| h.format == LOG_FORMAT && h.version == LOG_VERSION);
+                if header_ok {
+                    for line in lines {
+                        if let Ok(entry) = serde_json::from_str::<SnapshotEntry>(line) {
+                            cache.insert(entry.key.clone(), entry.to_report());
+                            restored += 1;
+                        }
+                    }
+                    let file = OpenOptions::new().append(true).open(path)?;
+                    return Ok((CacheLog { file }, restored));
+                }
+            }
+
+            // Legacy snapshot or unreadable file: replace it with a log
+            // holding the replayed entries, via temp file + atomic rename so
+            // concurrent readers never see a partial file.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            {
+                let mut file = File::create(&tmp)?;
+                let header = LogHeader {
+                    format: LOG_FORMAT.to_owned(),
+                    version: LOG_VERSION,
+                };
+                writeln!(file, "{}", serde_json::to_string(&header).expect("header"))?;
+                for (key, report) in cache.iter() {
+                    let entry = SnapshotEntry::from_report(key, report);
+                    writeln!(file, "{}", serde_json::to_string(&entry).expect("entry"))?;
+                }
+                file.sync_all()?;
+            }
+            std::fs::rename(&tmp, path)?;
+            let file = OpenOptions::new().append(true).open(path)?;
+            return Ok((CacheLog { file }, restored));
+        }
+    }
+
+    /// Appends one cached entry as a single line (one `write` call, so
+    /// concurrent appenders interleave at record granularity on POSIX
+    /// append-mode semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying filesystem error.
+    pub fn append(&mut self, key: &CacheKey, report: &PerformanceReport) -> io::Result<()> {
+        let entry = SnapshotEntry::from_report(key, report);
+        let mut line = serde_json::to_string(&entry).expect("entry serialises");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())
+    }
+
+    /// Forces appended records to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying filesystem error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
 /// Loads a snapshot previously written by [`save_cache`] into `cache`,
 /// returning how many entries were restored. A missing file restores zero
 /// entries (fresh runs are not an error); a version mismatch is skipped the
@@ -224,6 +394,161 @@ mod tests {
         assert_eq!(n, 4);
         assert!(restored.get(&key_for(7)).is_some());
         assert!(restored.get(&key_for(0)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_log_round_trips_and_replays_on_open() {
+        let path = std::env::temp_dir().join("gcnrl_exec_log_roundtrip.log");
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = ResultCache::new(16);
+        let (mut log, restored) = CacheLog::open(&path, &mut first).expect("open fresh log");
+        assert_eq!(restored, 0);
+        for (key, report) in sample_cache().iter() {
+            first.insert(key.clone(), report.clone());
+            log.append(key, report).expect("append entry");
+        }
+        log.sync().expect("sync");
+        drop(log);
+
+        let mut second = ResultCache::new(16);
+        let (_log, restored) = CacheLog::open(&path, &mut second).expect("replay log");
+        assert_eq!(restored, 3);
+        for (key, report) in sample_cache().iter() {
+            assert_eq!(second.get(key).as_ref(), Some(report));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_log_reads_legacy_snapshots_and_converts_them() {
+        let path = std::env::temp_dir().join("gcnrl_exec_log_legacy.json");
+        let _ = std::fs::remove_file(&path);
+        save_cache(&sample_cache(), &path).expect("write legacy snapshot");
+
+        let mut cache = ResultCache::new(16);
+        let (mut log, restored) = CacheLog::open(&path, &mut cache).expect("open legacy");
+        assert_eq!(restored, 3, "legacy snapshot entries are replayed");
+        // The file is now a log: appends compose with the converted entries.
+        let mut report = PerformanceReport::new();
+        report.set("gain_db", 99.0);
+        cache.insert(key_for(42), report.clone());
+        log.append(&key_for(42), &report).expect("append");
+        drop(log);
+
+        let mut reread = ResultCache::new(16);
+        let (_log, restored) = CacheLog::open(&path, &mut reread).expect("reopen converted");
+        assert_eq!(restored, 4);
+        assert_eq!(reread.get(&key_for(42)), Some(report));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_skipped_on_replay() {
+        let path = std::env::temp_dir().join("gcnrl_exec_log_torn.log");
+        let _ = std::fs::remove_file(&path);
+        let mut cache = ResultCache::new(16);
+        let (mut log, _) = CacheLog::open(&path, &mut cache).expect("open");
+        let mut report = PerformanceReport::new();
+        report.set("psrr_db", 55.0);
+        log.append(&key_for(1), &report).expect("append");
+        drop(log);
+        // Simulate a crash mid-append: a half-written record at the tail.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"digest\":\"00ff\",\"key\":{\"bench")
+            .unwrap();
+        drop(f);
+
+        let mut reread = ResultCache::new(16);
+        let (_log, restored) = CacheLog::open(&path, &mut reread).expect("replay torn log");
+        assert_eq!(
+            restored, 1,
+            "intact records replay, the torn tail is skipped"
+        );
+        assert_eq!(reread.get(&key_for(1)), Some(report));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn two_appenders_on_one_log_contribute_the_union() {
+        let path = std::env::temp_dir().join("gcnrl_exec_log_shared.log");
+        let _ = std::fs::remove_file(&path);
+        let mut cache_a = ResultCache::new(16);
+        let (mut log_a, _) = CacheLog::open(&path, &mut cache_a).expect("open a");
+        let mut cache_b = ResultCache::new(16);
+        let (mut log_b, _) = CacheLog::open(&path, &mut cache_b).expect("open b");
+
+        let mut ra = PerformanceReport::new();
+        ra.set("gain_db", 1.0);
+        let mut rb = PerformanceReport::new();
+        rb.set("gain_db", 2.0);
+        // Interleaved appends from two live handles (same pattern as two
+        // sharded engine processes sharing one GCNRL_CACHE_PATH).
+        log_a.append(&key_for(100), &ra).expect("a appends");
+        log_b.append(&key_for(200), &rb).expect("b appends");
+        drop(log_a);
+        drop(log_b);
+
+        let mut merged = ResultCache::new(16);
+        let (_log, restored) = CacheLog::open(&path, &mut merged).expect("replay shared");
+        assert_eq!(restored, 2);
+        assert_eq!(merged.get(&key_for(100)), Some(ra));
+        assert_eq!(merged.get(&key_for(200)), Some(rb));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_opens_on_a_fresh_path_lose_no_entries() {
+        // Regression: CacheLog::open used to check-then-truncate, so engines
+        // opened concurrently on one path (the sharded coordinator's setup)
+        // could wipe each other's records. Every opener now either creates
+        // the file exclusively or retries as a reader.
+        let path = std::env::temp_dir().join("gcnrl_exec_log_concurrent.log");
+        let _ = std::fs::remove_file(&path);
+        let handles: Vec<_> = (0..8u64)
+            .map(|tag| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut cache = ResultCache::new(16);
+                    let (mut log, _) = CacheLog::open(&path, &mut cache).expect("open");
+                    let mut report = PerformanceReport::new();
+                    report.set("gain_db", tag as f64);
+                    log.append(&key_for(1000 + tag), &report).expect("append");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("opener thread");
+        }
+        let mut merged = ResultCache::new(32);
+        let (_log, restored) = CacheLog::open(&path, &mut merged).expect("replay");
+        assert_eq!(restored, 8, "every concurrent opener's entry survives");
+        for tag in 0..8u64 {
+            assert!(merged.get(&key_for(1000 + tag)).is_some(), "tag {tag}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unreadable_log_is_replaced_by_a_fresh_one() {
+        let path = std::env::temp_dir().join("gcnrl_exec_log_corrupt.log");
+        std::fs::write(&path, "not a log at all\n???").unwrap();
+        let mut cache = ResultCache::new(4);
+        let (mut log, restored) = CacheLog::open(&path, &mut cache).expect("open corrupt");
+        assert_eq!(restored, 0);
+        let mut report = PerformanceReport::new();
+        report.set("x", 1.5);
+        log.append(&key_for(3), &report)
+            .expect("append to fresh log");
+        drop(log);
+        let mut reread = ResultCache::new(4);
+        let (_log, restored) = CacheLog::open(&path, &mut reread).expect("reopen");
+        assert_eq!(restored, 1);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -59,6 +59,15 @@ impl<A: Clone> ReplayBuffer<A> {
         self.next = (self.next + 1) % self.capacity;
     }
 
+    /// Ingests a whole rollout batch in proposal order, cloning each action
+    /// (the batch usually stays alive for history recording and best-of-`k`
+    /// selection after the buffer has absorbed the transitions).
+    pub fn ingest<O>(&mut self, batch: &crate::RolloutBatch<A, O>) {
+        for rollout in batch.iter() {
+            self.push(rollout.action.clone(), rollout.reward);
+        }
+    }
+
     /// Samples `batch` transitions uniformly at random (without replacement if
     /// possible, with replacement when the buffer is smaller than the batch).
     pub fn sample(&self, batch: usize, seed: u64) -> Vec<(&A, f64)> {
@@ -134,5 +143,24 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: ReplayBuffer<u8> = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn ingest_pushes_every_rollout_in_proposal_order() {
+        let mut batch: crate::RolloutBatch<u8, ()> = crate::RolloutBatch::new();
+        batch.push(1, (), 0.5);
+        batch.push(2, (), 1.5);
+        batch.push(3, (), -0.5);
+
+        // Ingesting the batch matches pushing its transitions one by one.
+        let mut wholesale = ReplayBuffer::new(8);
+        wholesale.ingest(&batch);
+        let mut serial = ReplayBuffer::new(8);
+        for r in batch.iter() {
+            serial.push(r.action, r.reward);
+        }
+        assert_eq!(wholesale, serial);
+        assert_eq!(wholesale.len(), 3);
+        assert_eq!(wholesale.best_reward(), Some(1.5));
     }
 }

@@ -32,6 +32,14 @@ pub struct DdpgConfig {
     pub gcn_layers: usize,
     /// Random seed controlling initialisation, warm-up sampling and noise.
     pub seed: u64,
+    /// Speculative rollout width `k`: candidates proposed (and evaluated as
+    /// one engine batch) per policy step during exploration.  `1` reproduces
+    /// the serial trainer bit-identically; larger values trade policy updates
+    /// for parallel environment throughput at the same simulation budget.
+    pub rollout_k: usize,
+    /// Correlation of the `k` exploration perturbations within one rollout
+    /// round (see `ExplorationNoise::sample_correlated`); ignored at `k = 1`.
+    pub rollout_rho: f64,
 }
 
 impl Default for DdpgConfig {
@@ -49,6 +57,8 @@ impl Default for DdpgConfig {
             hidden_dim: 64,
             gcn_layers: 7,
             seed: 0,
+            rollout_k: 1,
+            rollout_rho: 0.5,
         }
     }
 }
@@ -88,6 +98,18 @@ impl DdpgConfig {
         self.warmup = warmup;
         self
     }
+
+    /// Returns a copy with a different speculative rollout width.
+    pub fn with_rollout_k(mut self, k: usize) -> Self {
+        self.rollout_k = k.max(1);
+        self
+    }
+
+    /// Returns a copy with a different intra-rollout noise correlation.
+    pub fn with_rollout_rho(mut self, rho: f64) -> Self {
+        self.rollout_rho = rho.clamp(0.0, 1.0);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +137,18 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.episodes, 10);
         assert_eq!(c.warmup, 2);
+    }
+
+    #[test]
+    fn rollout_builders_clamp_their_arguments() {
+        let c = DdpgConfig::default()
+            .with_rollout_k(8)
+            .with_rollout_rho(0.3);
+        assert_eq!(c.rollout_k, 8);
+        assert_eq!(c.rollout_rho, 0.3);
+        assert_eq!(DdpgConfig::default().with_rollout_k(0).rollout_k, 1);
+        assert_eq!(DdpgConfig::default().with_rollout_rho(7.0).rollout_rho, 1.0);
+        // The default is the serial trainer.
+        assert_eq!(DdpgConfig::default().rollout_k, 1);
     }
 }

@@ -31,8 +31,10 @@ mod baseline;
 mod buffer;
 mod config;
 mod noise;
+mod rollout;
 
 pub use baseline::EmaBaseline;
 pub use buffer::ReplayBuffer;
 pub use config::DdpgConfig;
 pub use noise::ExplorationNoise;
+pub use rollout::{Rollout, RolloutBatch};

@@ -53,6 +53,44 @@ impl ExplorationNoise {
         (0..n).map(|_| self.sample()).collect()
     }
 
+    /// Draws `k` correlated perturbation vectors of length `n` for one
+    /// speculative rollout round.
+    ///
+    /// Candidate 0 draws exactly the samples [`ExplorationNoise::sample_vec`]
+    /// would produce, so a batch of one consumes the RNG stream bit-identically
+    /// to the serial exploration loop (the `k = 1` equivalence guarantee the
+    /// batched trainer relies on). Every additional candidate `j > 0` draws
+    /// `n` fresh truncated samples `d` and anchors them to candidate 0:
+    /// `rho * base + sqrt(1 - rho^2) * d`, re-clamped to the truncation
+    /// interval. This keeps the marginal spread at `sigma` while giving the
+    /// candidates pairwise correlation `rho` to candidate 0, so the rollout
+    /// batch explores a coherent neighbourhood of the policy action instead of
+    /// `k` unrelated directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rho` is outside `[0, 1]`.
+    pub fn sample_correlated(&mut self, k: usize, n: usize, rho: f64) -> Vec<Vec<f64>> {
+        assert!(k > 0, "rollout width k must be positive");
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        let base = self.sample_vec(n);
+        let bound = 2.0 * self.sigma;
+        let mix = (1.0 - rho * rho).sqrt();
+        let mut batch = Vec::with_capacity(k);
+        batch.push(base.clone());
+        for _ in 1..k {
+            let candidate = base
+                .iter()
+                .map(|&b| {
+                    let d = self.sample();
+                    (rho * b + mix * d).clamp(-bound, bound)
+                })
+                .collect();
+            batch.push(candidate);
+        }
+        batch
+    }
+
     /// Applies one episode of exponential decay to the standard deviation.
     pub fn decay_step(&mut self) {
         self.sigma *= self.decay;
@@ -108,5 +146,52 @@ mod tests {
     #[should_panic(expected = "decay must be in")]
     fn invalid_decay_panics() {
         let _ = ExplorationNoise::new(0.1, 0.0, 0);
+    }
+
+    #[test]
+    fn correlated_batch_of_one_matches_the_serial_stream() {
+        let mut serial = ExplorationNoise::new(0.3, 0.99, 11);
+        let mut batched = ExplorationNoise::new(0.3, 0.99, 11);
+        let reference = serial.sample_vec(12);
+        let batch = batched.sample_correlated(1, 12, 0.5);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0], reference);
+        // The RNG streams stay in lockstep afterwards.
+        assert_eq!(serial.sample(), batched.sample());
+    }
+
+    #[test]
+    fn correlated_candidates_stay_truncated_and_track_the_base() {
+        let mut noise = ExplorationNoise::new(0.4, 0.99, 3);
+        let batch = noise.sample_correlated(6, 50, 0.8);
+        assert_eq!(batch.len(), 6);
+        let bound = 2.0 * 0.4;
+        for candidate in &batch {
+            assert_eq!(candidate.len(), 50);
+            assert!(candidate.iter().all(|v| v.abs() <= bound + 1e-12));
+        }
+        // With rho = 0.8 the candidates correlate positively with the base.
+        let base = &batch[0];
+        for candidate in &batch[1..] {
+            let dot: f64 = base.iter().zip(candidate.iter()).map(|(a, b)| a * b).sum();
+            let nb: f64 = base.iter().map(|a| a * a).sum::<f64>().sqrt();
+            let nc: f64 = candidate.iter().map(|a| a * a).sum::<f64>().sqrt();
+            assert!(dot / (nb * nc) > 0.3, "candidates must track the base");
+        }
+    }
+
+    #[test]
+    fn fully_decorrelated_candidates_are_fresh_draws() {
+        let mut noise = ExplorationNoise::new(0.2, 0.99, 9);
+        let batch = noise.sample_correlated(3, 8, 0.0);
+        assert_ne!(batch[0], batch[1]);
+        assert_ne!(batch[1], batch[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn invalid_rho_panics() {
+        let mut noise = ExplorationNoise::new(0.2, 0.99, 0);
+        let _ = noise.sample_correlated(2, 4, 1.5);
     }
 }

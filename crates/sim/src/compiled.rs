@@ -41,9 +41,80 @@ pub(crate) const BENIGN_GROWTH_SQ: f64 = 1e8;
 /// distinct circuit topologies any run touches; a safety valve, not a limit).
 const SYMBOLIC_CACHE_MAX: usize = 256;
 
+/// Bound on the process-wide per-topology template cache (same rationale).
+const TEMPLATE_CACHE_MAX: usize = 256;
+
 type SymbolicCache = Mutex<HashMap<u64, Vec<(Arc<SparsityPattern>, Arc<SymbolicLu>)>>>;
 
 static SYMBOLIC_CACHE: OnceLock<SymbolicCache> = OnceLock::new();
+
+/// Everything about the sparse stamp-slot lowering of one circuit topology
+/// that does not depend on element values: the shared sparsity pattern, its
+/// symbolic analysis, and the pattern slot of every stamp in the canonical
+/// lowering order.  Cached process-wide keyed by the stamp-position sequence,
+/// so repeated compiles of the same evaluator (one per candidate evaluation)
+/// skip the pattern build, the per-stamp slot searches and the symbolic
+/// lookup entirely.
+struct AcTemplate {
+    /// The stamp positions in canonical lowering order (the cache identity:
+    /// two circuits with the same position sequence lower identically).
+    positions: Vec<(usize, usize)>,
+    pattern: Arc<SparsityPattern>,
+    symbolic: Arc<SymbolicLu>,
+    /// `slots[i]` is the pattern slot of `positions[i]`.
+    slots: Vec<usize>,
+}
+
+type TemplateCache = Mutex<HashMap<u64, Vec<Arc<AcTemplate>>>>;
+
+static TEMPLATE_CACHE: OnceLock<TemplateCache> = OnceLock::new();
+
+/// Returns the compiled template for the topology whose canonical stamp
+/// positions are `positions`, building (and caching) it on first sight.
+fn template_for(n: usize, positions: &[(usize, usize)]) -> Result<Arc<AcTemplate>, SimError> {
+    let mut hasher = DefaultHasher::new();
+    n.hash(&mut hasher);
+    positions.hash(&mut hasher);
+    let key = hasher.finish();
+
+    let cache = TEMPLATE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = cache.lock().expect("template cache poisoned");
+        if let Some(bucket) = map.get(&key) {
+            for t in bucket {
+                if t.pattern.n() == n && t.positions == positions {
+                    solver_stats::record_template_hit();
+                    return Ok(t.clone());
+                }
+            }
+        }
+    }
+
+    // Build outside the lock: pattern construction and symbolic analysis are
+    // the expensive parts this cache exists to amortise, and a racing
+    // duplicate build is harmless (last writer appends a second equal entry).
+    let singular = |_| SimError::SingularSystem { frequency_hz: 0.0 };
+    let pattern = Arc::new(SparsityPattern::from_positions(n, positions).map_err(singular)?);
+    let slots: Vec<usize> = positions
+        .iter()
+        .map(|&(r, c)| pattern.slot(r, c).expect("stamp position is in pattern"))
+        .collect();
+    let symbolic = shared_symbolic(&pattern).map_err(singular)?;
+    let template = Arc::new(AcTemplate {
+        positions: positions.to_vec(),
+        pattern,
+        symbolic,
+        slots,
+    });
+    solver_stats::record_template_build();
+
+    let mut map = cache.lock().expect("template cache poisoned");
+    if map.values().map(Vec::len).sum::<usize>() >= TEMPLATE_CACHE_MAX {
+        map.clear();
+    }
+    map.entry(key).or_default().push(template.clone());
+    Ok(template)
+}
 
 /// Returns the symbolic analysis for `pattern`, computing it only the first
 /// time a pattern is seen in this process.  Every evaluation of the same
@@ -205,26 +276,24 @@ impl CompiledAc {
                 lu: None,
             }
         } else {
+            // The stamp *positions* are a pure function of the topology, so
+            // the pattern, the symbolic analysis and the per-stamp slot map
+            // come from the per-topology template cache; only the value
+            // scatter below runs per compile.
             let positions: Vec<(usize, usize)> = stamps.iter().map(|&(r, c, _)| (r, c)).collect();
-            let pattern = Arc::new(
-                SparsityPattern::from_positions(n, &positions)
-                    .map_err(|_| SimError::SingularSystem { frequency_hz: 0.0 })?,
-            );
-            let mut g = vec![0.0; pattern.nnz()];
-            let mut c = vec![0.0; pattern.nnz()];
-            for &(r, col, s) in &stamps {
-                let slot = pattern.slot(r, col).expect("stamp position is in pattern");
+            let template = template_for(n, &positions)?;
+            let mut g = vec![0.0; template.pattern.nnz()];
+            let mut c = vec![0.0; template.pattern.nnz()];
+            for (&(_, _, s), &slot) in stamps.iter().zip(&template.slots) {
                 g[slot] += s.g;
                 c[slot] += s.c;
             }
-            let symbolic = shared_symbolic(&pattern)
-                .map_err(|_| SimError::SingularSystem { frequency_hz: 0.0 })?;
-            let numeric = SparseLu::new(symbolic, &pattern)
+            let numeric = SparseLu::new(template.symbolic.clone(), &template.pattern)
                 .map_err(|_| SimError::SingularSystem { frequency_hz: 0.0 })?;
             Backend::Sparse {
                 g,
                 c,
-                matrix: CsrMatrix::zeros(pattern),
+                matrix: CsrMatrix::zeros(template.pattern.clone()),
                 numeric,
             }
         };
@@ -540,6 +609,55 @@ mod tests {
         for (f, v) in swept {
             let reference = ckt.solve(f).unwrap()[2];
             assert!((v - reference).abs() < 1e-9 * (1.0 + reference.abs()));
+        }
+    }
+
+    #[test]
+    fn repeated_compiles_of_the_same_topology_hit_the_template_cache() {
+        let ckt = ladder(9);
+        let _ = ckt.compile().unwrap(); // first compile builds (or finds) the template
+        let before = solver_stats::snapshot();
+        let compiled = ckt.compile().unwrap();
+        let after = solver_stats::snapshot();
+        assert!(compiled.is_sparse());
+        assert!(
+            after.template_hits > before.template_hits,
+            "second compile of an identical topology must be a template hit"
+        );
+    }
+
+    #[test]
+    fn template_reuse_across_sizings_matches_the_dense_reference() {
+        // Same topology, different element values: the cached template is
+        // shared while the stamped values differ, and both agree with the
+        // dense reference.
+        let build = |g: f64, c: f64| {
+            let mut ckt = AcCircuit::new(6);
+            for i in 0..6 {
+                let prev = if i == 0 { GROUND } else { i - 1 };
+                ckt.add(AcElement::Conductance { a: prev, b: i, g });
+                ckt.add(AcElement::Capacitance { a: i, b: GROUND, c });
+            }
+            ckt.add(AcElement::CurrentSource {
+                a: GROUND,
+                b: 0,
+                value: Complex::ONE,
+            });
+            ckt
+        };
+        for (g, c) in [(1e-3, 1e-12), (5e-4, 3e-13), (2e-2, 8e-12)] {
+            let ckt = build(g, c);
+            let mut compiled = ckt.compile().unwrap();
+            for f in [1e2, 1e6, 1e9] {
+                let fast = compiled.solve_at(f).unwrap();
+                let reference = ckt.solve(f).unwrap();
+                for (a, b) in reference.iter().zip(&fast) {
+                    assert!(
+                        (*a - *b).abs() < 1e-9 * (1.0 + a.abs()),
+                        "g={g} c={c} f={f}"
+                    );
+                }
+            }
         }
     }
 

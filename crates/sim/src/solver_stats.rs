@@ -13,6 +13,8 @@ static SPARSE_REFACTORS: AtomicU64 = AtomicU64::new(0);
 static SPARSE_SOLVES: AtomicU64 = AtomicU64::new(0);
 static DENSE_FACTORS: AtomicU64 = AtomicU64::new(0);
 static DENSE_SOLVES: AtomicU64 = AtomicU64::new(0);
+static TEMPLATE_HITS: AtomicU64 = AtomicU64::new(0);
+static TEMPLATE_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the solver counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +29,11 @@ pub struct SolverStats {
     pub dense_factors: u64,
     /// Right-hand sides solved through the dense fallback.
     pub dense_solves: u64,
+    /// Compiles served by the per-topology template cache (pattern build,
+    /// slot lookups and symbolic analysis all skipped).
+    pub template_hits: u64,
+    /// Templates built from scratch (first compile of a topology).
+    pub template_builds: u64,
 }
 
 impl SolverStats {
@@ -39,16 +46,29 @@ impl SolverStats {
         }
     }
 
+    /// Fraction of sparse compiles served by the per-topology template cache.
+    pub fn template_hit_rate(&self) -> f64 {
+        let total = self.template_hits + self.template_builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.template_hits as f64 / total as f64
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} symbolic analyses, {} sparse refactors ({:.1}x reuse), {} sparse solves, {} dense factors, {} dense solves",
+            "{} symbolic analyses, {} sparse refactors ({:.1}x reuse), {} sparse solves, {} dense factors, {} dense solves, {} template hits / {} builds ({:.1}% hit rate)",
             self.symbolic_analyses,
             self.sparse_refactors,
             self.reuse_ratio(),
             self.sparse_solves,
             self.dense_factors,
             self.dense_solves,
+            self.template_hits,
+            self.template_builds,
+            100.0 * self.template_hit_rate(),
         )
     }
 }
@@ -73,6 +93,14 @@ pub(crate) fn record_dense_solve() {
     DENSE_SOLVES.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_template_hit() {
+    TEMPLATE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_template_build() {
+    TEMPLATE_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Reads the current counters.
 pub fn snapshot() -> SolverStats {
     SolverStats {
@@ -81,6 +109,8 @@ pub fn snapshot() -> SolverStats {
         sparse_solves: SPARSE_SOLVES.load(Ordering::Relaxed),
         dense_factors: DENSE_FACTORS.load(Ordering::Relaxed),
         dense_solves: DENSE_SOLVES.load(Ordering::Relaxed),
+        template_hits: TEMPLATE_HITS.load(Ordering::Relaxed),
+        template_builds: TEMPLATE_BUILDS.load(Ordering::Relaxed),
     }
 }
 
@@ -91,6 +121,8 @@ pub fn reset() {
     SPARSE_SOLVES.store(0, Ordering::Relaxed);
     DENSE_FACTORS.store(0, Ordering::Relaxed);
     DENSE_SOLVES.store(0, Ordering::Relaxed);
+    TEMPLATE_HITS.store(0, Ordering::Relaxed);
+    TEMPLATE_BUILDS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -105,9 +137,14 @@ mod tests {
             sparse_solves: 60,
             dense_factors: 3,
             dense_solves: 3,
+            template_hits: 9,
+            template_builds: 1,
         };
         assert!((stats.reuse_ratio() - 25.0).abs() < 1e-12);
+        assert!((stats.template_hit_rate() - 0.9).abs() < 1e-12);
         assert!(stats.summary().contains("25.0x reuse"));
+        assert!(stats.summary().contains("9 template hits"));
         assert_eq!(SolverStats::default().reuse_ratio(), 0.0);
+        assert_eq!(SolverStats::default().template_hit_rate(), 0.0);
     }
 }
