@@ -1,23 +1,37 @@
 //! Figure 5: learning curves (best FoM vs simulation count) of every method
 //! on the four benchmark circuits.
+//!
+//! The whole figure — all four benchmarks × seven methods × seeds — is one
+//! method-cell queue drained by the sharded coordinator in a single pass, so
+//! the figure's cells interleave across benchmarks on multi-core hosts
+//! instead of running benchmark-by-benchmark. The curves are identical for
+//! any worker count.
 
 use gcnrl_bench::{
-    budget_from_env, print_series, run_all_methods, write_json, ExperimentConfig, SeriesSummary,
+    budget_from_env, drain_cells, method_results, print_merged_exec, print_series, table_cells,
+    write_json, CoordinatorConfig, ExperimentConfig, MethodCell, SeriesSummary,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
     println!(
-        "Figure 5 — learning curves (budget={}, seeds={})",
-        cfg.budget, cfg.seeds
+        "Figure 5 — learning curves (budget={}, seeds={}, {} workers)",
+        cfg.budget, cfg.seeds, coord.workers
     );
+
+    let queue: Vec<MethodCell> = table_cells(&Benchmark::ALL, &node, &cfg)
+        .into_iter()
+        .map(|spec| MethodCell { spec, cfg })
+        .collect();
+    let report = drain_cells(queue, &coord);
+    let results: Vec<_> = report.values().cloned().collect();
 
     let mut dump = Vec::new();
     for benchmark in Benchmark::ALL {
-        let results = run_all_methods(benchmark, &node, &cfg);
-        let series: Vec<SeriesSummary> = results
+        let series: Vec<SeriesSummary> = method_results(&results, benchmark)
             .iter()
             .map(|r| SeriesSummary {
                 label: r.method.clone(),
@@ -27,5 +41,6 @@ fn main() {
         print_series(&format!("{benchmark}"), &series);
         dump.push((benchmark.paper_name().to_string(), series));
     }
+    print_merged_exec("evaluation engine — Figure 5 queue", &report.merged_exec);
     write_json("fig5", &dump);
 }

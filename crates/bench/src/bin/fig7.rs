@@ -1,63 +1,58 @@
 //! Figure 7: node-transfer learning curves on the Three-TIA — the agent
 //! trained at 180 nm is fine-tuned at 45/65/130/250 nm and compared against
 //! training from scratch with the same small budget and the same seeds.
+//!
+//! Every (target node, mode) curve is one
+//! [`NodeCurveCell`](gcnrl_bench::cells::NodeCurveCell) drained through the
+//! sharded coordinator; the curves are identical for any worker count.
 
-use gcnrl::transfer::pretrain_and_transfer;
-use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::cells::{fig7_cells, finetune_budget};
 use gcnrl_bench::{
-    budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary,
+    budget_from_env, drain_cells, print_merged_exec, print_series, write_json, CoordinatorConfig,
+    ExperimentConfig,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_rl::DdpgConfig;
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let source = TechnologyNode::tsmc180();
     let benchmark = Benchmark::ThreeStageTia;
-    let finetune_budget = (cfg.budget / 2).max(10);
-    let warmup = (finetune_budget / 3).max(3);
-
-    println!(
-        "Figure 7 — Three-TIA node-transfer curves (finetune budget={}, warm-up={})",
-        finetune_budget, warmup
-    );
-
-    let mut dump = Vec::new();
-    for target in [
+    let targets = [
         TechnologyNode::n45(),
         TechnologyNode::n65(),
         TechnologyNode::n130(),
         TechnologyNode::n250(),
-    ] {
-        let fine_cfg = DdpgConfig::default()
-            .with_seed(1)
-            .with_budget(finetune_budget, warmup);
-        let pre_cfg = DdpgConfig::default()
-            .with_seed(1)
-            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
+    ];
+    let (budget, warmup) = finetune_budget(&cfg);
 
-        let scratch =
-            GcnRlDesigner::with_kind(make_env(benchmark, &target, &cfg), fine_cfg, AgentKind::Gcn)
-                .run();
-        let (_, transferred, _) = pretrain_and_transfer(
-            make_env(benchmark, &source, &cfg),
-            make_env(benchmark, &target, &cfg),
-            AgentKind::Gcn,
-            pre_cfg,
-            fine_cfg,
+    println!(
+        "Figure 7 — Three-TIA node-transfer curves (finetune budget={budget}, warm-up={warmup}, {} workers)",
+        coord.workers
+    );
+
+    let cells = fig7_cells(benchmark, &source, &targets, &cfg);
+    let report = drain_cells(cells.clone(), &coord);
+    // The queue pairs (scratch, transfer) per target, in target order; the
+    // specs are re-checked per chunk so reordering cannot mislabel a panel.
+    let mut dump = Vec::new();
+    for ((target, pair), specs) in targets
+        .iter()
+        .zip(report.cells.chunks(2))
+        .zip(cells.chunks(2))
+    {
+        assert!(
+            specs.len() == 2
+                && specs.iter().all(|c| c.target.name == target.name)
+                && !specs[0].transfer
+                && specs[1].transfer,
+            "fig7 queue order diverged from the panel layout for {}",
+            target.name
         );
-        let series = vec![
-            SeriesSummary {
-                label: "No Transfer".into(),
-                curve: scratch.best_curve(),
-            },
-            SeriesSummary {
-                label: "Transfer from 180nm".into(),
-                curve: transferred.best_curve(),
-            },
-        ];
+        let series: Vec<_> = pair.iter().map(|c| c.value.clone()).collect();
         print_series(&format!("target node {}", target.name), &series);
         dump.push((target.name.clone(), series));
     }
+    print_merged_exec("evaluation engine — Figure 7 queue", &report.merged_exec);
     write_json("fig7", &dump);
 }

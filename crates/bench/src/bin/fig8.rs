@@ -1,66 +1,55 @@
 //! Figure 8: topology-transfer learning curves between the Two-TIA and the
 //! Three-TIA, comparing GCN-RL transfer, NG-RL transfer and no transfer.
+//!
+//! Every (direction, mode) curve is one
+//! [`TopologyCurveCell`](gcnrl_bench::cells::TopologyCurveCell) drained
+//! through the sharded coordinator; the curves are identical for any worker
+//! count.
 
-use gcnrl::transfer::pretrain_and_transfer;
-use gcnrl::{AgentKind, GcnRlDesigner};
+use gcnrl_bench::cells::{fig8_cells, finetune_budget};
 use gcnrl_bench::{
-    budget_from_env, make_env, print_series, write_json, ExperimentConfig, SeriesSummary,
+    budget_from_env, drain_cells, print_merged_exec, print_series, write_json, CoordinatorConfig,
+    ExperimentConfig,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_rl::DdpgConfig;
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
-    let finetune_budget = (cfg.budget / 2).max(10);
-    let warmup = (finetune_budget / 3).max(3);
-    let fine_cfg = DdpgConfig::default()
-        .with_seed(2)
-        .with_budget(finetune_budget, warmup);
-    let pre_cfg = DdpgConfig::default()
-        .with_seed(2)
-        .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
-
-    println!(
-        "Figure 8 — topology-transfer curves (finetune budget={}, warm-up={})",
-        finetune_budget, warmup
-    );
-
-    let mut dump = Vec::new();
-    for (source, target) in [
+    let directions = [
         (Benchmark::TwoStageTia, Benchmark::ThreeStageTia),
         (Benchmark::ThreeStageTia, Benchmark::TwoStageTia),
-    ] {
-        let scratch =
-            GcnRlDesigner::with_kind(make_env(target, &node, &cfg), fine_cfg, AgentKind::Gcn).run();
-        let (_, gcn, _) = pretrain_and_transfer(
-            make_env(source, &node, &cfg),
-            make_env(target, &node, &cfg),
-            AgentKind::Gcn,
-            pre_cfg,
-            fine_cfg,
+    ];
+    let (budget, warmup) = finetune_budget(&cfg);
+
+    println!(
+        "Figure 8 — topology-transfer curves (finetune budget={budget}, warm-up={warmup}, {} workers)",
+        coord.workers
+    );
+
+    let cells = fig8_cells(&directions, &node, &cfg);
+    let report = drain_cells(cells.clone(), &coord);
+    // The queue holds three mode curves per direction, in direction order;
+    // the specs are re-checked per chunk so reordering cannot mislabel one.
+    use gcnrl_bench::cells::TopologyTransferMode;
+    let mut dump = Vec::new();
+    for (((source, target), trio), specs) in directions
+        .iter()
+        .zip(report.cells.chunks(3))
+        .zip(cells.chunks(3))
+    {
+        assert!(
+            specs.len() == 3
+                && specs
+                    .iter()
+                    .all(|c| c.source == *source && c.target == *target)
+                && specs[0].mode == TopologyTransferMode::Scratch,
+            "fig8 queue order diverged from the panel layout for {} -> {}",
+            source.paper_name(),
+            target.paper_name()
         );
-        let (_, ng, _) = pretrain_and_transfer(
-            make_env(source, &node, &cfg),
-            make_env(target, &node, &cfg),
-            AgentKind::NonGcn,
-            pre_cfg,
-            fine_cfg,
-        );
-        let series = vec![
-            SeriesSummary {
-                label: "No Transfer".into(),
-                curve: scratch.best_curve(),
-            },
-            SeriesSummary {
-                label: "NG-RL Transfer".into(),
-                curve: ng.best_curve(),
-            },
-            SeriesSummary {
-                label: "GCN-RL Transfer".into(),
-                curve: gcn.best_curve(),
-            },
-        ];
+        let series: Vec<_> = trio.iter().map(|c| c.value.clone()).collect();
         print_series(
             &format!("{} -> {}", source.paper_name(), target.paper_name()),
             &series,
@@ -70,5 +59,6 @@ fn main() {
             series,
         ));
     }
+    print_merged_exec("evaluation engine — Figure 8 queue", &report.merged_exec);
     write_json("fig8", &dump);
 }

@@ -1,10 +1,18 @@
 //! Table II: Two-TIA per-metric breakdown plus the weighted-FoM variants
 //! GCN-RL-1..5 (10x weight on BW, gain, power, noise, peaking respectively).
+//!
+//! Every row — the seven Table I methods and the five emphasis ablations —
+//! is one [`MetricsCell`](gcnrl_bench::cells::MetricsCell) in a single work
+//! queue drained by the sharded coordinator (`GCNRL_WORKERS` concurrent
+//! cells, shared `GCNRL_CACHE_CAP` budget); the assembled table is identical
+//! for any worker count.
 
-use gcnrl::{AgentKind, FomConfig, GcnRlDesigner, SizingEnv};
-use gcnrl_bench::{budget_from_env, run_method, write_json, ExperimentConfig};
-use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_rl::DdpgConfig;
+use gcnrl_bench::cells::table2_cells;
+use gcnrl_bench::{
+    budget_from_env, drain_cells, print_merged_exec, write_json, CoordinatorConfig,
+    ExperimentConfig,
+};
+use gcnrl_circuit::TechnologyNode;
 
 const METRICS: [&str; 6] = [
     "bw_ghz",
@@ -29,46 +37,23 @@ fn print_row(label: &str, metrics: &[(String, f64)]) {
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
     println!(
-        "Table II — Two-TIA metrics (budget={}, seeds={})",
-        cfg.budget, cfg.seeds
+        "Table II — Two-TIA metrics (budget={}, seeds={}, {} workers)",
+        cfg.budget, cfg.seeds, coord.workers
     );
     println!(
         "{:<10} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
         "Method", "BW(GHz)", "Gain(Ohm)", "Power(mW)", "Noise(pA)", "Peak(dB)", "GBW"
     );
 
+    let report = drain_cells(table2_cells(&node, &cfg), &coord);
     let mut dump = Vec::new();
-    // Top half: all Table I methods, metric breakdown of their best design.
-    for method in gcnrl_bench::METHODS {
-        let h = run_method(method, Benchmark::TwoStageTia, &node, &cfg, 0);
-        let metrics: Vec<(String, f64)> = h
-            .best_report
-            .as_ref()
-            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
-            .unwrap_or_default();
-        print_row(method, &metrics);
-        dump.push((method.to_string(), metrics));
+    for row in report.values() {
+        print_row(&row.label, &row.metrics);
+        dump.push((row.label.clone(), row.metrics.clone()));
     }
-
-    // Bottom half: GCN-RL-1..5 with a 10x weight on one metric each.
-    for (i, emphasised) in METRICS.iter().take(5).enumerate() {
-        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, cfg.calibration, 7)
-            .with_weight_emphasis(emphasised, 10.0);
-        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
-        let ddpg = DdpgConfig::default()
-            .with_seed(100 + i as u64)
-            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
-        let h = GcnRlDesigner::with_kind(env, ddpg, AgentKind::Gcn).run();
-        let metrics: Vec<(String, f64)> = h
-            .best_report
-            .as_ref()
-            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
-            .unwrap_or_default();
-        let label = format!("GCN-RL-{}", i + 1);
-        print_row(&label, &metrics);
-        dump.push((label, metrics));
-    }
+    print_merged_exec("evaluation engine — Table II queue", &report.merged_exec);
     write_json("table2", &dump);
 }

@@ -1,7 +1,15 @@
 //! Table III: Two-Volt per-metric breakdown for every method.
+//!
+//! Each method row is one [`MetricsCell`](gcnrl_bench::cells::MetricsCell)
+//! drained through the sharded coordinator; the assembled table is identical
+//! for any worker count.
 
-use gcnrl_bench::{budget_from_env, run_method, write_json, ExperimentConfig};
-use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_bench::cells::table3_cells;
+use gcnrl_bench::{
+    budget_from_env, drain_cells, print_merged_exec, write_json, CoordinatorConfig,
+    ExperimentConfig,
+};
+use gcnrl_circuit::TechnologyNode;
 
 const METRICS: [&str; 7] = [
     "bw_mhz",
@@ -15,26 +23,22 @@ const METRICS: [&str; 7] = [
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
     println!(
-        "Table III — Two-Volt metrics (budget={}, seeds={})",
-        cfg.budget, cfg.seeds
+        "Table III — Two-Volt metrics (budget={}, seeds={}, {} workers)",
+        cfg.budget, cfg.seeds, coord.workers
     );
     println!(
         "{:<10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
         "Method", "BW(MHz)", "CPM", "DPM", "Power(mW)", "Noise(nV)", "Gain(k)", "GBW(THz)"
     );
 
+    let report = drain_cells(table3_cells(&node, &cfg), &coord);
     let mut dump = Vec::new();
-    for method in gcnrl_bench::METHODS {
-        let h = run_method(method, Benchmark::TwoStageVoltageAmp, &node, &cfg, 0);
-        let metrics: Vec<(String, f64)> = h
-            .best_report
-            .as_ref()
-            .map(|r| r.iter().map(|(k, v)| (k.to_owned(), v)).collect())
-            .unwrap_or_default();
+    for row in report.values() {
         let get = |name: &str| {
-            metrics
+            row.metrics
                 .iter()
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| *v)
@@ -42,7 +46,7 @@ fn main() {
         };
         println!(
             "{:<10} {:>10.2} {:>8.1} {:>8.1} {:>10.3} {:>10.2} {:>10.2} {:>9.3}",
-            method,
+            row.label,
             get(METRICS[0]),
             get(METRICS[1]),
             get(METRICS[2]),
@@ -51,7 +55,8 @@ fn main() {
             get(METRICS[5]),
             get(METRICS[6]),
         );
-        dump.push((method.to_string(), metrics));
+        dump.push((row.label.clone(), row.metrics.clone()));
     }
+    print_merged_exec("evaluation engine — Table III queue", &report.merged_exec);
     write_json("table3", &dump);
 }

@@ -1,15 +1,23 @@
 //! Table IV: knowledge transfer from 180 nm to 250/130/65/45 nm on the
 //! Two-TIA and Three-TIA, transfer vs no transfer under a 300-step budget
 //! (100 warm-up + 200 exploration in the paper).
+//!
+//! Every `(benchmark, target node, mode, seed)` combination is one
+//! [`NodeTransferCell`](gcnrl_bench::cells::NodeTransferCell) in a single
+//! work queue drained by the sharded coordinator; transfer cells claim a
+//! double share of the cache budget (they run pretrain + fine-tune). The
+//! assembled table is identical for any worker count.
 
-use gcnrl::transfer::pretrain_and_transfer;
-use gcnrl::{AgentKind, GcnRlDesigner};
-use gcnrl_bench::{budget_from_env, make_env, write_json, ExperimentConfig};
+use gcnrl_bench::cells::{finetune_budget, table4_cells};
+use gcnrl_bench::{
+    budget_from_env, drain_cells, print_merged_exec, write_json, CoordinatorConfig,
+    ExperimentConfig,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_rl::DdpgConfig;
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let source_node = TechnologyNode::tsmc180();
     let targets = [
         TechnologyNode::n250(),
@@ -17,78 +25,75 @@ fn main() {
         TechnologyNode::n65(),
         TechnologyNode::n45(),
     ];
-    // The fine-tuning budget is deliberately small (the paper uses 300 steps).
-    let finetune_budget = (cfg.budget / 2).max(10);
-    let finetune_warmup = (finetune_budget / 3).max(3);
+    let benchmarks = [Benchmark::TwoStageTia, Benchmark::ThreeStageTia];
 
     println!(
-        "Table IV — node transfer from 180nm (pretrain budget={}, finetune budget={}, seeds={})",
-        cfg.budget, finetune_budget, cfg.seeds
+        "Table IV — node transfer from 180nm (pretrain budget={}, finetune budget={}, seeds={}, {} workers)",
+        cfg.budget,
+        finetune_budget(&cfg).0,
+        cfg.seeds,
+        coord.workers
     );
     println!(
         "{:<32} {:>10} {:>10} {:>10} {:>10}",
         "Setting", "250nm", "130nm", "65nm", "45nm"
     );
 
+    let cells = table4_cells(&benchmarks, &source_node, &targets, &cfg);
+    let report = drain_cells(cells.clone(), &coord);
+
+    // Fold the per-seed cells back into the table's (benchmark, mode) rows.
+    // The queue order is re-checked against the cell specs at every slot so
+    // a reordering of `table4_cells` can never silently mis-bin a row.
+    let seeds = cfg.seeds.max(1);
     let mut dump = Vec::new();
-    for benchmark in [Benchmark::TwoStageTia, Benchmark::ThreeStageTia] {
-        let mut no_transfer_row = Vec::new();
-        let mut transfer_row = Vec::new();
-        for target in &targets {
-            let mut no_foms = Vec::new();
-            let mut tr_foms = Vec::new();
-            for seed in 0..cfg.seeds.max(1) as u64 {
-                let pre_cfg = DdpgConfig::default()
-                    .with_seed(seed)
-                    .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
-                let fine_cfg = DdpgConfig::default()
-                    .with_seed(seed)
-                    .with_budget(finetune_budget, finetune_warmup);
-
-                // No transfer: train from scratch on the target node.
-                let no = GcnRlDesigner::with_kind(
-                    make_env(benchmark, target, &cfg),
-                    fine_cfg,
-                    AgentKind::Gcn,
-                )
-                .run();
-                no_foms.push(no.best_fom());
-
-                // Transfer: pre-train at 180 nm, fine-tune on the target node.
-                let (_, fine, _) = pretrain_and_transfer(
-                    make_env(benchmark, &source_node, &cfg),
-                    make_env(benchmark, target, &cfg),
-                    AgentKind::Gcn,
-                    pre_cfg,
-                    fine_cfg,
-                );
-                tr_foms.push(fine.best_fom());
+    let mut index = 0;
+    for benchmark in benchmarks {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for mode in 0..2 {
+            let mut row = Vec::new();
+            for target in &targets {
+                for (offset, spec) in cells[index..index + seeds].iter().enumerate() {
+                    assert!(
+                        spec.benchmark == benchmark
+                            && spec.transfer == (mode == 1)
+                            && spec.target.name == target.name
+                            && spec.seed == offset as u64,
+                        "table4 queue order diverged from the folding layout at cell {}",
+                        index + offset
+                    );
+                }
+                let foms: Vec<f64> = report.cells[index..index + seeds]
+                    .iter()
+                    .map(|c| c.value)
+                    .collect();
+                index += seeds;
+                row.push(foms.iter().sum::<f64>() / foms.len() as f64);
             }
-            let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-            no_transfer_row.push(mean(&no_foms));
-            transfer_row.push(mean(&tr_foms));
+            rows.push(row);
         }
         println!(
             "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             format!("{} (no transfer)", benchmark.paper_name()),
-            no_transfer_row[0],
-            no_transfer_row[1],
-            no_transfer_row[2],
-            no_transfer_row[3]
+            rows[0][0],
+            rows[0][1],
+            rows[0][2],
+            rows[0][3]
         );
         println!(
             "{:<32} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             format!("{} (transfer from 180nm)", benchmark.paper_name()),
-            transfer_row[0],
-            transfer_row[1],
-            transfer_row[2],
-            transfer_row[3]
+            rows[1][0],
+            rows[1][1],
+            rows[1][2],
+            rows[1][3]
         );
         dump.push((
             benchmark.paper_name().to_string(),
-            no_transfer_row,
-            transfer_row,
+            rows[0].clone(),
+            rows[1].clone(),
         ));
     }
+    print_merged_exec("evaluation engine — Table IV queue", &report.merged_exec);
     write_json("table4", &dump);
 }

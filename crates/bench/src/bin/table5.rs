@@ -1,114 +1,87 @@
 //! Table V: knowledge transfer between topologies (Two-TIA <-> Three-TIA)
 //! comparing no transfer, NG-RL transfer and GCN-RL transfer.
+//!
+//! Every `(mode, direction, seed)` combination is one
+//! [`TopologyTransferCell`](gcnrl_bench::cells::TopologyTransferCell) in a
+//! single work queue drained by the sharded coordinator; transfer cells
+//! claim a double cache-budget share. The assembled table is identical for
+//! any worker count.
 
-use gcnrl::transfer::pretrain_and_transfer;
-use gcnrl::{AgentKind, GcnRlDesigner};
-use gcnrl_bench::{budget_from_env, make_env, write_json, ExperimentConfig};
+use gcnrl_bench::cells::{finetune_budget, table5_cells};
+use gcnrl_bench::{
+    budget_from_env, drain_cells, print_merged_exec, write_json, CoordinatorConfig,
+    ExperimentConfig,
+};
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_rl::DdpgConfig;
-
-fn transfer_cell(
-    source: Benchmark,
-    target: Benchmark,
-    kind: AgentKind,
-    cfg: &ExperimentConfig,
-    node: &TechnologyNode,
-    finetune: DdpgConfig,
-) -> f64 {
-    let mut foms = Vec::new();
-    for seed in 0..cfg.seeds.max(1) as u64 {
-        let pre_cfg = DdpgConfig::default()
-            .with_seed(seed)
-            .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2));
-        let (_, fine, _) = pretrain_and_transfer(
-            make_env(source, node, cfg),
-            make_env(target, node, cfg),
-            kind,
-            pre_cfg,
-            finetune.with_seed(seed),
-        );
-        foms.push(fine.best_fom());
-    }
-    foms.iter().sum::<f64>() / foms.len() as f64
-}
 
 fn main() {
     let cfg = budget_from_env(ExperimentConfig::smoke());
+    let coord = CoordinatorConfig::from_env();
     let node = TechnologyNode::tsmc180();
-    let finetune_budget = (cfg.budget / 2).max(10);
-    let finetune = DdpgConfig::default().with_budget(finetune_budget, (finetune_budget / 3).max(3));
+    let directions = [
+        (Benchmark::TwoStageTia, Benchmark::ThreeStageTia),
+        (Benchmark::ThreeStageTia, Benchmark::TwoStageTia),
+    ];
 
     println!(
-        "Table V — topology transfer (pretrain budget={}, finetune budget={}, seeds={})",
-        cfg.budget, finetune_budget, cfg.seeds
+        "Table V — topology transfer (pretrain budget={}, finetune budget={}, seeds={}, {} workers)",
+        cfg.budget,
+        finetune_budget(&cfg).0,
+        cfg.seeds,
+        coord.workers
     );
     println!(
         "{:<18} {:>22} {:>22}",
         "Setting", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA"
     );
 
-    // No transfer: train from scratch on the target with the small budget.
-    let mut no_transfer = Vec::new();
-    for target in [Benchmark::ThreeStageTia, Benchmark::TwoStageTia] {
-        let mut foms = Vec::new();
-        for seed in 0..cfg.seeds.max(1) as u64 {
-            let h = GcnRlDesigner::with_kind(
-                make_env(target, &node, &cfg),
-                finetune.with_seed(seed),
-                AgentKind::Gcn,
-            )
-            .run();
-            foms.push(h.best_fom());
+    let cells = table5_cells(&directions, &node, &cfg);
+    let report = drain_cells(cells.clone(), &coord);
+
+    // The queue is ordered modes-outer, directions-middle, seeds-inner; the
+    // folding re-checks every slot against the cell specs so a reordering
+    // of `table5_cells` can never silently mis-bin a row.
+    use gcnrl::AgentKind;
+    use gcnrl_bench::cells::TopologyTransferMode;
+    let modes = [
+        TopologyTransferMode::Scratch,
+        TopologyTransferMode::Transfer(AgentKind::NonGcn),
+        TopologyTransferMode::Transfer(AgentKind::Gcn),
+    ];
+    let seeds = cfg.seeds.max(1);
+    let mut index = 0;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for mode in modes {
+        let mut row = Vec::new();
+        for &(source, target) in &directions {
+            for (offset, spec) in cells[index..index + seeds].iter().enumerate() {
+                assert!(
+                    spec.mode == mode
+                        && spec.source == source
+                        && spec.target == target
+                        && spec.seed == offset as u64,
+                    "table5 queue order diverged from the folding layout at cell {}",
+                    index + offset
+                );
+            }
+            let foms: Vec<f64> = report.cells[index..index + seeds]
+                .iter()
+                .map(|c| c.value)
+                .collect();
+            index += seeds;
+            row.push(foms.iter().sum::<f64>() / foms.len() as f64);
         }
-        no_transfer.push(foms.iter().sum::<f64>() / foms.len() as f64);
+        rows.push(row);
     }
-    println!(
-        "{:<18} {:>22.2} {:>22.2}",
-        "No Transfer", no_transfer[0], no_transfer[1]
+    for (label, row) in ["No Transfer", "NG-RL Transfer", "GCN-RL Transfer"]
+        .iter()
+        .zip(&rows)
+    {
+        println!("{:<18} {:>22.2} {:>22.2}", label, row[0], row[1]);
+    }
+    print_merged_exec("evaluation engine — Table V queue", &report.merged_exec);
+    write_json(
+        "table5",
+        &(rows[0].clone(), rows[1].clone(), rows[2].clone()),
     );
-
-    let ng = [
-        transfer_cell(
-            Benchmark::TwoStageTia,
-            Benchmark::ThreeStageTia,
-            AgentKind::NonGcn,
-            &cfg,
-            &node,
-            finetune,
-        ),
-        transfer_cell(
-            Benchmark::ThreeStageTia,
-            Benchmark::TwoStageTia,
-            AgentKind::NonGcn,
-            &cfg,
-            &node,
-            finetune,
-        ),
-    ];
-    println!("{:<18} {:>22.2} {:>22.2}", "NG-RL Transfer", ng[0], ng[1]);
-
-    let gcn = [
-        transfer_cell(
-            Benchmark::TwoStageTia,
-            Benchmark::ThreeStageTia,
-            AgentKind::Gcn,
-            &cfg,
-            &node,
-            finetune,
-        ),
-        transfer_cell(
-            Benchmark::ThreeStageTia,
-            Benchmark::TwoStageTia,
-            AgentKind::Gcn,
-            &cfg,
-            &node,
-            finetune,
-        ),
-    ];
-    println!(
-        "{:<18} {:>22.2} {:>22.2}",
-        "GCN-RL Transfer", gcn[0], gcn[1]
-    );
-
-    write_json("table5", &(no_transfer, ng, gcn));
 }

@@ -1,16 +1,32 @@
-//! The sharded Table I coordinator: one work queue of
-//! `(benchmark, node, method, seed)` cells drained by a worker pool.
+//! The sharded experiment coordinator: one work queue of [`Cell`]s drained
+//! by a worker pool under a shared cache budget.
 //!
-//! The table binaries used to run every cell sequentially in nested loops.
-//! Here every cell becomes an independent shard with its own engine instance
-//! carved out of a **shared cache/LRU budget** (`GCNRL_CACHE_CAP` split
-//! evenly across the cells, so a 28-cell Table I run cannot exceed the same
-//! memory bound a single run would), and the cells are drained concurrently
-//! by `gcnrl-exec`'s [`WorkerPool`].  Each cell's engine is single-threaded —
-//! the parallelism lives at the cell level, which avoids nested pools — and
-//! every optimisation run is a deterministic function of its seed, so the
-//! assembled results are **identical for any worker count** (pinned by the
-//! `coordinator` integration test at 1/2/4 workers).
+//! The table/figure binaries used to run every cell sequentially in bespoke
+//! nested loops. Here every cell — whatever its shape: a `(benchmark, node,
+//! method, seed)` Table I cell, a weighted-FoM ablation, a node- or
+//! topology-transfer experiment, a learning-curve series — is an independent
+//! shard described by the generic [`Cell`] trait:
+//!
+//! * an **id** (panic context and progress labelling),
+//! * a **cache-budget weight** (its share of the coordinator's
+//!   `GCNRL_CACHE_CAP` budget — transfer cells that run two optimisations
+//!   get a proportionally larger slice),
+//! * a **run closure** taking a [`CellContext`] with the carved-out engine
+//!   configuration,
+//! * a **mergeable output**: every cell reports its [`ExecStats`] alongside
+//!   its value, and [`drain_cells`] folds them into one merged total.
+//!
+//! Cells are drained concurrently by `gcnrl-exec`'s [`WorkerPool`]. Each
+//! cell's engine is single-threaded — the parallelism lives at the cell
+//! level, which avoids nested pools — and every cell is a deterministic
+//! function of its spec, so the assembled results are **identical for any
+//! worker count** (pinned per ported binary by the `coordinator`
+//! integration test at 1/2/4 workers).
+//!
+//! Inside one cell, all evaluation traffic (calibration sweep included) is
+//! queue-fed: the harness opens an `EvalService` session over the cell's
+//! engine, so the binaries and any future remote clients share one code
+//! path into the solver.
 //!
 //! When `GCNRL_CACHE_PATH` is set, all cells append to the same cache log
 //! (see `gcnrl_exec::persist::CacheLog`), so concurrent shards share
@@ -25,28 +41,69 @@ use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_exec::WorkerPool;
 use std::sync::mpsc::channel;
 
-/// One schedulable cell of a table run.
-#[derive(Debug, Clone)]
-pub struct CellSpec {
-    /// Benchmark circuit of the cell.
-    pub benchmark: Benchmark,
-    /// Technology node of the cell.
-    pub node: TechnologyNode,
-    /// Method name (one of [`METHODS`]).
-    pub method: String,
-    /// Seed of the repetition.
-    pub seed: u64,
+/// One schedulable unit of an experiment run.
+///
+/// Implementations are cheap descriptions (a spec plus the experiment
+/// config); all heavy work happens in [`Cell::run`], which receives the
+/// engine configuration carved out of the coordinator's shared cache budget.
+pub trait Cell: Send + 'static {
+    /// What the cell produces besides its engine statistics.
+    type Output: Send + 'static;
+
+    /// Human-readable identity, used in panic messages and logs.
+    fn id(&self) -> String;
+
+    /// Relative share of the coordinator's cache budget (≥ 1). Cells that
+    /// run several optimisations (e.g. pretrain + fine-tune) should claim a
+    /// proportionally larger share.
+    fn weight(&self) -> usize {
+        1
+    }
+
+    /// Executes the cell under the given context and returns its output
+    /// plus the engine statistics of all evaluation traffic it caused.
+    fn run(&self, ctx: &CellContext) -> (Self::Output, ExecStats);
 }
 
-/// The outcome of one drained cell.
+/// What the coordinator hands each cell at execution time.
 #[derive(Debug, Clone)]
-pub struct CellResult {
-    /// The cell this result belongs to.
-    pub spec: CellSpec,
-    /// The optimisation trajectory of the cell.
-    pub history: RunHistory,
-    /// The cell engine's evaluation statistics.
+pub struct CellContext {
+    /// The engine configuration for this cell: single-threaded (parallelism
+    /// lives at the cell level), with this cell's share of the coordinator's
+    /// cache budget; persistence is inherited from the environment so all
+    /// cells share one append-only log.
+    pub engine: EngineConfig,
+}
+
+/// One drained cell: its output and the engine statistics it accumulated.
+#[derive(Debug, Clone)]
+pub struct DrainedCell<T> {
+    /// The cell's result value.
+    pub value: T,
+    /// Evaluation statistics of all engine traffic the cell caused.
     pub exec: ExecStats,
+}
+
+/// The result of draining a cell queue: per-cell outputs in queue order plus
+/// the merged engine statistics across every cell.
+#[derive(Debug, Clone)]
+pub struct DrainReport<T> {
+    /// Outputs in the order the cells were submitted.
+    pub cells: Vec<DrainedCell<T>>,
+    /// [`ExecStats`] folded across all cells (the mergeable output).
+    pub merged_exec: ExecStats,
+}
+
+impl<T> DrainReport<T> {
+    /// Strips the per-cell statistics, keeping the values in queue order.
+    pub fn into_values(self) -> Vec<T> {
+        self.cells.into_iter().map(|c| c.value).collect()
+    }
+
+    /// The values in queue order, by reference.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.cells.iter().map(|c| &c.value)
+    }
 }
 
 /// How the coordinator drains its queue.
@@ -54,8 +111,8 @@ pub struct CellResult {
 pub struct CoordinatorConfig {
     /// Concurrent cells (worker threads draining the queue).
     pub workers: usize,
-    /// Total cached reports across *all* cell engines; each cell gets an
-    /// equal share (at least one entry).
+    /// Total cached reports across *all* cell engines; each cell gets a
+    /// weight-proportional share (at least one entry).
     pub cache_budget: usize,
 }
 
@@ -72,17 +129,17 @@ impl CoordinatorConfig {
     /// Reads the configuration from environment variables, falling back to
     /// the defaults: `GCNRL_WORKERS` (concurrent cells, default: available
     /// parallelism), `GCNRL_CACHE_CAP` (shared cache budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a variable is set but unparseable (see
+    /// [`gcnrl_exec::env_usize`]) — a typo must not silently fall back.
     pub fn from_env() -> Self {
-        let read = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        };
         let mut config = Self::default();
-        if let Some(workers) = read("GCNRL_WORKERS") {
+        if let Some(workers) = gcnrl_exec::env_usize("GCNRL_WORKERS") {
             config.workers = workers.max(1);
         }
-        if let Some(budget) = read("GCNRL_CACHE_CAP") {
+        if let Some(budget) = gcnrl_exec::env_usize("GCNRL_CACHE_CAP") {
             config.cache_budget = budget.max(1);
         }
         config
@@ -98,6 +155,169 @@ impl CoordinatorConfig {
     pub fn with_cache_budget(mut self, budget: usize) -> Self {
         self.cache_budget = budget.max(1);
         self
+    }
+}
+
+/// The engine configuration one cell runs under: single-threaded (the
+/// parallelism is at the cell level), with a weight-proportional share of
+/// the coordinator's cache budget; persistence (`GCNRL_CACHE_PATH`) is
+/// inherited from the environment so all cells share one append-only log.
+fn cell_engine_config(
+    coord: &CoordinatorConfig,
+    total_weight: usize,
+    weight: usize,
+) -> EngineConfig {
+    let share = coord.cache_budget * weight.max(1) / total_weight.max(1);
+    EngineConfig::from_env()
+        .with_threads(1)
+        .with_cache_capacity(share.max(1))
+}
+
+/// Drains `cells` through a pool of `coord.workers` threads and returns the
+/// outputs in queue order together with the merged engine statistics.
+///
+/// Every cell is an independent deterministic computation, so the returned
+/// outputs and statistics do not depend on the worker count or on the order
+/// in which the pool happens to schedule the cells.
+///
+/// # Panics
+///
+/// Re-raises the first cell panic on the calling thread (like the serial
+/// loops it replaces would), after printing the panicking cell's id.
+pub fn drain_cells<C: Cell>(cells: Vec<C>, coord: &CoordinatorConfig) -> DrainReport<C::Output> {
+    if cells.is_empty() {
+        return DrainReport {
+            cells: Vec::new(),
+            merged_exec: ExecStats::default(),
+        };
+    }
+    let total_weight: usize = cells.iter().map(|c| c.weight().max(1)).sum();
+    let contexts: Vec<CellContext> = cells
+        .iter()
+        .map(|c| CellContext {
+            engine: cell_engine_config(coord, total_weight, c.weight()),
+        })
+        .collect();
+
+    // A single worker needs no pool (and keeps panic backtraces direct).
+    let drained: Vec<DrainedCell<C::Output>> = if coord.workers <= 1 || cells.len() == 1 {
+        cells
+            .into_iter()
+            .zip(&contexts)
+            .map(|(cell, ctx)| {
+                let (value, exec) = cell.run(ctx);
+                DrainedCell { value, exec }
+            })
+            .collect()
+    } else {
+        type Outcome<T> = Result<DrainedCell<T>, Box<dyn std::any::Any + Send + 'static>>;
+        let count = cells.len();
+        let pool = WorkerPool::new(coord.workers.min(count));
+        let (tx, rx) = channel::<(usize, Outcome<C::Output>)>();
+        for (index, (cell, ctx)) in cells.into_iter().zip(contexts).enumerate() {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let id = cell.id();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let (value, exec) = cell.run(&ctx);
+                    DrainedCell { value, exec }
+                }));
+                if outcome.is_err() {
+                    eprintln!("gcnrl-bench: cell `{id}` panicked");
+                }
+                // A closed receiver means the coordinator already panicked.
+                let _ = tx.send((index, outcome));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<DrainedCell<C::Output>>> = (0..count).map(|_| None).collect();
+        for _ in 0..count {
+            let (index, outcome) = rx.recv().expect("cell jobs always send an outcome");
+            match outcome {
+                Ok(result) => slots[index] = Some(result),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every cell reports once"))
+            .collect()
+    };
+
+    let merged_exec = merge_exec_stats(drained.iter().map(|c| c.exec));
+    DrainReport {
+        cells: drained,
+        merged_exec,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Table I method-grid cell — the original coordinator vocabulary, now a
+// `Cell` implementation over the generic queue.
+// ---------------------------------------------------------------------------
+
+/// One schedulable cell of a method-grid (Table I-style) run.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Benchmark circuit of the cell.
+    pub benchmark: Benchmark,
+    /// Technology node of the cell.
+    pub node: TechnologyNode,
+    /// Method name (one of [`METHODS`]).
+    pub method: String,
+    /// Seed of the repetition.
+    pub seed: u64,
+}
+
+/// The outcome of one drained method-grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell this result belongs to.
+    pub spec: CellSpec,
+    /// The optimisation trajectory of the cell.
+    pub history: RunHistory,
+    /// The cell engine's evaluation statistics.
+    pub exec: ExecStats,
+}
+
+/// [`CellSpec`] bound to an experiment config: the `Cell` the method-grid
+/// binaries (Table I, Figure 5, the per-metric tables' top halves) enqueue.
+#[derive(Debug, Clone)]
+pub struct MethodCell {
+    /// The grid coordinates.
+    pub spec: CellSpec,
+    /// Budget/seed configuration of the run.
+    pub cfg: ExperimentConfig,
+}
+
+impl Cell for MethodCell {
+    type Output = CellResult;
+
+    fn id(&self) -> String {
+        format!(
+            "{} {} on {} seed {}",
+            self.spec.method, self.spec.benchmark, self.spec.node.name, self.spec.seed
+        )
+    }
+
+    fn run(&self, ctx: &CellContext) -> (CellResult, ExecStats) {
+        let (history, exec) = run_method_with_engine(
+            &self.spec.method,
+            self.spec.benchmark,
+            &self.spec.node,
+            &self.cfg,
+            self.spec.seed,
+            ctx.engine.clone(),
+        );
+        (
+            CellResult {
+                spec: self.spec.clone(),
+                history,
+                exec,
+            },
+            exec,
+        )
     }
 }
 
@@ -123,90 +343,21 @@ pub fn table_cells(
     cells
 }
 
-/// The engine configuration one cell runs under: single-threaded (the
-/// parallelism is at the cell level), with an equal share of the coordinator's
-/// cache budget; persistence (`GCNRL_CACHE_PATH`) is inherited from the
-/// environment so all cells share one append-only log.
-fn cell_engine_config(coord: &CoordinatorConfig, num_cells: usize) -> EngineConfig {
-    EngineConfig::from_env()
-        .with_threads(1)
-        .with_cache_capacity((coord.cache_budget / num_cells.max(1)).max(1))
-}
-
-/// Drains `cells` through a pool of `coord.workers` threads and returns the
-/// results in cell order.
-///
-/// Every cell is an independent deterministic computation, so the returned
-/// histories and engine statistics do not depend on the worker count or on
-/// the order in which the pool happens to schedule the cells.
-///
-/// # Panics
-///
-/// Re-raises the first cell panic on the calling thread (like the serial
-/// loops it replaces would).
+/// Drains `cells` through the generic coordinator and returns the results in
+/// cell order (see [`drain_cells`]).
 pub fn run_cells(
     cells: &[CellSpec],
     cfg: &ExperimentConfig,
     coord: &CoordinatorConfig,
 ) -> Vec<CellResult> {
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let engine = cell_engine_config(coord, cells.len());
-
-    // A single worker needs no pool (and keeps panic backtraces direct).
-    if coord.workers <= 1 || cells.len() == 1 {
-        return cells
-            .iter()
-            .map(|spec| run_one(spec.clone(), cfg, engine.clone()))
-            .collect();
-    }
-
-    type CellOutcome = Result<CellResult, Box<dyn std::any::Any + Send + 'static>>;
-    let pool = WorkerPool::new(coord.workers.min(cells.len()));
-    let (tx, rx) = channel::<(usize, CellOutcome)>();
-    for (index, spec) in cells.iter().cloned().enumerate() {
-        let tx = tx.clone();
-        let cfg = *cfg;
-        let engine = engine.clone();
-        pool.execute(move || {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_one(spec, &cfg, engine)
-            }));
-            // A closed receiver means the coordinator already panicked.
-            let _ = tx.send((index, outcome));
-        });
-    }
-    drop(tx);
-
-    let mut results: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
-    for _ in 0..cells.len() {
-        let (index, outcome) = rx.recv().expect("cell jobs always send an outcome");
-        match outcome {
-            Ok(result) => results[index] = Some(result),
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every cell reports once"))
-        .collect()
-}
-
-fn run_one(spec: CellSpec, cfg: &ExperimentConfig, engine: EngineConfig) -> CellResult {
-    let (history, exec) = run_method_with_engine(
-        &spec.method,
-        spec.benchmark,
-        &spec.node,
-        cfg,
-        spec.seed,
-        engine,
-    );
-    CellResult {
-        spec,
-        history,
-        exec,
-    }
+    let queue: Vec<MethodCell> = cells
+        .iter()
+        .map(|spec| MethodCell {
+            spec: spec.clone(),
+            cfg: *cfg,
+        })
+        .collect();
+    drain_cells(queue, coord).into_values()
 }
 
 /// Folds the cell results of one benchmark into per-method [`MethodResult`]s
@@ -267,20 +418,122 @@ mod tests {
     }
 
     #[test]
-    fn cell_engines_split_the_shared_cache_budget() {
+    fn cell_engines_split_the_shared_cache_budget_by_weight() {
         let coord = CoordinatorConfig::default()
             .with_workers(2)
             .with_cache_budget(100);
-        let engine = cell_engine_config(&coord, 7);
+        // Seven unit-weight cells: an even split.
+        let engine = cell_engine_config(&coord, 7, 1);
         assert_eq!(engine.threads, 1);
         assert_eq!(engine.cache_capacity, 14);
+        // A weight-3 cell in a total weight of 10 claims 3/10 of the budget.
+        assert_eq!(cell_engine_config(&coord, 10, 3).cache_capacity, 30);
         // The budget floor is one entry per cell.
-        assert_eq!(cell_engine_config(&coord, 1000).cache_capacity, 1);
+        assert_eq!(cell_engine_config(&coord, 1000, 1).cache_capacity, 1);
     }
 
     #[test]
     fn empty_queue_is_a_no_op() {
         let coord = CoordinatorConfig::default();
         assert!(run_cells(&[], &tiny_cfg(), &coord).is_empty());
+        let report = drain_cells(Vec::<MethodCell>::new(), &coord);
+        assert!(report.cells.is_empty());
+        assert_eq!(report.merged_exec, ExecStats::default());
+    }
+
+    /// A trivial cell for exercising the generic drain machinery without
+    /// simulator traffic.
+    #[derive(Clone)]
+    struct SquareCell {
+        input: u64,
+        weight: usize,
+    }
+
+    impl Cell for SquareCell {
+        type Output = u64;
+
+        fn id(&self) -> String {
+            format!("square {}", self.input)
+        }
+
+        fn weight(&self) -> usize {
+            self.weight
+        }
+
+        fn run(&self, ctx: &CellContext) -> (u64, ExecStats) {
+            assert_eq!(ctx.engine.threads, 1, "cell engines are single-threaded");
+            let exec = ExecStats {
+                requests: 1,
+                simulated: 1,
+                cache_len: ctx.engine.cache_capacity as u64,
+                ..ExecStats::default()
+            };
+            (self.input * self.input, exec)
+        }
+    }
+
+    #[test]
+    fn generic_cells_drain_in_order_with_merged_stats_for_any_worker_count() {
+        let cells: Vec<SquareCell> = (0..9u64)
+            .map(|input| SquareCell { input, weight: 1 })
+            .collect();
+        let expected: Vec<u64> = (0..9u64).map(|i| i * i).collect();
+        for workers in [1usize, 2, 4] {
+            let coord = CoordinatorConfig::default()
+                .with_workers(workers)
+                .with_cache_budget(900);
+            let report = drain_cells(cells.clone(), &coord);
+            let values: Vec<u64> = report.values().copied().collect();
+            assert_eq!(values, expected, "workers={workers}");
+            assert_eq!(report.merged_exec.requests, 9);
+            assert_eq!(report.merged_exec.simulated, 9);
+        }
+    }
+
+    #[test]
+    fn heavier_cells_claim_a_larger_cache_share() {
+        let mut cells: Vec<SquareCell> = (0..4u64)
+            .map(|input| SquareCell { input, weight: 1 })
+            .collect();
+        cells.push(SquareCell {
+            input: 4,
+            weight: 4,
+        });
+        // Total weight 8 over a budget of 800: unit cells get 100, the
+        // weight-4 cell 400 (reported back through the stats cache_len).
+        let coord = CoordinatorConfig::default()
+            .with_workers(2)
+            .with_cache_budget(800);
+        let report = drain_cells(cells, &coord);
+        assert_eq!(report.cells[0].exec.cache_len, 100);
+        assert_eq!(report.cells[4].exec.cache_len, 400);
+    }
+
+    #[test]
+    fn cell_panics_surface_on_the_calling_thread() {
+        struct BoomCell;
+        impl Cell for BoomCell {
+            type Output = ();
+            fn id(&self) -> String {
+                "boom".to_owned()
+            }
+            fn run(&self, _: &CellContext) -> ((), ExecStats) {
+                panic!("cell exploded");
+            }
+        }
+        for workers in [1usize, 3] {
+            let coord = CoordinatorConfig::default().with_workers(workers);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain_cells(vec![BoomCell], &coord)
+            }))
+            .expect_err("the panic must propagate");
+            let message = caught
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| caught.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(message.contains("cell exploded"), "workers={workers}");
+        }
     }
 }

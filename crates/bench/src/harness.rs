@@ -1,8 +1,8 @@
 //! Shared experiment-running machinery.
 
 use gcnrl::{
-    AgentKind, EngineConfig, ExecStats, FomConfig, GcnRlDesigner, RunHistory, SizingEnv,
-    StateEncoding,
+    AgentKind, EngineConfig, EvalService, ExecStats, FomConfig, GcnRlDesigner, RunHistory,
+    ServiceConfig, SessionHandle, SizingEnv, StateEncoding,
 };
 use gcnrl_baselines::{
     bayesian_optimization, evolution_strategy, human_expert, mace, random_search,
@@ -47,13 +47,14 @@ impl ExperimentConfig {
 /// Reads the experiment scale from environment variables, falling back to the
 /// given defaults: `GCNRL_BUDGET`, `GCNRL_WARMUP`, `GCNRL_SEEDS`,
 /// `GCNRL_CALIBRATION`, `GCNRL_ROLLOUT_K`.
+///
+/// # Panics
+///
+/// Panics when a variable is set but unparseable (see
+/// [`gcnrl_exec::env_usize`]) — a typo in a launch script must not silently
+/// run the default experiment scale.
 pub fn budget_from_env(default: ExperimentConfig) -> ExperimentConfig {
-    let read = |name: &str, fallback: usize| {
-        std::env::var(name)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(fallback)
-    };
+    let read = |name: &str, fallback: usize| gcnrl_exec::env_usize(name).unwrap_or(fallback);
     ExperimentConfig {
         budget: read("GCNRL_BUDGET", default.budget),
         warmup: read("GCNRL_WARMUP", default.warmup),
@@ -126,7 +127,7 @@ impl MethodResult {
 }
 
 /// A named learning-curve series (for figure binaries).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SeriesSummary {
     /// Series label (method or condition).
     pub label: String,
@@ -139,18 +140,49 @@ pub fn make_env(benchmark: Benchmark, node: &TechnologyNode, cfg: &ExperimentCon
     make_env_with_engine(benchmark, node, cfg, EngineConfig::from_env())
 }
 
+/// Opens a fresh single-engine [`EvalService`] for `benchmark` at `node` and
+/// returns one session on it. All harness-built environments route their
+/// evaluation traffic (calibration sweep included) through such a session,
+/// so every benchmark binary reaches the solver via the same queue-fed path
+/// a multi-session client would.
+pub fn service_session(
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    engine: EngineConfig,
+) -> SessionHandle {
+    EvalService::for_benchmark(benchmark, node, engine, ServiceConfig::default())
+        .session_named(format!("{benchmark}@{}", node.name))
+}
+
+/// Builds a calibrated environment over an existing service session. The
+/// calibration sweep runs through the session too, so its results land in
+/// the shared engine cache: sessions calibrating the same benchmark serve
+/// each other's sweeps as cache hits. Keep a clone of the handle to read
+/// engine statistics after the environment is consumed by a designer.
+pub fn env_for_session(session: &SessionHandle, cfg: &ExperimentConfig) -> SizingEnv {
+    let benchmark = session.service().engine().benchmark();
+    let node = session.service().engine().technology().clone();
+    let fom = FomConfig::calibrated_with_backend(benchmark, &node, cfg.calibration, 7, session);
+    SizingEnv::with_backend(
+        benchmark,
+        &node,
+        fom,
+        StateEncoding::ScalarIndex,
+        Box::new(session.clone()),
+    )
+}
+
 /// Builds a calibrated environment with an explicit evaluation-engine
 /// configuration (the sharded coordinator's per-cell path: the calibration
-/// sweep and the optimisation run both stay on the cell's engine budget).
+/// sweep and the optimisation run both stay on the cell's engine budget,
+/// multiplexed through one service session).
 pub fn make_env_with_engine(
     benchmark: Benchmark,
     node: &TechnologyNode,
     cfg: &ExperimentConfig,
     engine: EngineConfig,
 ) -> SizingEnv {
-    let fom =
-        FomConfig::calibrated_with_engine(benchmark, node, cfg.calibration, 7, engine.clone());
-    SizingEnv::with_engine_config(benchmark, node, fom, StateEncoding::ScalarIndex, engine)
+    env_for_session(&service_session(benchmark, node, engine), cfg)
 }
 
 /// Runs one named method on an environment with the given seed.
@@ -186,8 +218,32 @@ pub fn run_method_with_engine(
     seed: u64,
     engine: EngineConfig,
 ) -> (RunHistory, ExecStats) {
+    run_method_with_engine_base(
+        method,
+        benchmark,
+        node,
+        cfg,
+        seed,
+        engine,
+        DdpgConfig::default(),
+    )
+}
+
+/// Like [`run_method_with_engine`], with an explicit DDPG hyper-parameter
+/// base for the RL methods (seed, budget and rollout width from `cfg` are
+/// applied on top; ignored by the black-box baselines).
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_with_engine_base(
+    method: &str,
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    engine: EngineConfig,
+    ddpg_base: DdpgConfig,
+) -> (RunHistory, ExecStats) {
     let env = make_env_with_engine(benchmark, node, cfg, engine);
-    let ddpg = DdpgConfig::default()
+    let ddpg = ddpg_base
         .with_seed(seed)
         .with_budget(cfg.budget, cfg.warmup.min(cfg.budget / 2))
         .with_rollout_k(cfg.rollout_k);
@@ -275,6 +331,18 @@ pub fn print_exec_stats(title: &str, results: &[MethodResult]) {
     }
     // Cumulative linear-solver counters: how much symbolic reuse the sparse
     // MNA path achieved across every evaluation above.
+    println!(
+        "  solver     {}",
+        gcnrl_sim::solver_stats::snapshot().summary()
+    );
+}
+
+/// Prints the coordinator's merged engine statistics plus the cumulative
+/// linear-solver counters (used by the cell-queue binaries after their
+/// tables).
+pub fn print_merged_exec(title: &str, merged: &ExecStats) {
+    println!("\n{title}");
+    println!("  engine     {}", merged.summary());
     println!(
         "  solver     {}",
         gcnrl_sim::solver_stats::snapshot().summary()

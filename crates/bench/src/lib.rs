@@ -1,19 +1,27 @@
 //! Experiment harness for the GCN-RL paper's tables and figures.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure; they all share
-//! the routines in [`harness`].  Budgets are scaled down from the paper's
-//! 10 000-simulation runs so the full suite executes on a laptop in minutes;
-//! set the `GCNRL_BUDGET`, `GCNRL_SEEDS` and `GCNRL_CALIBRATION` environment
-//! variables to run at larger scale (see EXPERIMENTS.md).
+//! the routines in [`harness`], enumerate their work as [`coordinator::Cell`]
+//! queues (the per-binary cell types live in [`cells`]) and drain them
+//! through the sharded [`coordinator`] — `GCNRL_WORKERS` concurrent cells
+//! under a shared `GCNRL_CACHE_CAP` budget, every cell's evaluation traffic
+//! multiplexed through a `gcnrl-exec` service session.  Budgets are scaled
+//! down from the paper's 10 000-simulation runs so the full suite executes
+//! on a laptop in minutes; set the `GCNRL_BUDGET`, `GCNRL_SEEDS` and
+//! `GCNRL_CALIBRATION` environment variables to run at larger scale (see
+//! EXPERIMENTS.md).
 
+pub mod cells;
 pub mod coordinator;
 pub mod harness;
 
 pub use coordinator::{
-    method_results, run_cells, table_cells, CellResult, CellSpec, CoordinatorConfig,
+    drain_cells, method_results, run_cells, table_cells, Cell, CellContext, CellResult, CellSpec,
+    CoordinatorConfig, DrainReport, DrainedCell, MethodCell,
 };
 pub use harness::{
-    budget_from_env, make_env, make_env_with_engine, merge_exec_stats, print_exec_stats,
-    print_series, run_all_methods, run_method, run_method_instrumented, run_method_with_engine,
-    write_json, ExperimentConfig, MethodResult, SeriesSummary, METHODS,
+    budget_from_env, env_for_session, make_env, make_env_with_engine, merge_exec_stats,
+    print_exec_stats, print_merged_exec, print_series, run_all_methods, run_method,
+    run_method_instrumented, run_method_with_engine, service_session, write_json, ExperimentConfig,
+    MethodResult, SeriesSummary, METHODS,
 };

@@ -96,6 +96,14 @@ impl GcnRlDesigner {
     /// shrink with `k`.  With `rollout_k = 1` the pipeline is bit-identical
     /// to the classic serial trainer (pinned by the `serial_equivalence`
     /// regression test).
+    ///
+    /// When `config.rollout_k_max > rollout_k`, the round width additionally
+    /// grows from `rollout_k` toward `rollout_k_max` as the exploration
+    /// noise decays (see [`DdpgConfig::rollout_width_at`]): early training
+    /// keeps narrow rounds (frequent updates while the policy is moving),
+    /// late training widens the speculative batches when candidates cluster
+    /// and the cache absorbs most of the extra evaluations. The simulation
+    /// budget is unchanged — `episodes` still counts simulations.
     pub fn run(&mut self) -> RunHistory {
         self.run_observed(&mut |_| {})
     }
@@ -137,11 +145,20 @@ impl GcnRlDesigner {
         observer(&history);
 
         // (2) Exploration rounds: propose → evaluate → learn.
-        let k = self.config.rollout_k.max(1);
         let rho = self.config.rollout_rho.clamp(0.0, 1.0);
         let mut episode = warmup;
         while episode < self.config.episodes {
-            let width = k.min(self.config.episodes - episode);
+            // Adaptive widening: early rounds stay at `rollout_k` (every
+            // network update still sees high-entropy feedback); as the noise
+            // decays toward exploitation the width grows toward
+            // `rollout_k_max`, trading update count for batch throughput
+            // exactly when the candidates cluster and cache/dedup absorb
+            // most of the extra cost. `rollout_k_max = 0` (default) keeps
+            // the width fixed, which the serial-equivalence test pins.
+            let width = self
+                .config
+                .rollout_width_at(noise.decay_progress())
+                .min(self.config.episodes - episode);
 
             // Propose: one policy action, `width` correlated perturbations.
             let base = self.agent.act(&states, &adjacency);
@@ -271,6 +288,38 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3).best_curve(), run(4).best_curve());
+    }
+
+    #[test]
+    fn adaptive_rollout_widens_rounds_as_noise_decays_on_the_same_budget() {
+        let node = TechnologyNode::tsmc180();
+        let fom = FomConfig::calibrated(Benchmark::TwoStageTia, &node, 8, 0);
+        let env = SizingEnv::new(Benchmark::TwoStageTia, &node, fom);
+        // Fast decay (0.5/round) so the widening is visible in a short run:
+        // widths go 2, then 2 + floor(4 * (1 - 0.5^r)) per round.
+        let cfg = DdpgConfig {
+            noise_decay: 0.5,
+            ..tiny_config()
+        }
+        .with_budget(40, 4)
+        .with_rollout_k(2)
+        .with_adaptive_rollout(6);
+        let mut designer = GcnRlDesigner::new(env, cfg);
+        let mut lengths = Vec::new();
+        let history = designer.run_observed(&mut |h| lengths.push(h.len()));
+        let widths: Vec<usize> = lengths.windows(2).map(|w| w[1] - w[0]).collect();
+        // Budget is exact: 4 warm-up + exploration rounds summing to 36.
+        assert_eq!(history.len(), 40);
+        assert_eq!(lengths[0], 4);
+        assert_eq!(widths.iter().sum::<usize>(), 36);
+        // The first exploration round runs at rollout_k, later rounds widen
+        // monotonically toward the ceiling.
+        assert_eq!(widths[0], 2);
+        assert!(widths.windows(2).all(|w| w[1] >= w[0]), "widths {widths:?}");
+        assert!(
+            *widths.iter().max().unwrap() >= 5,
+            "rounds never widened: {widths:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::state::{state_matrix, StateEncoding};
 use gcnrl_circuit::{
     benchmarks::Benchmark, Circuit, DesignSpace, ParamVector, Refiner, TechnologyNode,
 };
-use gcnrl_exec::{BatchEvaluator, EngineConfig, ExecStats};
+use gcnrl_exec::{BatchEvaluator, EngineConfig, EvalBackend, ExecStats};
 use gcnrl_linalg::Matrix;
 use gcnrl_rl::RolloutBatch;
 use gcnrl_sim::evaluators::{evaluator_for, Evaluator};
@@ -26,16 +26,21 @@ pub struct StepOutcome {
 /// One optimisation environment: a benchmark circuit in a technology node
 /// with a FoM definition (paper Fig. 2, steps 1-2 and 4-6).
 ///
-/// All simulation goes through a [`BatchEvaluator`] from `gcnrl-exec`, so
-/// repeated candidates are served from its content-addressed cache and
-/// [`SizingEnv::evaluate_batch`] fans candidates across its worker pool.
+/// All simulation goes through an [`EvalBackend`] from `gcnrl-exec` — a
+/// privately owned [`BatchEvaluator`] (the classic setup) or a
+/// [`SessionHandle`](gcnrl_exec::SessionHandle) of a shared
+/// [`EvalService`](gcnrl_exec::EvalService), where many environments
+/// multiplex onto one engine + cache. Either way, repeated candidates are
+/// served from the content-addressed cache and
+/// [`SizingEnv::evaluate_batch`] fans candidates across the engine's worker
+/// pool; results are bit-identical for every backend.
 pub struct SizingEnv {
     benchmark: Benchmark,
     circuit: Circuit,
     node: TechnologyNode,
     space: DesignSpace,
     refiner: Refiner,
-    engine: BatchEvaluator,
+    engine: Box<dyn EvalBackend>,
     fom: FomConfig,
     encoding: StateEncoding,
     adjacency: Matrix,
@@ -92,10 +97,35 @@ impl SizingEnv {
         engine_config: EngineConfig,
         evaluator: Box<dyn Evaluator>,
     ) -> Self {
+        Self::with_backend(
+            benchmark,
+            node,
+            fom,
+            encoding,
+            Box::new(BatchEvaluator::new(evaluator, engine_config)),
+        )
+    }
+
+    /// Creates the environment over an existing evaluation backend: an owned
+    /// engine, or a [`SessionHandle`](gcnrl_exec::SessionHandle) so this
+    /// environment shares an [`EvalService`](gcnrl_exec::EvalService)'s
+    /// engine + cache with other concurrent sessions. The backend must model
+    /// the same benchmark/technology pair as the environment.
+    pub fn with_backend(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        fom: FomConfig,
+        encoding: StateEncoding,
+        backend: Box<dyn EvalBackend>,
+    ) -> Self {
+        assert_eq!(
+            backend.benchmark(),
+            benchmark,
+            "evaluation backend models a different benchmark"
+        );
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let refiner = Refiner::new(&circuit);
-        let engine = BatchEvaluator::new(evaluator, engine_config);
         let adjacency = circuit.topology_graph().normalized_adjacency();
         let states = state_matrix(&circuit, node, encoding);
         SizingEnv {
@@ -104,7 +134,7 @@ impl SizingEnv {
             node: node.clone(),
             space,
             refiner,
-            engine,
+            engine: backend,
             fom,
             encoding,
             adjacency,
@@ -289,9 +319,10 @@ impl SizingEnv {
             .collect()
     }
 
-    /// The evaluation engine serving this environment.
-    pub fn engine(&self) -> &BatchEvaluator {
-        &self.engine
+    /// The evaluation backend serving this environment (an owned engine or
+    /// a shared-service session).
+    pub fn engine(&self) -> &dyn EvalBackend {
+        &*self.engine
     }
 
     /// Cumulative evaluation statistics (throughput, cache hit rate, wall

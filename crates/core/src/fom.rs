@@ -1,7 +1,7 @@
 //! The figure of merit (paper Eq. 2).
 
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
-use gcnrl_exec::{BatchEvaluator, EngineConfig};
+use gcnrl_exec::{BatchEvaluator, EngineConfig, EvalBackend};
 use gcnrl_sim::PerformanceReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,11 +107,27 @@ impl FomConfig {
         // Calibration is an embarrassingly parallel random sweep, so it goes
         // through the batched evaluation engine.
         let engine = BatchEvaluator::for_benchmark(benchmark, node, engine_config);
+        Self::calibrated_with_backend(benchmark, node, samples, seed, &engine)
+    }
+
+    /// Like [`FomConfig::calibrated`], sweeping through an existing
+    /// evaluation backend — an owned engine or an
+    /// [`EvalService`](gcnrl_exec::EvalService) session. Session-backed
+    /// environments calibrate through this so the sweep lands in the shared
+    /// engine cache, where concurrent sessions calibrating the same
+    /// benchmark turn each other's sweeps into cache hits.
+    pub fn calibrated_with_backend(
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        samples: usize,
+        seed: u64,
+        backend: &dyn EvalBackend,
+    ) -> Self {
         let circuit = benchmark.circuit();
         let space = circuit.design_space(node);
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let specs_list = engine.metric_specs().to_vec();
+        let specs_list = backend.metric_specs().to_vec();
         let mut mins = vec![f64::INFINITY; specs_list.len()];
         let mut maxs = vec![f64::NEG_INFINITY; specs_list.len()];
         let candidates: Vec<ParamVector> = (0..samples.max(2))
@@ -122,7 +138,7 @@ impl FomConfig {
                 space.from_unit(&unit)
             })
             .collect();
-        for report in engine.evaluate_batch(&candidates) {
+        for report in backend.evaluate_batch(&candidates) {
             for (i, spec) in specs_list.iter().enumerate() {
                 if let Some(v) = report.get(spec.name) {
                     if v.is_finite() {

@@ -44,9 +44,12 @@ mod state;
 pub mod transfer;
 
 /// The evaluation engine every simulation request is routed through
-/// (re-exported so callers can configure threads/cache without a direct
-/// `gcnrl-exec` dependency).
-pub use gcnrl_exec::{BatchEvaluator, EngineConfig, ExecStats};
+/// (re-exported so callers can configure threads/cache — or open sessions on
+/// a shared [`EvalService`] — without a direct `gcnrl-exec` dependency).
+pub use gcnrl_exec::{
+    BatchEvaluator, EngineConfig, EvalBackend, EvalService, ExecStats, ServiceConfig,
+    SessionHandle, SessionStats,
+};
 
 pub use agent::{AgentKind, GcnAgent};
 pub use designer::GcnRlDesigner;

@@ -57,12 +57,17 @@ impl EngineConfig {
     /// Reads the configuration from environment variables, falling back to
     /// the defaults: `GCNRL_THREADS` (worker threads), `GCNRL_CACHE_CAP`
     /// (cache capacity), `GCNRL_CACHE_PATH` (persistence file).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a numeric variable is set but unparseable (see
+    /// [`crate::env_usize`]) — a typo must not silently run with defaults.
     pub fn from_env() -> Self {
         let mut config = Self::default();
-        if let Some(threads) = read_env_usize("GCNRL_THREADS") {
+        if let Some(threads) = crate::env_usize("GCNRL_THREADS") {
             config.threads = threads.max(1);
         }
-        if let Some(capacity) = read_env_usize("GCNRL_CACHE_CAP") {
+        if let Some(capacity) = crate::env_usize("GCNRL_CACHE_CAP") {
             config.cache_capacity = capacity.max(1);
         }
         if let Ok(path) = std::env::var("GCNRL_CACHE_PATH") {
@@ -90,10 +95,6 @@ impl EngineConfig {
         self.persist_path = Some(path.into());
         self
     }
-}
-
-fn read_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 /// Mutable engine state behind one lock: the cache plus cumulative counters.

@@ -1,0 +1,65 @@
+//! Strict parsing of the `GCNRL_*` configuration environment variables.
+//!
+//! The config readers used to fall back to their defaults when a variable was
+//! set but malformed (`GCNRL_WORKERS=four` silently ran with the default
+//! worker count), which turns a typo in a CI matrix or a launch script into a
+//! silently wrong experiment. Every knob now goes through [`env_usize`],
+//! which distinguishes *unset* (use the default) from *unparseable* (fail
+//! loudly with the variable name and the offending value).
+
+/// Reads `name` as a `usize`.
+///
+/// Returns `None` when the variable is unset or empty (the caller keeps its
+/// default).
+///
+/// # Panics
+///
+/// Panics with the variable name and the rejected value when the variable is
+/// set but not a non-negative integer — a misconfigured run must not proceed
+/// with silently substituted defaults.
+pub fn env_usize(name: &str) -> Option<usize> {
+    let value = std::env::var(name).ok()?;
+    if value.is_empty() {
+        return None;
+    }
+    match value.trim().parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => panic!(
+            "invalid {name}={value:?}: expected a non-negative integer \
+             (unset the variable to use the default)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_empty_fall_back_to_the_default() {
+        std::env::remove_var("GCNRL_TEST_UNSET_KNOB");
+        assert_eq!(env_usize("GCNRL_TEST_UNSET_KNOB"), None);
+        std::env::set_var("GCNRL_TEST_EMPTY_KNOB", "");
+        assert_eq!(env_usize("GCNRL_TEST_EMPTY_KNOB"), None);
+    }
+
+    #[test]
+    fn valid_values_parse_with_surrounding_whitespace() {
+        std::env::set_var("GCNRL_TEST_VALID_KNOB", " 42 ");
+        assert_eq!(env_usize("GCNRL_TEST_VALID_KNOB"), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GCNRL_TEST_BAD_KNOB=\"four\"")]
+    fn malformed_values_panic_with_the_name_and_value() {
+        std::env::set_var("GCNRL_TEST_BAD_KNOB", "four");
+        let _ = env_usize("GCNRL_TEST_BAD_KNOB");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GCNRL_TEST_NEGATIVE_KNOB=\"-3\"")]
+    fn negative_values_are_rejected() {
+        std::env::set_var("GCNRL_TEST_NEGATIVE_KNOB", "-3");
+        let _ = env_usize("GCNRL_TEST_NEGATIVE_KNOB");
+    }
+}

@@ -23,7 +23,7 @@
 //!                     gcnrl-sim Evaluator (pure function)
 //! ```
 //!
-//! The three pillars:
+//! The pillars:
 //!
 //! * [`BatchEvaluator`] — fans a batch of [`ParamVector`]s across a
 //!   configurable worker pool and returns reports **in input order**. Because
@@ -33,6 +33,12 @@
 //!   [`CacheKey`] = (benchmark, technology node, quantized parameter vector),
 //!   with hit/miss/eviction counters and optional JSON disk persistence for
 //!   cross-run reuse ([`persist`]).
+//! * [`EvalService`] / [`SessionHandle`] — the request-queue front-end
+//!   ([`service`]): many concurrent sessions submit batches that a single
+//!   dispatcher assembles into fair, deduplicated engine rounds, resolved
+//!   through per-request reply channels. [`EvalBackend`] abstracts over
+//!   "owned engine" vs "service session" so clients cannot tell the
+//!   difference.
 //! * [`ExecStats`] — throughput, cache hit rate and wall time, surfaced by
 //!   the bench harness next to each method's result.
 //!
@@ -58,16 +64,24 @@
 //!
 //! [`ParamVector`]: gcnrl_circuit::ParamVector
 
+mod backend;
 mod cache;
 mod engine;
+mod envvar;
 pub mod key;
 pub mod persist;
 mod pool;
+pub mod service;
 mod stats;
 pub mod testing;
 
+pub use backend::EvalBackend;
 pub use cache::ResultCache;
 pub use engine::{BatchEvaluator, EngineConfig};
+pub use envvar::env_usize;
 pub use key::{quantize, CacheKey};
 pub use pool::WorkerPool;
+pub use service::{
+    EvalService, PendingBatch, ServiceClosed, ServiceConfig, SessionHandle, SessionStats,
+};
 pub use stats::{BatchReport, ExecStats};

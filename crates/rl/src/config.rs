@@ -40,6 +40,13 @@ pub struct DdpgConfig {
     /// Correlation of the `k` exploration perturbations within one rollout
     /// round (see `ExplorationNoise::sample_correlated`); ignored at `k = 1`.
     pub rollout_rho: f64,
+    /// Adaptive rollout ceiling: when greater than `rollout_k`, the rollout
+    /// width grows linearly from `rollout_k` toward this value as the
+    /// exploration noise decays (`width = k + (k_max - k) * decay_progress`,
+    /// rounded down) — wide speculative batches are cheap once the policy
+    /// has mostly converged and candidates cluster. `0` (the default) keeps
+    /// the width fixed at `rollout_k`.
+    pub rollout_k_max: usize,
 }
 
 impl Default for DdpgConfig {
@@ -59,6 +66,7 @@ impl Default for DdpgConfig {
             seed: 0,
             rollout_k: 1,
             rollout_rho: 0.5,
+            rollout_k_max: 0,
         }
     }
 }
@@ -110,6 +118,25 @@ impl DdpgConfig {
         self.rollout_rho = rho.clamp(0.0, 1.0);
         self
     }
+
+    /// Returns a copy that widens the rollout from `rollout_k` toward
+    /// `k_max` as the exploration noise decays. Values at or below
+    /// `rollout_k` disable the adaptation (fixed-width behaviour).
+    pub fn with_adaptive_rollout(mut self, k_max: usize) -> Self {
+        self.rollout_k_max = k_max;
+        self
+    }
+
+    /// The rollout width to use at a given noise-decay progress (`0` at the
+    /// start of exploration, `1` when the noise has fully decayed).
+    pub fn rollout_width_at(&self, decay_progress: f64) -> usize {
+        let k = self.rollout_k.max(1);
+        if self.rollout_k_max <= k {
+            return k;
+        }
+        let span = (self.rollout_k_max - k) as f64;
+        k + (span * decay_progress.clamp(0.0, 1.0)).floor() as usize
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +177,28 @@ mod tests {
         assert_eq!(DdpgConfig::default().with_rollout_rho(7.0).rollout_rho, 1.0);
         // The default is the serial trainer.
         assert_eq!(DdpgConfig::default().rollout_k, 1);
+    }
+
+    #[test]
+    fn adaptive_rollout_width_grows_with_decay_progress() {
+        let c = DdpgConfig::default()
+            .with_rollout_k(2)
+            .with_adaptive_rollout(8);
+        assert_eq!(c.rollout_width_at(0.0), 2);
+        assert_eq!(c.rollout_width_at(0.5), 5);
+        assert_eq!(c.rollout_width_at(1.0), 8);
+        // Progress is clamped.
+        assert_eq!(c.rollout_width_at(7.0), 8);
+        assert_eq!(c.rollout_width_at(-1.0), 2);
+    }
+
+    #[test]
+    fn adaptive_rollout_is_disabled_by_default_and_below_k() {
+        let fixed = DdpgConfig::default().with_rollout_k(4);
+        assert_eq!(fixed.rollout_k_max, 0);
+        assert_eq!(fixed.rollout_width_at(1.0), 4);
+        // A ceiling at or below k keeps the width fixed.
+        let capped = fixed.with_adaptive_rollout(3);
+        assert_eq!(capped.rollout_width_at(1.0), 4);
     }
 }
