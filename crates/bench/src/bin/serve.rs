@@ -1,0 +1,189 @@
+//! `serve` — the standalone network evaluation server.
+//!
+//! Binds `GCNRL_SERVE_ADDR` (default `127.0.0.1:7733`) and serves the
+//! multi-benchmark evaluation registry until killed: every connection maps
+//! onto one session of the `EvalService` for its `(benchmark, node)` pair,
+//! so remote trainers, baselines and the bench binaries (run with
+//! `GCNRL_SERVE_ADDR` pointing here) share one engine + cache per pair.
+//!
+//! Knobs (all strict-parsed; a typo panics rather than silently defaulting):
+//!
+//! * `GCNRL_SERVE_ADDR` — bind address (`host:port`; port 0 = ephemeral).
+//! * `GCNRL_SERVE_CACHE_CAP` — total cached reports across all services
+//!   (default 65536), split evenly over the slots.
+//! * `GCNRL_SERVE_SLOTS` — expected number of `(benchmark, node)` services
+//!   sharing the budget (default 4).
+//! * `GCNRL_SERVE_DEADLINE_MS` — dispatcher round deadline per service:
+//!   wait up to this window to pack fuller rounds.
+//! * `GCNRL_THREADS` / `GCNRL_CACHE_PATH` — engine template, as everywhere.
+//! * `GCNRL_SERVE_SMOKE` — run the CI smoke instead of serving: bind, run
+//!   this many concurrent remote random-search clients over real loopback
+//!   TCP, assert their runs are bit-identical to solo local runs, assert
+//!   cross-client cache hits and a clean drain, then exit.
+
+use gcnrl_bench::{
+    budget_from_env, env_for_backend, env_for_session, service_session, ExperimentConfig,
+};
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_exec::{env_usize, EngineConfig, ServiceConfig};
+use gcnrl_serve::{EvalServer, RegistryConfig, RemoteBackend, RemoteConfig, ServerConfig};
+
+fn server_config() -> ServerConfig {
+    let mut service = ServiceConfig::default();
+    if let Some(ms) = env_usize("GCNRL_SERVE_DEADLINE_MS") {
+        service = service.with_round_deadline(std::time::Duration::from_millis(ms as u64));
+    }
+    let registry = RegistryConfig {
+        engine: EngineConfig::from_env(),
+        service,
+        ..RegistryConfig::default()
+    }
+    .with_cache_budget(env_usize("GCNRL_SERVE_CACHE_CAP").unwrap_or(65_536))
+    .with_cache_slots(env_usize("GCNRL_SERVE_SLOTS").unwrap_or(Benchmark::ALL.len()));
+    ServerConfig {
+        registry,
+        ..ServerConfig::default()
+    }
+}
+
+fn print_stats(server: &EvalServer) {
+    let stats = server.stats();
+    println!(
+        "connections: {} total, {} active, {} rejected",
+        stats.connections_total, stats.connections_active, stats.connections_rejected
+    );
+    for service in &stats.services {
+        println!(
+            "  {:<10} @ {:<6} {}",
+            service.benchmark,
+            service.node,
+            service.engine.summary()
+        );
+        for session in &service.sessions {
+            println!(
+                "    session {:<28} weight={} submitted={} resolved={} candidates={} shared_rounds={}",
+                session.name,
+                session.weight,
+                session.submitted,
+                session.resolved,
+                session.candidates,
+                session.shared_rounds
+            );
+        }
+    }
+}
+
+/// The CI smoke: N concurrent remote random-search sessions over loopback
+/// TCP against one shared server, checked bit-identical against solo local
+/// runs, with cross-client cache reuse and a clean drain asserted.
+fn smoke(server: &EvalServer, clients: usize) {
+    let cfg = budget_from_env(ExperimentConfig {
+        budget: 8,
+        warmup: 3,
+        seeds: 1,
+        calibration: 6,
+        rollout_k: 1,
+    });
+    let benchmark = Benchmark::TwoStageTia;
+    let node = TechnologyNode::tsmc180();
+
+    // Reference: each seed alone on a fresh local service session.
+    let solo: Vec<_> = (0..clients)
+        .map(|seed| {
+            let session = service_session(benchmark, &node, EngineConfig::serial());
+            gcnrl_baselines::random_search(
+                &env_for_session(&session, &cfg),
+                cfg.budget,
+                seed as u64,
+            )
+        })
+        .collect();
+
+    let addr = server.local_addr();
+    let workers: Vec<_> = (0..clients)
+        .map(|seed| {
+            let node = node.clone();
+            std::thread::spawn(move || {
+                let remote = RemoteBackend::connect_with(
+                    addr,
+                    benchmark,
+                    &node,
+                    RemoteConfig {
+                        session: Some(format!("smoke-{seed}")),
+                        ..RemoteConfig::default()
+                    },
+                )
+                .expect("smoke client connect");
+                gcnrl_baselines::random_search(
+                    &env_for_backend(Box::new(remote), &cfg),
+                    cfg.budget,
+                    seed as u64,
+                )
+            })
+        })
+        .collect();
+    let remote: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("smoke client thread"))
+        .collect();
+
+    for (seed, (remote_run, solo_run)) in remote.iter().zip(&solo).enumerate() {
+        assert_eq!(
+            remote_run, solo_run,
+            "seed {seed}: remote run diverged from the local reference"
+        );
+    }
+
+    server.shutdown();
+    print_stats(server);
+    let stats = server.stats();
+    assert_eq!(stats.connections_active, 0, "connections not drained");
+    assert_eq!(stats.connections_total as usize, clients);
+    assert_eq!(stats.services.len(), 1);
+    let engine = &stats.services[0].engine;
+    assert!(
+        engine.cache_hits >= ((clients - 1) * cfg.calibration) as u64,
+        "cross-client calibration reuse missing: {engine:?}"
+    );
+    for session in &stats.services[0].sessions {
+        assert_eq!(
+            session.submitted, session.resolved,
+            "{}: requests left pending after drain",
+            session.name
+        );
+    }
+    println!(
+        "serve smoke OK: {clients} remote clients bit-identical to solo runs, \
+         {} cross-client cache hits, clean drain",
+        engine.cache_hits
+    );
+}
+
+fn main() {
+    let addr = std::env::var("GCNRL_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7733".to_owned());
+    let server = EvalServer::bind(&addr, server_config()).unwrap_or_else(|error| {
+        panic!("failed to bind evaluation server on {addr}: {error}");
+    });
+    println!(
+        "gcnrl evaluation server listening on {} (protocol v{})",
+        server.local_addr(),
+        gcnrl_serve::PROTOCOL_VERSION
+    );
+
+    if let Some(clients) = env_usize("GCNRL_SERVE_SMOKE") {
+        smoke(&server, clients.max(2));
+        return;
+    }
+
+    // Serve until killed, logging a stats snapshot every 30 s once traffic
+    // has arrived.
+    let mut last_total = 0;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        let total = server.stats().connections_total;
+        if total != last_total {
+            last_total = total;
+            print_stats(&server);
+        }
+    }
+}

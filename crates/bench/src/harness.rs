@@ -140,6 +140,65 @@ pub fn make_env(benchmark: Benchmark, node: &TechnologyNode, cfg: &ExperimentCon
     make_env_with_engine(benchmark, node, cfg, EngineConfig::from_env())
 }
 
+/// The evaluation-server address the benches should ride, when set
+/// (`GCNRL_SERVE_ADDR=host:port`). With the variable unset every bench run
+/// owns its local engine/service as before.
+pub fn serve_addr() -> Option<String> {
+    std::env::var("GCNRL_SERVE_ADDR")
+        .ok()
+        .filter(|addr| !addr.is_empty())
+}
+
+/// The evaluation backend a bench run should use for `(benchmark, node)`:
+/// a [`RemoteBackend`](gcnrl_serve::RemoteBackend) session on the shared
+/// server named by `GCNRL_SERVE_ADDR` when that knob is set, otherwise a
+/// session of a fresh local [`EvalService`] over `engine`. Results are
+/// bit-identical either way; the knob only moves where the engine and its
+/// cache live.
+///
+/// # Panics
+///
+/// Panics when `GCNRL_SERVE_ADDR` is set but the server is unreachable or
+/// rejects the handshake — a bench pointed at a dead server must fail
+/// loudly, not silently fall back to a private engine.
+pub fn backend_for(
+    benchmark: Benchmark,
+    node: &TechnologyNode,
+    engine: EngineConfig,
+) -> Box<dyn gcnrl_exec::EvalBackend> {
+    match serve_addr() {
+        Some(addr) => {
+            let remote = gcnrl_serve::RemoteBackend::connect_with(
+                &addr,
+                benchmark,
+                node,
+                gcnrl_serve::RemoteConfig {
+                    session: Some(format!("bench:{benchmark}@{}", node.name)),
+                    ..gcnrl_serve::RemoteConfig::default()
+                },
+            )
+            .unwrap_or_else(|error| panic!("GCNRL_SERVE_ADDR={addr} is set but unusable: {error}"));
+            Box::new(remote)
+        }
+        None => Box::new(service_session(benchmark, node, engine)),
+    }
+}
+
+/// Builds a calibrated environment over an arbitrary evaluation backend —
+/// the common core of [`env_for_session`] (local service session) and the
+/// `GCNRL_SERVE_ADDR` remote path. The calibration sweep runs through the
+/// backend too, so it lands in whatever cache the backend shares.
+pub fn env_for_backend(
+    backend: Box<dyn gcnrl_exec::EvalBackend>,
+    cfg: &ExperimentConfig,
+) -> SizingEnv {
+    let benchmark = backend.benchmark();
+    let node = backend.technology().clone();
+    let fom =
+        FomConfig::calibrated_with_backend(benchmark, &node, cfg.calibration, 7, backend.as_ref());
+    SizingEnv::with_backend(benchmark, &node, fom, StateEncoding::ScalarIndex, backend)
+}
+
 /// Opens a fresh single-engine [`EvalService`] for `benchmark` at `node` and
 /// returns one session on it. All harness-built environments route their
 /// evaluation traffic (calibration sweep included) through such a session,
@@ -160,29 +219,23 @@ pub fn service_session(
 /// each other's sweeps as cache hits. Keep a clone of the handle to read
 /// engine statistics after the environment is consumed by a designer.
 pub fn env_for_session(session: &SessionHandle, cfg: &ExperimentConfig) -> SizingEnv {
-    let benchmark = session.service().engine().benchmark();
-    let node = session.service().engine().technology().clone();
-    let fom = FomConfig::calibrated_with_backend(benchmark, &node, cfg.calibration, 7, session);
-    SizingEnv::with_backend(
-        benchmark,
-        &node,
-        fom,
-        StateEncoding::ScalarIndex,
-        Box::new(session.clone()),
-    )
+    env_for_backend(Box::new(session.clone()), cfg)
 }
 
 /// Builds a calibrated environment with an explicit evaluation-engine
 /// configuration (the sharded coordinator's per-cell path: the calibration
 /// sweep and the optimisation run both stay on the cell's engine budget,
-/// multiplexed through one service session).
+/// multiplexed through one service session). When `GCNRL_SERVE_ADDR` is
+/// set, the environment instead rides a session of that shared evaluation
+/// server (see [`backend_for`]) and `engine` is unused — the server owns the
+/// engine configuration.
 pub fn make_env_with_engine(
     benchmark: Benchmark,
     node: &TechnologyNode,
     cfg: &ExperimentConfig,
     engine: EngineConfig,
 ) -> SizingEnv {
-    env_for_session(&service_session(benchmark, node, engine), cfg)
+    env_for_backend(backend_for(benchmark, node, engine), cfg)
 }
 
 /// Runs one named method on an environment with the given seed.

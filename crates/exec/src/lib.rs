@@ -82,6 +82,7 @@ pub use envvar::env_usize;
 pub use key::{quantize, CacheKey};
 pub use pool::WorkerPool;
 pub use service::{
-    EvalService, PendingBatch, ServiceClosed, ServiceConfig, SessionHandle, SessionStats,
+    panic_message, EvalService, PendingBatch, ServiceClosed, ServiceConfig, SessionHandle,
+    SessionStats,
 };
 pub use stats::{BatchReport, ExecStats};

@@ -44,8 +44,8 @@ use crate::engine::BatchEvaluator;
 use crate::stats::ExecStats;
 use gcnrl_circuit::ParamVector;
 use gcnrl_sim::PerformanceReport;
-use serde::Serialize;
-use std::collections::{HashMap, HashSet, VecDeque};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -60,12 +60,20 @@ pub struct ServiceConfig {
     /// alone rather than deadlocking. Smaller values trade engine batch size
     /// for scheduling granularity (a long round delays every later request).
     pub max_round_candidates: usize,
+    /// Batching hint: how long the dispatcher waits for further requests
+    /// before closing a round. `None` (the default) dispatches whatever is
+    /// queued the moment the dispatcher is free; a deadline trades that
+    /// first-request latency for fuller rounds (better engine batches and
+    /// in-flight dedup) when many sessions submit at a similar cadence. The
+    /// wait ends early once the backlog reaches the candidate cap.
+    pub round_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             max_round_candidates: 1024,
+            round_deadline: None,
         }
     }
 }
@@ -76,14 +84,25 @@ impl ServiceConfig {
         self.max_round_candidates = cap.max(1);
         self
     }
+
+    /// Returns a copy that holds each round open up to `deadline` waiting
+    /// for more requests to pack (deadline-based round closing).
+    pub fn with_round_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.round_deadline = Some(deadline);
+        self
+    }
 }
 
 /// Per-session accounting, kept by the service and surfaced through
 /// [`SessionHandle::session_stats`] / [`EvalService::session_stats`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Session name (auto-generated `session-N` unless given at creation).
     pub name: String,
+    /// Fair-share weight: how many of this session's requests one dispatch
+    /// sweep may admit relative to a weight-1 session (see
+    /// [`SessionHandle::with_weight`]).
+    pub weight: u64,
     /// Requests the session has submitted.
     pub submitted: u64,
     /// Requests the dispatcher has resolved.
@@ -114,6 +133,13 @@ struct Request {
 struct DispatchState {
     engine: Arc<BatchEvaluator>,
     sessions: Mutex<HashMap<u64, SessionStats>>,
+    /// Non-default fair-share weights only (weight > 1), kept separate from
+    /// the full `sessions` stats map so the dispatcher's per-round snapshot
+    /// scales with the number of *live weighted* sessions, not with every
+    /// session a long-lived service has accumulated (entries are removed by
+    /// [`SessionHandle::retire`] when a connection closes, or by setting the
+    /// weight back to 1).
+    weights: Mutex<HashMap<u64, u64>>,
 }
 
 struct ServiceShared {
@@ -187,14 +213,15 @@ impl EvalService {
         let state = Arc::new(DispatchState {
             engine,
             sessions: Mutex::new(HashMap::new()),
+            weights: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = channel::<Request>();
         let dispatcher = {
             let state = Arc::clone(&state);
-            let cap = config.max_round_candidates.max(1);
+            let dispatch_config = config.clone();
             std::thread::Builder::new()
                 .name("gcnrl-eval-service".to_owned())
-                .spawn(move || dispatch_loop(&state, &rx, cap))
+                .spawn(move || dispatch_loop(&state, &rx, &dispatch_config))
                 .expect("spawn gcnrl-eval-service dispatcher")
         };
         EvalService {
@@ -245,6 +272,7 @@ impl EvalService {
                 id,
                 SessionStats {
                     name,
+                    weight: 1,
                     ..SessionStats::default()
                 },
             );
@@ -369,6 +397,46 @@ impl SessionHandle {
         &self.service
     }
 
+    /// Sets this session's fair-share weight (clamped to at least 1) and
+    /// returns the handle. One dispatch sweep admits up to `weight` of this
+    /// session's requests where a weight-1 session contributes one, so a
+    /// weight-2 session receives roughly twice the round share under
+    /// contention. Weights only change scheduling — results are bit-identical
+    /// at any weight. Clones share the session, so the weight applies to all
+    /// of them.
+    pub fn with_weight(self, weight: u64) -> Self {
+        let weight = weight.max(1);
+        if let Some(stats) = self
+            .service
+            .shared
+            .state
+            .sessions
+            .lock()
+            .expect("service sessions lock")
+            .get_mut(&self.id)
+        {
+            stats.weight = weight;
+        }
+        // The dispatcher reads weights from this dedicated map; only
+        // non-default entries are stored so its per-round snapshot stays
+        // tiny regardless of how many sessions the service has seen.
+        {
+            let mut weights = self
+                .service
+                .shared
+                .state
+                .weights
+                .lock()
+                .expect("service weights lock");
+            if weight > 1 {
+                weights.insert(self.id, weight);
+            } else {
+                weights.remove(&self.id);
+            }
+        }
+        self
+    }
+
     /// Submits a batch without blocking; resolve it with
     /// [`PendingBatch::wait`]. Several pending batches may be in flight at
     /// once (they resolve in submission order — the dispatcher never
@@ -405,6 +473,23 @@ impl SessionHandle {
             return Vec::new();
         }
         self.submit(params.to_vec()).wait()
+    }
+
+    /// Retires this session's scheduling state once it will submit no more:
+    /// its fair-share weight entry is removed so the dispatcher's per-round
+    /// weight snapshot does not grow with every weighted session a
+    /// long-lived service has ever hosted. The session's statistics remain
+    /// for reporting (including the weight it ran with), and a retired
+    /// session that submits anyway is simply scheduled at the default
+    /// weight. The network server calls this when a connection closes.
+    pub fn retire(&self) {
+        self.service
+            .shared
+            .state
+            .weights
+            .lock()
+            .expect("service weights lock")
+            .remove(&self.id);
     }
 
     /// This session's accounting (requests, candidates, shared rounds).
@@ -482,20 +567,27 @@ impl PendingBatch {
 }
 
 /// Takes one fair dispatch round out of the backlog: sweep the queue in
-/// arrival order taking at most one request per session per sweep, repeating
-/// until the candidate cap is reached or the backlog is empty. The first
-/// request of a round is always admitted, so an oversized request cannot
-/// wedge the queue.
-fn next_round(backlog: &mut VecDeque<Request>, cap: usize) -> Vec<Request> {
+/// arrival order taking at most `weight` requests per session per sweep
+/// (1 for unweighted sessions — see [`SessionHandle::with_weight`]),
+/// repeating until the candidate cap is reached or the backlog is empty.
+/// The first request of a round is always admitted, so an oversized request
+/// cannot wedge the queue.
+fn next_round(
+    backlog: &mut VecDeque<Request>,
+    cap: usize,
+    weights: &HashMap<u64, u64>,
+) -> Vec<Request> {
     let mut round: Vec<Request> = Vec::new();
     let mut candidates = 0usize;
     loop {
-        let mut taken_this_sweep: HashSet<u64> = HashSet::new();
+        let mut taken_this_sweep: HashMap<u64, u64> = HashMap::new();
         let mut kept: VecDeque<Request> = VecDeque::with_capacity(backlog.len());
         let mut progressed = false;
         for request in backlog.drain(..) {
-            if candidates < cap && !taken_this_sweep.contains(&request.session) {
-                taken_this_sweep.insert(request.session);
+            let share = weights.get(&request.session).copied().unwrap_or(1).max(1);
+            let taken = taken_this_sweep.entry(request.session).or_insert(0);
+            if candidates < cap && *taken < share {
+                *taken += 1;
                 candidates += request.params.len();
                 round.push(request);
                 progressed = true;
@@ -510,7 +602,8 @@ fn next_round(backlog: &mut VecDeque<Request>, cap: usize) -> Vec<Request> {
     }
 }
 
-fn dispatch_loop(state: &DispatchState, queue: &Receiver<Request>, cap: usize) {
+fn dispatch_loop(state: &DispatchState, queue: &Receiver<Request>, config: &ServiceConfig) {
+    let cap = config.max_round_candidates.max(1);
     let mut backlog: VecDeque<Request> = VecDeque::new();
     let mut open = true;
     while open || !backlog.is_empty() {
@@ -521,6 +614,27 @@ fn dispatch_loop(state: &DispatchState, queue: &Receiver<Request>, cap: usize) {
                 Err(_) => {
                     open = false;
                     continue;
+                }
+            }
+        }
+        // Deadline-based round closing: hold the round open up to the
+        // configured window so concurrent sessions pack fuller rounds, ending
+        // early once the backlog already fills the candidate cap.
+        if let (Some(window), true) = (config.round_deadline, open) {
+            let close = std::time::Instant::now() + window;
+            while backlog.iter().map(|r| r.params.len()).sum::<usize>() < cap {
+                let now = std::time::Instant::now();
+                let Some(remaining) = close.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                match queue.recv_timeout(remaining) {
+                    Ok(request) => backlog.push_back(request),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
                 }
             }
         }
@@ -537,12 +651,28 @@ fn dispatch_loop(state: &DispatchState, queue: &Receiver<Request>, cap: usize) {
             }
         }
 
-        let round = next_round(&mut backlog, cap);
+        // Snapshot only the non-default weights (usually empty), so the cost
+        // does not scale with the total number of sessions ever opened.
+        let weights: HashMap<u64, u64> =
+            state.weights.lock().expect("service weights lock").clone();
+        let round = next_round(&mut backlog, cap, &weights);
         if round.is_empty() {
             continue;
         }
         run_round(state, round);
     }
+}
+
+/// Extracts the human-readable message out of a caught panic payload (the
+/// common `&str` / `String` cases, with a generic fallback). Shared by the
+/// dispatcher's round failure path and the network server's per-request
+/// error reporting, so the same panic reads the same at every layer.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "evaluator panicked".to_owned())
 }
 
 fn run_round(state: &DispatchState, round: Vec<Request>) {
@@ -558,13 +688,7 @@ fn run_round(state: &DispatchState, round: Vec<Request>) {
         Err(payload) => {
             // Fail every waiter of this round with the panic's own message
             // and keep serving later requests.
-            let message = Arc::new(
-                payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "evaluator panicked".to_owned()),
-            );
+            let message = Arc::new(panic_message(payload.as_ref()));
             for request in round {
                 let _ = request.reply.send(Err(Arc::clone(&message)));
             }
@@ -725,6 +849,130 @@ mod tests {
         );
         assert!(position("light") < position("deep-3"));
         assert!(position("light") < position("deep-4"));
+    }
+
+    #[test]
+    fn weighted_sessions_take_a_larger_share_of_each_round() {
+        // Two sessions with equal backlogs; the weight-3 one may place three
+        // requests per sweep against the light session's one, so under a
+        // 4-candidate round cap each fair round carries 3 heavy + 1 light.
+        let heavy_requests =
+            |round: &[Request], session: u64| round.iter().filter(|r| r.session == session).count();
+        let mk = |session: u64, r: f64| {
+            let (reply, _rx) = channel();
+            Request {
+                session,
+                params: vec![pv(r)],
+                reply,
+            }
+        };
+        let mut backlog: VecDeque<Request> = VecDeque::new();
+        for i in 0..4 {
+            backlog.push_back(mk(0, i as f64));
+            backlog.push_back(mk(1, 100.0 + i as f64));
+        }
+        let weights: HashMap<u64, u64> = [(0, 3), (1, 1)].into_iter().collect();
+        let round = next_round(&mut backlog, 4, &weights);
+        assert_eq!(heavy_requests(&round, 0), 3);
+        assert_eq!(heavy_requests(&round, 1), 1);
+        // Unweighted sessions default to one request per sweep.
+        let mut backlog: VecDeque<Request> = VecDeque::new();
+        for i in 0..4 {
+            backlog.push_back(mk(0, i as f64));
+            backlog.push_back(mk(1, 100.0 + i as f64));
+        }
+        let round = next_round(&mut backlog, 4, &HashMap::new());
+        assert_eq!(heavy_requests(&round, 0), 2);
+        assert_eq!(heavy_requests(&round, 1), 2);
+    }
+
+    #[test]
+    fn with_weight_is_recorded_and_results_are_unchanged() {
+        let service = latency_service(0, 1024);
+        let weighted = service.session_named("bulk").with_weight(4);
+        let plain = service.session_named("light");
+        assert_eq!(weighted.session_stats().weight, 4);
+        assert_eq!(plain.session_stats().weight, 1);
+        // Weight 0 clamps to 1.
+        let clamped = service.session().with_weight(0);
+        assert_eq!(clamped.session_stats().weight, 1);
+        let batch = vec![pv(1.0), pv(2.0)];
+        assert_eq!(
+            weighted.evaluate_batch(&batch),
+            plain.evaluate_batch(&batch)
+        );
+    }
+
+    #[test]
+    fn retiring_a_session_prunes_its_weight_but_keeps_its_stats() {
+        let service = latency_service(0, 1024);
+        let session = service.session_named("transient").with_weight(5);
+        assert_eq!(session.evaluate_batch(&[pv(1.0)]).len(), 1);
+        assert_eq!(
+            service.shared.state.weights.lock().unwrap().len(),
+            1,
+            "weighted session must have a live weight entry"
+        );
+        session.retire();
+        assert!(
+            service.shared.state.weights.lock().unwrap().is_empty(),
+            "retire must prune the dispatcher's weight entry"
+        );
+        // Reporting is unaffected: the stats (weight included) remain.
+        let stats = session.session_stats();
+        assert_eq!(stats.name, "transient");
+        assert_eq!(stats.weight, 5);
+        assert_eq!(stats.candidates, 1);
+        // A retired session that submits anyway still works (default share).
+        assert_eq!(session.evaluate_batch(&[pv(2.0)]).len(), 1);
+    }
+
+    #[test]
+    fn round_deadline_packs_concurrent_submissions_into_one_round() {
+        let service = EvalService::new(
+            BatchEvaluator::new(
+                Box::new(LatencyEvaluator::new(Duration::ZERO)),
+                EngineConfig::serial(),
+            ),
+            ServiceConfig::default().with_round_deadline(Duration::from_millis(150)),
+        );
+        let a = service.session_named("a");
+        let b = service.session_named("b");
+        // Without the deadline the dispatcher would run a's request alone the
+        // moment it arrives; the window holds the round open long enough for
+        // b's request (submitted well inside it) to join the same round.
+        let pending_a = a.submit(vec![pv(1.0)]);
+        std::thread::sleep(Duration::from_millis(20));
+        let pending_b = b.submit(vec![pv(2.0)]);
+        let _ = pending_a.wait();
+        let _ = pending_b.wait();
+        assert!(a.session_stats().shared_rounds >= 1, "round closed early");
+        assert!(b.session_stats().shared_rounds >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn round_deadline_closes_early_once_the_cap_is_reached() {
+        // A full backlog must not sit out the whole window: the cap (1
+        // candidate) is reached immediately, so the round dispatches fast
+        // even though the deadline is far away.
+        let service = EvalService::new(
+            BatchEvaluator::new(
+                Box::new(LatencyEvaluator::new(Duration::ZERO)),
+                EngineConfig::serial(),
+            ),
+            ServiceConfig::default()
+                .with_max_round_candidates(1)
+                .with_round_deadline(Duration::from_secs(30)),
+        );
+        let session = service.session();
+        let start = std::time::Instant::now();
+        assert_eq!(session.evaluate_batch(&[pv(1.0)]).len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline ignored the candidate cap"
+        );
+        service.shutdown();
     }
 
     #[test]

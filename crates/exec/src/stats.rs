@@ -1,6 +1,6 @@
 //! Execution statistics surfaced by the engine and the bench harness.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Timing and cache statistics of one [`evaluate_batch`]
@@ -32,7 +32,7 @@ impl BatchReport {
 }
 
 /// Cumulative statistics of a [`BatchEvaluator`](crate::BatchEvaluator).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Total evaluation requests (single + batched).
     pub requests: u64,

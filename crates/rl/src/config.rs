@@ -47,6 +47,11 @@ pub struct DdpgConfig {
     /// has mostly converged and candidates cluster. `0` (the default) keeps
     /// the width fixed at `rollout_k`.
     pub rollout_k_max: usize,
+    /// When `true`, mini-batches are drawn with rank-based prioritized
+    /// sampling (`ReplayBuffer::sample_prioritized`) over the per-candidate
+    /// priorities the rollout pipeline records, instead of uniformly. The
+    /// uniform default is pinned by the serial-equivalence regression test.
+    pub prioritized_replay: bool,
 }
 
 impl Default for DdpgConfig {
@@ -67,6 +72,7 @@ impl Default for DdpgConfig {
             rollout_k: 1,
             rollout_rho: 0.5,
             rollout_k_max: 0,
+            prioritized_replay: false,
         }
     }
 }
@@ -127,6 +133,13 @@ impl DdpgConfig {
         self
     }
 
+    /// Returns a copy that samples replay mini-batches with rank-based
+    /// prioritization instead of uniformly.
+    pub fn with_prioritized_replay(mut self) -> Self {
+        self.prioritized_replay = true;
+        self
+    }
+
     /// The rollout width to use at a given noise-decay progress (`0` at the
     /// start of exploration, `1` when the noise has fully decayed).
     pub fn rollout_width_at(&self, decay_progress: f64) -> usize {
@@ -149,6 +162,9 @@ mod tests {
         assert!(c.warmup < c.episodes);
         assert!(c.gcn_layers >= 1);
         assert!(c.noise_decay <= 1.0);
+        // Uniform replay is the pinned default; the flag is opt-in.
+        assert!(!c.prioritized_replay);
+        assert!(c.with_prioritized_replay().prioritized_replay);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! The remote evaluation backend: an [`EvalBackend`] implementation that
+//! forwards batches to an [`EvalServer`](crate::EvalServer) over TCP.
+//!
+//! Because evaluators are pure and the wire format round-trips every float
+//! bit-exactly, a `SizingEnv` (or `FomConfig` calibration sweep) over a
+//! `RemoteBackend` produces results bit-identical to the same run over a
+//! local engine — the server is purely a sharing/locality decision.
+
+use crate::protocol::{
+    write_frame, ClientMsg, FrameError, FrameReader, Hello, ServerMsg, Welcome, WireStats,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+use gcnrl_exec::{BatchReport, EvalBackend, ExecStats};
+use gcnrl_sim::{MetricSpec, PerformanceReport};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+/// Why a remote operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// A frame could not be decoded.
+    Frame(FrameError),
+    /// The server answered the handshake (or a request) with an error.
+    Rejected(String),
+    /// The server sent a reply the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Frame(e) => write!(f, "protocol framing error: {e}"),
+            ServeError::Rejected(msg) => write!(f, "server rejected the request: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+/// Client-side connection options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteConfig {
+    /// Session name announced to the server (defaults to the peer-assigned
+    /// name — the client's address — when `None`).
+    pub session: Option<String>,
+    /// Fair-share weight requested for the session (see
+    /// [`SessionHandle::with_weight`](gcnrl_exec::SessionHandle::with_weight)).
+    pub weight: u64,
+    /// Frame payload cap applied to received frames.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            session: None,
+            weight: 1,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Set once a Goodbye went out, so drop does not send a second one.
+    closed: bool,
+}
+
+/// One remote evaluation session: an [`EvalBackend`] whose engine lives in
+/// an [`EvalServer`](crate::EvalServer) process, reached over a
+/// length-prefixed JSON protocol.
+///
+/// The handle serialises its requests internally (one in flight at a time),
+/// mirroring how a [`SessionHandle`](gcnrl_exec::SessionHandle) is used by a
+/// single optimisation loop. Open one `RemoteBackend` per concurrent client.
+pub struct RemoteBackend {
+    benchmark: Benchmark,
+    node: TechnologyNode,
+    metric_specs: Vec<MetricSpec>,
+    session: String,
+    max_frame_bytes: usize,
+    conn: Mutex<Connection>,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("benchmark", &self.benchmark)
+            .field("node", &self.node.name)
+            .field("session", &self.session)
+            .finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Connects and performs the versioned handshake with default options.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the server is unreachable,
+    /// [`ServeError::Rejected`] when the handshake is refused (e.g. a
+    /// protocol version mismatch).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+    ) -> Result<Self, ServeError> {
+        Self::connect_with(addr, benchmark, node, RemoteConfig::default())
+    }
+
+    /// Connects with explicit session name / weight / frame-cap options.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteBackend::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        config: RemoteConfig,
+    ) -> Result<Self, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        write_frame(
+            &mut stream,
+            &ClientMsg::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                benchmark,
+                node: node.clone(),
+                session: config.session,
+                weight: Some(config.weight.max(1)),
+            }),
+        )?;
+        let mut reader = FrameReader::new();
+        let welcome: Welcome = match reader.read_msg(&mut stream, config.max_frame_bytes)? {
+            ServerMsg::Welcome(welcome) => welcome,
+            ServerMsg::Error { message } => return Err(ServeError::Rejected(message)),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected Welcome, got {other:?}"
+                )))
+            }
+        };
+        Ok(RemoteBackend {
+            benchmark,
+            node: node.clone(),
+            metric_specs: welcome.metric_specs,
+            session: welcome.session,
+            max_frame_bytes: config.max_frame_bytes,
+            conn: Mutex::new(Connection {
+                stream,
+                reader,
+                closed: false,
+            }),
+        })
+    }
+
+    /// The session name the server registered for this connection.
+    pub fn session_name(&self) -> &str {
+        &self.session
+    }
+
+    /// One request/reply round trip.
+    fn rpc(&self, msg: &ClientMsg) -> Result<ServerMsg, ServeError> {
+        let mut conn = self.conn.lock().expect("remote connection lock");
+        write_frame(&mut conn.stream, msg)?;
+        let Connection { stream, reader, .. } = &mut *conn;
+        Ok(reader.read_msg(stream, self.max_frame_bytes)?)
+    }
+
+    /// Evaluates a batch remotely, returning reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the server failed the batch (e.g. an
+    /// evaluator panic — the message carries the original panic text, like
+    /// the local session contract), transport/protocol errors otherwise.
+    pub fn try_evaluate_batch(
+        &self,
+        params: &[ParamVector],
+    ) -> Result<Vec<PerformanceReport>, ServeError> {
+        if params.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.rpc(&ClientMsg::EvalBatch {
+            params: params.to_vec(),
+        })? {
+            ServerMsg::BatchResult { reports } => {
+                if reports.len() == params.len() {
+                    Ok(reports)
+                } else {
+                    Err(ServeError::Protocol(format!(
+                        "asked for {} reports, got {}",
+                        params.len(),
+                        reports.len()
+                    )))
+                }
+            }
+            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected BatchResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server-side statistics bundle (shared engine, this
+    /// session, last batch).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn remote_stats(&self) -> Result<WireStats, ServeError> {
+        match self.rpc(&ClientMsg::Stats)? {
+            ServerMsg::Stats(stats) => Ok(stats),
+            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the session cleanly (also attempted on drop, best-effort).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; the connection is consumed either way.
+    pub fn goodbye(self) -> Result<(), ServeError> {
+        let mut conn = self.conn.lock().expect("remote connection lock");
+        conn.closed = true;
+        write_frame(&mut conn.stream, &ClientMsg::Goodbye)?;
+        let Connection { stream, reader, .. } = &mut *conn;
+        match reader.read_msg::<ServerMsg>(stream, self.max_frame_bytes) {
+            Ok(ServerMsg::Goodbye) | Err(FrameError::Closed) => Ok(()),
+            Ok(other) => Err(ServeError::Protocol(format!(
+                "expected Goodbye, got {other:?}"
+            ))),
+            Err(e) => Err(ServeError::Frame(e)),
+        }
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        // Best-effort clean close so the server logs a Goodbye instead of a
+        // disconnect; failures are fine (the server tolerates both).
+        if let Ok(mut conn) = self.conn.lock() {
+            if !conn.closed {
+                conn.closed = true;
+                let _ = write_frame(&mut conn.stream, &ClientMsg::Goodbye);
+            }
+        }
+    }
+}
+
+impl EvalBackend for RemoteBackend {
+    fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    fn technology(&self) -> &TechnologyNode {
+        &self.node
+    }
+
+    fn metric_specs(&self) -> &[MetricSpec] {
+        &self.metric_specs
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the server failed the batch or became unreachable,
+    /// mirroring [`SessionHandle::evaluate_batch`]'s contract
+    /// (`SessionHandle` panics on a failed round too). Use
+    /// [`RemoteBackend::try_evaluate_batch`] to handle failures.
+    fn evaluate_batch(&self, params: &[ParamVector]) -> Vec<PerformanceReport> {
+        match self.try_evaluate_batch(params) {
+            Ok(reports) => reports,
+            Err(ServeError::Rejected(message)) => {
+                panic!("remote evaluation failed: {message}")
+            }
+            Err(error) => panic!("remote evaluation transport failed: {error}"),
+        }
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.remote_stats()
+            .map(|s| s.engine)
+            .unwrap_or_else(|error| panic!("remote stats unavailable: {error}"))
+    }
+
+    fn last_batch(&self) -> BatchReport {
+        self.remote_stats()
+            .map(|s| s.last_batch.into())
+            .unwrap_or_else(|error| panic!("remote stats unavailable: {error}"))
+    }
+}

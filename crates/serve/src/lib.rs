@@ -1,0 +1,195 @@
+//! # gcnrl-serve — the network evaluation server and its remote backend
+//!
+//! PR 4's [`EvalService`](gcnrl_exec::EvalService) multiplexes concurrent
+//! optimisation sessions onto one engine + cache, but only inside one
+//! process. This crate exposes that session queue over a wire protocol, so
+//! remote GCN-RL trainers, baselines and sizing clients share a standalone
+//! evaluation service — the evaluate-batch RPC shape the paper's
+//! simulator-in-the-loop training implies:
+//!
+//! ```text
+//!   trainer ──┐  RemoteBackend            EvalServer
+//!   bench   ──┼──(EvalBackend over TCP)──▶ accept loop ──▶ ServiceRegistry
+//!   sizing  ──┘  length-prefixed JSON      1 thread/conn    1 EvalService per
+//!                frames, versioned         1 session/conn   (benchmark, node),
+//!                handshake                                  shared cache
+//! ```
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — length-prefixed JSON frames carrying serde messages
+//!   (`Hello`/`Welcome` handshake, `EvalBatch`/`BatchResult`, `Stats`,
+//!   `Error`, `Goodbye`). Std-only; floats round-trip bit-exactly.
+//! * [`EvalServer`] — a `TcpListener` accept loop mapping each connection
+//!   1:1 onto an `EvalService` session, fronted by the multi-benchmark
+//!   [`ServiceRegistry`] (one engine per `(benchmark, node)` under a global
+//!   cache-budget split), with graceful drain-on-shutdown and
+//!   per-connection/per-service statistics.
+//! * [`RemoteBackend`] — a client implementing
+//!   [`EvalBackend`](gcnrl_exec::EvalBackend), so `SizingEnv::with_backend`
+//!   and `FomConfig::calibrated_with_backend` run unchanged against a remote
+//!   server with bit-identical results.
+
+pub mod protocol;
+
+mod client;
+mod registry;
+mod server;
+
+pub use client::{RemoteBackend, RemoteConfig, ServeError};
+pub use protocol::{FrameError, WireBatchReport, WireStats, PROTOCOL_VERSION};
+pub use registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
+pub use server::{EvalServer, ServerConfig, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+    use gcnrl_exec::{BatchEvaluator, EngineConfig, EvalBackend};
+
+    fn serial_server() -> EvalServer {
+        EvalServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                registry: RegistryConfig {
+                    engine: EngineConfig::serial(),
+                    ..RegistryConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback server")
+    }
+
+    fn candidates(benchmark: Benchmark, node: &TechnologyNode, n: usize) -> Vec<ParamVector> {
+        let space = benchmark.circuit().design_space(node);
+        (0..n)
+            .map(|i| {
+                let unit: Vec<f64> = (0..space.num_parameters())
+                    .map(|j| ((i * 17 + j * 3) % 89) as f64 / 88.0)
+                    .collect();
+                space.from_unit(&unit)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn remote_reports_are_bit_identical_to_a_local_engine() {
+        let node = TechnologyNode::tsmc180();
+        let batch = candidates(Benchmark::TwoStageTia, &node, 5);
+        let local =
+            BatchEvaluator::for_benchmark(Benchmark::TwoStageTia, &node, EngineConfig::serial());
+        let reference = local.evaluate_batch(&batch);
+
+        let server = serial_server();
+        let remote = RemoteBackend::connect(server.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect");
+        assert_eq!(EvalBackend::benchmark(&remote), Benchmark::TwoStageTia);
+        assert_eq!(remote.technology(), &node);
+        assert_eq!(remote.metric_specs(), local.metric_specs());
+        let reports = EvalBackend::evaluate_batch(&remote, &batch);
+        assert_eq!(reports, reference, "the wire must not change a single bit");
+        // Empty batches do not round-trip at all.
+        assert!(EvalBackend::evaluate_batch(&remote, &[]).is_empty());
+        // Engine stats travel back: 5 simulated candidates on the server.
+        let stats = EvalBackend::stats(&remote);
+        assert_eq!(stats.simulated, 5);
+        let last = remote.last_batch();
+        assert_eq!(last.size, 5);
+        remote.goodbye().expect("clean close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_share_one_registry_service_and_its_cache() {
+        let node = TechnologyNode::tsmc180();
+        let batch = candidates(Benchmark::Ldo, &node, 4);
+        let server = serial_server();
+        let a = RemoteBackend::connect_with(
+            server.local_addr(),
+            Benchmark::Ldo,
+            &node,
+            RemoteConfig {
+                session: Some("client-a".to_owned()),
+                weight: 2,
+                ..RemoteConfig::default()
+            },
+        )
+        .expect("connect a");
+        let b = RemoteBackend::connect_with(
+            server.local_addr(),
+            Benchmark::Ldo,
+            &node,
+            RemoteConfig {
+                session: Some("client-b".to_owned()),
+                ..RemoteConfig::default()
+            },
+        )
+        .expect("connect b");
+        let ra = EvalBackend::evaluate_batch(&a, &batch);
+        let rb = EvalBackend::evaluate_batch(&b, &batch);
+        assert_eq!(ra, rb);
+        // b's identical batch was served from the shared cache.
+        let stats = b.remote_stats().expect("stats");
+        assert_eq!(stats.engine.simulated, 4);
+        assert_eq!(stats.engine.cache_hits, 4);
+        assert_eq!(stats.session.name, "client-b");
+        assert_eq!(stats.session.candidates, 4);
+        // The Hello weight landed on the server-side session.
+        let a_stats = a.remote_stats().expect("stats");
+        assert_eq!(a_stats.session.weight, 2);
+        assert_eq!(server.registry().len(), 1);
+        drop((a, b));
+        server.shutdown();
+        let server_stats = server.stats();
+        assert_eq!(server_stats.connections_total, 2);
+        assert_eq!(server_stats.services.len(), 1);
+        assert_eq!(server_stats.services[0].sessions.len(), 2);
+    }
+
+    #[test]
+    fn different_benchmarks_get_their_own_service_under_one_facade() {
+        let node = TechnologyNode::tsmc180();
+        let server = serial_server();
+        let tia = RemoteBackend::connect(server.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect tia");
+        let ldo = RemoteBackend::connect(server.local_addr(), Benchmark::Ldo, &node)
+            .expect("connect ldo");
+        EvalBackend::evaluate_batch(&tia, &candidates(Benchmark::TwoStageTia, &node, 2));
+        EvalBackend::evaluate_batch(&ldo, &candidates(Benchmark::Ldo, &node, 3));
+        assert_eq!(server.registry().len(), 2);
+        let share = server.registry().config().cache_share();
+        assert!(share >= 1);
+        drop((tia, ldo));
+        server.shutdown();
+        let mut simulated: Vec<u64> = server
+            .stats()
+            .services
+            .iter()
+            .map(|s| s.engine.simulated)
+            .collect();
+        simulated.sort_unstable();
+        assert_eq!(simulated, vec![2, 3]);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_active_sessions() {
+        let node = TechnologyNode::tsmc180();
+        let server = serial_server();
+        let remote = RemoteBackend::connect(server.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect");
+        EvalBackend::evaluate_batch(&remote, &candidates(Benchmark::TwoStageTia, &node, 3));
+        server.shutdown();
+        // Every submitted request resolved before the drain completed.
+        for service in server.stats().services {
+            for session in service.sessions {
+                assert_eq!(session.submitted, session.resolved, "{}", session.name);
+            }
+        }
+        // The torn-down server refuses further batches with an error (the
+        // EvalBackend wrapper would panic; the try_ variant reports it).
+        assert!(remote
+            .try_evaluate_batch(&candidates(Benchmark::TwoStageTia, &node, 1))
+            .is_err());
+    }
+}

@@ -1,0 +1,633 @@
+//! The network evaluation server: a `TcpListener` accept loop mapping each
+//! connection 1:1 onto an [`EvalService`] session.
+//!
+//! ```text
+//!   client A ──TCP──┐                ┌── session A ──┐
+//!   client B ──TCP──┤  EvalServer    ├── session B ──┤   EvalService(s)
+//!   client C ──TCP──┼──accept loop───┼── session C ──┼──(one per benchmark
+//!                   │  thread/conn   │               │   + node, shared
+//!                   └────────────────┘               │   engine + cache)
+//!                                                    └── ServiceRegistry
+//! ```
+//!
+//! Concurrency model: **connection-per-session, thread-per-connection** —
+//! the std-only sibling of the process-local service's session handles. A
+//! handler thread owns its socket and its session; all cross-connection
+//! coordination happens inside the `EvalService` dispatcher, which already
+//! provides fair (weighted) rounds, in-flight dedup and one shared cache.
+//!
+//! Shutdown is a graceful drain: the accept loop stops, every handler
+//! finishes its in-flight request, sends `Goodbye` and closes, then the
+//! registry drains each service's queue and joins its dispatcher.
+
+use crate::protocol::{
+    write_frame, ClientMsg, FrameError, FrameReader, Hello, ServerMsg, Welcome, WireStats,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
+use gcnrl_exec::SessionHandle;
+use serde::Serialize;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of an [`EvalServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Registry (engine template, cache budget split, service dispatcher)
+    /// behind the connections.
+    pub registry: RegistryConfig,
+    /// Per-frame payload cap enforced on received frames.
+    pub max_frame_bytes: usize,
+    /// How often an idle connection handler wakes to check for shutdown
+    /// (the socket read timeout).
+    pub poll_interval: Duration,
+    /// On shutdown, how long a connection keeps answering requests that were
+    /// already in flight before it says Goodbye. The drain ends once three
+    /// consecutive poll ticks (3 × `poll_interval`) find nothing pending —
+    /// one empty tick cannot distinguish "idle" from "request in transit" —
+    /// so per-connection shutdown costs at least that; the grace window only
+    /// bounds a client that keeps submitting into the closing server.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            registry: RegistryConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(50),
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Connection-level counters, serialisable for reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_total: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Connections rejected during the handshake (version mismatch,
+    /// malformed hello).
+    pub connections_rejected: u64,
+    /// Per-service statistics of every instantiated registry entry.
+    pub services: Vec<ServiceEntryStats>,
+}
+
+struct ServerShared {
+    registry: ServiceRegistry,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    connections_rejected: AtomicU64,
+}
+
+/// The evaluation server. Dropping it (or calling [`EvalServer::shutdown`])
+/// drains gracefully.
+pub struct EvalServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for EvalServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalServer")
+            .field("addr", &self.addr)
+            .field("registry", &self.shared.registry)
+            .finish()
+    }
+}
+
+impl EvalServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            registry: ServiceRegistry::new(config.registry.clone()),
+            config,
+            shutdown: AtomicBool::new(false),
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("gcnrl-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .expect("spawn gcnrl-serve accept loop")
+        };
+        Ok(EvalServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+            handlers,
+        })
+    }
+
+    /// The address the server is listening on (with the concrete port when
+    /// bound ephemerally).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry of per-benchmark services behind the connections.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.shared.registry
+    }
+
+    /// Connection counters plus per-service statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections_total: self.shared.connections_total.load(Ordering::Relaxed),
+            connections_active: self.shared.connections_active.load(Ordering::Relaxed),
+            connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
+            services: self.shared.registry.stats(),
+        }
+    }
+
+    /// Graceful drain: stops accepting, lets every connection finish its
+    /// in-flight request and close, then drains and joins every service
+    /// dispatcher. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a wake-up connection; it observes the
+        // flag and exits before handling it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.lock().expect("accept handle lock").take() {
+            let _ = accept.join();
+        }
+        let handlers: Vec<JoinHandle<()>> = self
+            .handlers
+            .lock()
+            .expect("handler list lock")
+            .drain(..)
+            .collect();
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        self.shared.registry.shutdown();
+    }
+}
+
+impl Drop for EvalServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // the shutdown wake-up (or a late client)
+                }
+                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.connections_active.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("gcnrl-serve-{peer}"))
+                    .spawn(move || {
+                        handle_connection(&shared, stream, peer);
+                        shared.connections_active.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn gcnrl-serve connection handler");
+                let mut list = handlers.lock().expect("handler list lock");
+                // Reap finished handlers so a long-lived server does not
+                // accumulate one zombie handle per past connection.
+                list.retain(|h| !h.is_finished());
+                list.push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE); keep serving.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Sends `msg`, ignoring transport errors (the peer may already be gone —
+/// a mid-batch disconnect must not take the handler down).
+fn send(stream: &mut TcpStream, msg: &ServerMsg) {
+    let _ = write_frame(stream, msg);
+}
+
+fn handle_connection(shared: &ServerShared, mut stream: TcpStream, peer: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let max = shared.config.max_frame_bytes;
+    let mut reader = FrameReader::new();
+
+    // Handshake: the first frame must be a valid, version-matching Hello.
+    let hello: Hello = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send(&mut stream, &ServerMsg::Goodbye);
+            return;
+        }
+        match reader.poll::<ClientMsg>(&mut stream, max) {
+            Ok(Some(ClientMsg::Hello(hello))) => break hello,
+            Ok(Some(other)) => {
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &ServerMsg::Error {
+                        message: format!("expected Hello, got {other:?}"),
+                    },
+                );
+                return;
+            }
+            Ok(None) => continue, // poll tick
+            Err(FrameError::Closed | FrameError::Torn { .. }) => return,
+            Err(error) => {
+                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &ServerMsg::Error {
+                        message: format!("handshake failed: {error}"),
+                    },
+                );
+                return;
+            }
+        }
+    };
+    if hello.version != PROTOCOL_VERSION {
+        shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        send(
+            &mut stream,
+            &ServerMsg::Error {
+                message: format!(
+                    "protocol version mismatch: client speaks v{}, server speaks v{}",
+                    hello.version, PROTOCOL_VERSION
+                ),
+            },
+        );
+        return;
+    }
+
+    // Map the connection 1:1 onto a session of the registry's service for
+    // the requested (benchmark, node) pair.
+    let service = shared.registry.service_for(hello.benchmark, &hello.node);
+    let session_name = hello.session.unwrap_or_else(|| peer.to_string());
+    let session = service
+        .session_named(session_name.clone())
+        .with_weight(hello.weight.unwrap_or(1));
+    send(
+        &mut stream,
+        &ServerMsg::Welcome(Welcome {
+            version: PROTOCOL_VERSION,
+            session: session_name,
+            metric_specs: service.engine().metric_specs().to_vec(),
+        }),
+    );
+
+    serve_session(shared, &mut stream, &mut reader, &session);
+    // The connection is done: drop the session's scheduling state (its
+    // weight entry) so the dispatcher's per-round snapshot tracks live
+    // sessions only. Statistics remain for the server's reports.
+    session.retire();
+}
+
+fn serve_session(
+    shared: &ServerShared,
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    session: &SessionHandle,
+) {
+    let max = shared.config.max_frame_bytes;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Graceful drain: a request the client already sent (sitting in
+            // the reader buffer, the kernel socket buffer, or still in
+            // transit on the link) must still be answered — a synchronous
+            // client blocked in its request/reply round trip would otherwise
+            // see Goodbye where BatchResult was promised. One empty poll
+            // tick cannot distinguish "nothing in flight" from "in transit",
+            // so the drain ends only after several consecutive empty ticks;
+            // the grace window bounds a client that keeps submitting into
+            // the closing server.
+            let grace = std::time::Instant::now() + shared.config.drain_grace;
+            let mut empty_ticks = 0;
+            while std::time::Instant::now() < grace && empty_ticks < 3 {
+                match reader.poll::<ClientMsg>(stream, max) {
+                    Ok(Some(msg)) => {
+                        empty_ticks = 0;
+                        if handle_msg(stream, session, msg).is_break() {
+                            return;
+                        }
+                    }
+                    Ok(None) => empty_ticks += 1,
+                    Err(_) => return,
+                }
+            }
+            send(stream, &ServerMsg::Goodbye);
+            return;
+        }
+        let msg = match reader.poll::<ClientMsg>(stream, max) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => continue, // poll tick
+            // Mid-batch (or idle) disconnect: tolerated, session dropped.
+            Err(FrameError::Closed | FrameError::Torn { .. }) => return,
+            Err(error @ (FrameError::Oversized { .. } | FrameError::Malformed(_))) => {
+                send(
+                    stream,
+                    &ServerMsg::Error {
+                        message: error.to_string(),
+                    },
+                );
+                // Oversized frames cannot be skipped (the buffer holds only
+                // their prefix); close rather than desynchronise.
+                if matches!(error, FrameError::Oversized { .. }) {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        if handle_msg(stream, session, msg).is_break() {
+            return;
+        }
+    }
+}
+
+/// The name of the first non-finite metric value in `reports`, if any.
+fn first_non_finite(reports: &[gcnrl_sim::PerformanceReport]) -> Option<String> {
+    reports.iter().find_map(|report| {
+        report
+            .iter()
+            .find(|(_, value)| !value.is_finite())
+            .map(|(name, _)| name.to_owned())
+    })
+}
+
+/// Serves one decoded client message; `Break` means the connection is done.
+fn handle_msg(
+    stream: &mut TcpStream,
+    session: &SessionHandle,
+    msg: ClientMsg,
+) -> std::ops::ControlFlow<()> {
+    match msg {
+        ClientMsg::EvalBatch { params } => {
+            // Mirror the local SessionHandle contract: an evaluator panic
+            // fails this request (reported to this client) while the
+            // service keeps serving later ones.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.evaluate_batch(&params)
+            }));
+            match outcome {
+                Ok(reports) => match first_non_finite(&reports) {
+                    // JSON cannot carry inf/NaN losslessly (they render as
+                    // null); failing the request loudly beats silently
+                    // corrupting a value and breaking the bit-exactness the
+                    // remote path promises. No current evaluator emits
+                    // non-finite metrics, so this is a guard, not a path.
+                    None => send(stream, &ServerMsg::BatchResult { reports }),
+                    Some(metric) => send(
+                        stream,
+                        &ServerMsg::Error {
+                            message: format!(
+                                "metric `{metric}` is non-finite and cannot travel \
+                                 losslessly over the JSON wire"
+                            ),
+                        },
+                    ),
+                },
+                Err(payload) => send(
+                    stream,
+                    &ServerMsg::Error {
+                        message: gcnrl_exec::panic_message(payload.as_ref()),
+                    },
+                ),
+            }
+        }
+        ClientMsg::Stats => {
+            let service = session.service();
+            send(
+                stream,
+                &ServerMsg::Stats(WireStats {
+                    engine: service.engine_stats(),
+                    session: session.session_stats(),
+                    last_batch: service.engine().last_batch().into(),
+                }),
+            );
+        }
+        ClientMsg::Goodbye => {
+            send(stream, &ServerMsg::Goodbye);
+            return std::ops::ControlFlow::Break(());
+        }
+        ClientMsg::Hello(_) => {
+            send(
+                stream,
+                &ServerMsg::Error {
+                    message: "duplicate Hello on an established connection".to_owned(),
+                },
+            );
+        }
+    }
+    std::ops::ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_frame;
+    use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+    use gcnrl_exec::EngineConfig;
+    use std::io::Write;
+
+    fn test_server() -> EvalServer {
+        EvalServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                registry: RegistryConfig {
+                    engine: EngineConfig::serial(),
+                    ..RegistryConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    fn raw_hello(version: u32) -> ClientMsg {
+        ClientMsg::Hello(Hello {
+            version,
+            benchmark: Benchmark::TwoStageTia,
+            node: TechnologyNode::tsmc180(),
+            session: Some("raw".to_owned()),
+            weight: None,
+        })
+    }
+
+    fn read_reply(stream: &mut TcpStream) -> ServerMsg {
+        let mut reader = FrameReader::new();
+        reader
+            .read_msg(stream, DEFAULT_MAX_FRAME_BYTES)
+            .expect("server reply")
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_an_error_frame() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION + 7)).expect("send hello");
+        match read_reply(&mut stream) {
+            ServerMsg::Error { message } => {
+                assert!(message.contains("version mismatch"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        drop(stream);
+        // A well-versioned client still connects fine afterwards.
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Welcome(_)));
+        server.shutdown();
+        assert_eq!(server.stats().connections_rejected, 1);
+    }
+
+    #[test]
+    fn first_message_must_be_hello() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &ClientMsg::Stats).expect("send");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Error { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_batch_disconnects_leave_the_server_healthy() {
+        let server = test_server();
+        // Client 1 handshakes, starts a batch frame and vanishes mid-frame.
+        {
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+            assert!(matches!(read_reply(&mut stream), ServerMsg::Welcome(_)));
+            // A torn EvalBatch: length prefix promising more than is sent.
+            stream.write_all(&1024u32.to_be_bytes()).expect("prefix");
+            stream.write_all(b"{\"EvalBatch\"").expect("partial");
+            drop(stream); // mid-batch disconnect
+        }
+        // Client 2 is served normally on the same (still healthy) service.
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        let ServerMsg::Welcome(welcome) = read_reply(&mut stream) else {
+            panic!("second client rejected");
+        };
+        assert_eq!(welcome.version, PROTOCOL_VERSION);
+        let space = Benchmark::TwoStageTia
+            .circuit()
+            .design_space(&TechnologyNode::tsmc180());
+        write_frame(
+            &mut stream,
+            &ClientMsg::EvalBatch {
+                params: vec![space.nominal()],
+            },
+        )
+        .expect("send batch");
+        match read_reply(&mut stream) {
+            ServerMsg::BatchResult { reports } => assert_eq!(reports.len(), 1),
+            other => panic!("expected BatchResult, got {other:?}"),
+        }
+        write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Goodbye));
+        server.shutdown();
+        // Both connections landed on one shared registry service.
+        let stats = server.stats();
+        assert_eq!(stats.connections_total, 2);
+        assert_eq!(stats.connections_active, 0);
+        assert_eq!(stats.services.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_answers_requests_already_in_flight_before_goodbye() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Welcome(_)));
+        // Submit a batch and shut the server down while it is in flight: the
+        // graceful drain must still answer it with BatchResult (and only
+        // then Goodbye), never swallow it.
+        let space = Benchmark::TwoStageTia
+            .circuit()
+            .design_space(&TechnologyNode::tsmc180());
+        write_frame(
+            &mut stream,
+            &ClientMsg::EvalBatch {
+                params: vec![space.nominal()],
+            },
+        )
+        .expect("send batch");
+        server.shutdown();
+        let mut reader = FrameReader::new();
+        match reader
+            .read_msg::<ServerMsg>(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+            .expect("in-flight reply")
+        {
+            ServerMsg::BatchResult { reports } => assert_eq!(reports.len(), 1),
+            other => panic!("in-flight request dropped at shutdown: {other:?}"),
+        }
+        assert!(matches!(
+            reader
+                .read_msg::<ServerMsg>(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+                .expect("goodbye"),
+            ServerMsg::Goodbye
+        ));
+    }
+
+    #[test]
+    fn non_finite_metric_values_are_flagged_for_rejection() {
+        // JSON renders inf/NaN as null (read back as NaN), so the server
+        // fails such batches loudly instead of letting a value silently
+        // mutate across the wire.
+        let mut bad = gcnrl_sim::PerformanceReport::new();
+        bad.set("gain_db", 42.0);
+        bad.set("psrr_db", f64::INFINITY);
+        assert_eq!(
+            first_non_finite(&[gcnrl_sim::PerformanceReport::new(), bad]),
+            Some("psrr_db".to_owned())
+        );
+        let mut fine = gcnrl_sim::PerformanceReport::new();
+        fine.set("gain_db", 42.0);
+        assert_eq!(first_non_finite(&[fine]), None);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_stops_accepting() {
+        let server = test_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        // A post-shutdown connection is either refused outright or accepted
+        // by the OS backlog and never served — a read sees EOF, not Welcome.
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION));
+            let mut reader = FrameReader::new();
+            assert!(reader
+                .read_msg::<ServerMsg>(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+                .is_err());
+        }
+    }
+}

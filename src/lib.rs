@@ -8,6 +8,8 @@
 //! * [`sim`] — the analog performance simulator.
 //! * [`exec`] — the parallel batched evaluation engine with content-addressed
 //!   result caching that sits between the optimizers and the simulator.
+//! * [`serve`] — the network evaluation server (`EvalServer`) and the remote
+//!   `EvalBackend` (`RemoteBackend`) exposing the session service over TCP.
 //! * [`baselines`] — random search, ES, BO, MACE and the human-expert row.
 //! * [`nn`] / [`rl`] / [`linalg`] — the supporting substrates.
 //!
@@ -20,4 +22,5 @@ pub use gcnrl_exec as exec;
 pub use gcnrl_linalg as linalg;
 pub use gcnrl_nn as nn;
 pub use gcnrl_rl as rl;
+pub use gcnrl_serve as serve;
 pub use gcnrl_sim as sim;
