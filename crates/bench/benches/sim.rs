@@ -41,6 +41,9 @@ struct BenchSimReport {
     solver_sparse_refactors: u64,
     solver_sparse_solves: u64,
     solver_dense_factors: u64,
+    /// Process-wide telemetry at the end of the run (assemble/factor/solve
+    /// latency histograms for the sparse path under test).
+    telemetry: gcnrl_telemetry::RegistrySnapshot,
 }
 
 /// Builds the linearised small-signal circuit of a paper benchmark at its
@@ -246,6 +249,7 @@ fn bench_sweeps(c: &mut Criterion) {
         solver_sparse_refactors: stats.sparse_refactors,
         solver_sparse_solves: stats.sparse_solves,
         solver_dense_factors: stats.dense_factors,
+        telemetry: gcnrl_telemetry::global().snapshot(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     let path = std::env::var("BENCH_SIM_PATH")

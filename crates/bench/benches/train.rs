@@ -100,6 +100,10 @@ struct BenchTrainReport {
     latency_cases: Vec<LatencyCase>,
     best_time_to_quality_speedup: f64,
     quality: Vec<QualityCase>,
+    /// Process-wide telemetry at the end of the run — the
+    /// propose/evaluate/learn and engine-batch latency histograms behind the
+    /// wall-clock numbers above.
+    telemetry: gcnrl_telemetry::RegistrySnapshot,
 }
 
 fn latency_env(node: &TechnologyNode) -> SizingEnv {
@@ -255,7 +259,9 @@ fn main() {
         latency_cases,
         best_time_to_quality_speedup: best_speedup,
         quality,
+        telemetry: gcnrl_telemetry::global().snapshot(),
     };
+    gcnrl_bench::print_latency_table();
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     let path = std::env::var("BENCH_TRAIN_PATH")
         .unwrap_or_else(|_| format!("{}/../../BENCH_train.json", env!("CARGO_MANIFEST_DIR")));

@@ -16,17 +16,24 @@
 //! * `GCNRL_SERVE_DEADLINE_MS` — dispatcher round deadline per service:
 //!   wait up to this window to pack fuller rounds.
 //! * `GCNRL_THREADS` / `GCNRL_CACHE_PATH` — engine template, as everywhere.
+//! * `GCNRL_METRICS_ADDR` — when set (`host:port`), also bind a plain-HTTP
+//!   Prometheus scrape endpoint exposing the process's telemetry registry
+//!   (handshake/frame/dispatch/solver latency histograms, queue gauges).
 //! * `GCNRL_SERVE_SMOKE` — run the CI smoke instead of serving: bind, run
 //!   this many concurrent remote random-search clients over real loopback
 //!   TCP, assert their runs are bit-identical to solo local runs, assert
-//!   cross-client cache hits and a clean drain, then exit.
+//!   cross-client cache hits, a clean drain, a live `Metrics` RPC snapshot
+//!   and (with `GCNRL_METRICS_ADDR` set) a Prometheus scrape, then exit.
 
 use gcnrl_bench::{
     budget_from_env, env_for_backend, env_for_session, service_session, ExperimentConfig,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_exec::{env_usize, EngineConfig, ServiceConfig};
-use gcnrl_serve::{EvalServer, RegistryConfig, RemoteBackend, RemoteConfig, ServerConfig};
+use gcnrl_serve::{
+    EvalServer, MetricsHttpServer, RegistryConfig, RemoteBackend, RemoteConfig, ServerConfig,
+};
+use std::io::{Read, Write};
 
 fn server_config() -> ServerConfig {
     let mut service = ServiceConfig::default();
@@ -70,13 +77,40 @@ fn print_stats(server: &EvalServer) {
                 session.shared_rounds
             );
         }
+        let closed = &service.closed;
+        if closed.sessions > 0 {
+            println!(
+                "    closed  {:>3} sessions: submitted={} resolved={} candidates={} shared_rounds={}",
+                closed.sessions,
+                closed.submitted,
+                closed.resolved,
+                closed.candidates,
+                closed.shared_rounds
+            );
+        }
     }
+}
+
+/// One raw-HTTP `GET` against the metrics endpoint (what a Prometheus
+/// scraper does), returning the response text.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    response
 }
 
 /// The CI smoke: N concurrent remote random-search sessions over loopback
 /// TCP against one shared server, checked bit-identical against solo local
-/// runs, with cross-client cache reuse and a clean drain asserted.
-fn smoke(server: &EvalServer, clients: usize) {
+/// runs, with cross-client cache reuse, a clean drain, a live telemetry
+/// snapshot over the wire and (when `GCNRL_METRICS_ADDR` is bound) a
+/// Prometheus scrape asserted.
+fn smoke(server: &EvalServer, metrics: Option<&MetricsHttpServer>, clients: usize) {
     let cfg = budget_from_env(ExperimentConfig {
         budget: 8,
         warmup: 3,
@@ -134,27 +168,83 @@ fn smoke(server: &EvalServer, clients: usize) {
         );
     }
 
+    // A live client can pull the server's full telemetry registry over the
+    // wire: the traffic above must have left nonzero latency counts in every
+    // layer a batch traverses.
+    let probe = RemoteBackend::connect_with(
+        addr,
+        benchmark,
+        &node,
+        RemoteConfig {
+            session: Some("metrics-probe".to_owned()),
+            ..RemoteConfig::default()
+        },
+    )
+    .expect("metrics probe connect");
+    let snapshot = probe.metrics().expect("Metrics RPC");
+    for name in [
+        "serve.handshake.ns",
+        "serve.frame_read.ns",
+        "serve.frame_write.ns",
+        "service.round_assemble.ns",
+        "service.queue_wait.ns",
+        "exec.batch.ns",
+        "sim.solve.ns",
+    ] {
+        let hist = snapshot
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} missing from the Metrics RPC snapshot"));
+        assert!(hist.count > 0, "{name} recorded nothing during the smoke");
+    }
+    probe.goodbye().expect("metrics probe goodbye");
+
+    // With GCNRL_METRICS_ADDR bound, the same registry answers a raw HTTP
+    // scrape in Prometheus text format.
+    if let Some(endpoint) = metrics {
+        let response = scrape_metrics(endpoint.local_addr());
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "scrape did not return 200: {response}"
+        );
+        for needle in ["exec_batch_ns_count", "sim_solve_ns_bucket", "le=\"+Inf\""] {
+            assert!(response.contains(needle), "scrape missing {needle}");
+        }
+        println!("metrics scrape OK on {}", endpoint.local_addr());
+    }
+
     server.shutdown();
     print_stats(server);
     let stats = server.stats();
     assert_eq!(stats.connections_active, 0, "connections not drained");
-    assert_eq!(stats.connections_total as usize, clients);
+    assert_eq!(stats.connections_total as usize, clients + 1); // + metrics probe
     assert_eq!(stats.services.len(), 1);
     let engine = &stats.services[0].engine;
     assert!(
         engine.cache_hits >= ((clients - 1) * cfg.calibration) as u64,
         "cross-client calibration reuse missing: {engine:?}"
     );
-    for session in &stats.services[0].sessions {
-        assert_eq!(
-            session.submitted, session.resolved,
-            "{}: requests left pending after drain",
-            session.name
-        );
-    }
+    // Every connection closed, so its session folded into the service-level
+    // aggregate; nothing may linger in the live map and nothing may be left
+    // pending after the drain.
+    let service = &stats.services[0];
+    assert!(
+        service.sessions.is_empty(),
+        "closed sessions must fold out of the live map: {:?}",
+        service.sessions
+    );
+    let closed = &service.closed;
+    assert_eq!(closed.sessions as usize, clients + 1);
+    assert_eq!(
+        closed.submitted, closed.resolved,
+        "requests left pending after drain"
+    );
+    assert!(
+        closed.candidates >= (clients * (cfg.calibration + cfg.budget)) as u64,
+        "closed aggregate lost candidates: {closed:?}"
+    );
     println!(
         "serve smoke OK: {clients} remote clients bit-identical to solo runs, \
-         {} cross-client cache hits, clean drain",
+         {} cross-client cache hits, clean drain, telemetry live",
         engine.cache_hits
     );
 }
@@ -170,8 +260,17 @@ fn main() {
         gcnrl_serve::PROTOCOL_VERSION
     );
 
+    // Optional Prometheus scrape endpoint over the process-wide telemetry
+    // registry. Strict-parsed: a malformed address panics at startup.
+    let metrics = gcnrl_telemetry::env_socket_addr("GCNRL_METRICS_ADDR").map(|addr| {
+        let endpoint = MetricsHttpServer::bind(addr)
+            .unwrap_or_else(|error| panic!("failed to bind metrics endpoint on {addr}: {error}"));
+        println!("metrics endpoint listening on {}", endpoint.local_addr());
+        endpoint
+    });
+
     if let Some(clients) = env_usize("GCNRL_SERVE_SMOKE") {
-        smoke(&server, clients.max(2));
+        smoke(&server, metrics.as_ref(), clients.max(2));
         return;
     }
 

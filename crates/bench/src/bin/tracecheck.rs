@@ -1,0 +1,82 @@
+//! `tracecheck` — validates a `GCNRL_TRACE` JSONL trace file.
+//!
+//! Usage: `tracecheck <trace.jsonl>`. Every line must parse as a JSON object
+//! with a string `name`, unsigned `start_ns` and `dur_ns`, and (optionally)
+//! a `fields` object whose values are strings — the schema `gcnrl-telemetry`
+//! writes. Any malformed line aborts with the offending line number, so CI
+//! can gate on "the trace a smoke run produced is well-formed and non-empty".
+//! On success it prints the event count and the distinct span names seen.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn is_unsigned(value: &Value) -> bool {
+    match value {
+        Value::UInt(_) => true,
+        Value::Int(i) => *i >= 0,
+        Value::Num(n) => *n >= 0.0 && n.fract() == 0.0,
+        _ => false,
+    }
+}
+
+/// Validates one trace line, returning the event's span name.
+fn check_line(line: &str, lineno: usize) -> String {
+    let value = serde_json::parse_value(line)
+        .unwrap_or_else(|error| panic!("line {lineno}: not valid JSON: {error}"));
+    let Value::Map(entries) = &value else {
+        panic!("line {lineno}: trace event is not a JSON object");
+    };
+    let name = match field(entries, "name") {
+        Some(Value::Str(name)) if !name.is_empty() => name.clone(),
+        _ => panic!("line {lineno}: missing or non-string `name`"),
+    };
+    for key in ["start_ns", "dur_ns"] {
+        let v = field(entries, key).unwrap_or_else(|| panic!("line {lineno}: missing `{key}`"));
+        assert!(
+            is_unsigned(v),
+            "line {lineno}: `{key}` is not an unsigned integer: {v:?}"
+        );
+    }
+    if let Some(fields) = field(entries, "fields") {
+        let Value::Map(fields) = fields else {
+            panic!("line {lineno}: `fields` is not an object");
+        };
+        for (k, v) in fields {
+            assert!(
+                matches!(v, Value::Str(_)),
+                "line {lineno}: field `{k}` is not a string: {v:?}"
+            );
+        }
+    }
+    name
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: tracecheck <trace.jsonl>");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| panic!("cannot read {path}: {error}"));
+    let mut spans: BTreeMap<String, usize> = BTreeMap::new();
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let name = check_line(line, i + 1);
+        *spans.entry(name).or_insert(0) += 1;
+        events += 1;
+    }
+    assert!(events > 0, "{path}: trace is empty");
+    println!(
+        "{path}: {events} well-formed trace events across {} spans",
+        spans.len()
+    );
+    for (name, count) in &spans {
+        println!("  {name:<28} {count}");
+    }
+}

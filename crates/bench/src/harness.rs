@@ -388,6 +388,7 @@ pub fn print_exec_stats(title: &str, results: &[MethodResult]) {
         "  solver     {}",
         gcnrl_sim::solver_stats::snapshot().summary()
     );
+    print_latency_table();
 }
 
 /// Prints the coordinator's merged engine statistics plus the cumulative
@@ -400,6 +401,55 @@ pub fn print_merged_exec(title: &str, merged: &ExecStats) {
         "  solver     {}",
         gcnrl_sim::solver_stats::snapshot().summary()
     );
+    print_latency_table();
+}
+
+/// Formats nanoseconds human-readably (histogram quantiles are bucket upper
+/// bounds, so sub-microsecond precision would be false precision anyway).
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Prints every latency histogram of the process-wide telemetry registry as
+/// a count/mean/p50/p90/p99 table — the per-layer breakdown (solver, engine,
+/// service, serve, trainer) behind the engine summaries above. Quantiles are
+/// log-bucket upper bounds (~2x resolution), good for spotting orders of
+/// magnitude, not microbenchmarking.
+pub fn print_latency_table() {
+    let snapshot = gcnrl_telemetry::global().snapshot();
+    let timings: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, h)| name.ends_with(".ns") && h.count > 0)
+        .collect();
+    if timings.is_empty() {
+        return;
+    }
+    println!("\ntelemetry — per-layer latency (log-bucket quantiles)");
+    println!(
+        "  {:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "mean", "p50", "p90", "p99"
+    );
+    for (name, h) in timings {
+        println!(
+            "  {:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            h.count,
+            fmt_ns(h.mean() as u64),
+            fmt_ns(h.quantile(0.5)),
+            fmt_ns(h.quantile(0.9)),
+            fmt_ns(h.quantile(0.99)),
+        );
+    }
 }
 
 /// Writes an experiment result as JSON under `target/experiments/<name>.json`.

@@ -161,24 +161,30 @@ impl GcnRlDesigner {
                 .min(self.config.episodes - episode);
 
             // Propose: one policy action, `width` correlated perturbations.
-            let base = self.agent.act(&states, &adjacency);
-            let entries = base.rows() * base.cols();
-            let proposals: Vec<Matrix> = noise
-                .sample_correlated(width, entries, rho)
-                .into_iter()
-                .map(|perturbation| {
-                    let mut actions = base.clone();
-                    for (v, n) in actions.as_mut_slice().iter_mut().zip(perturbation) {
-                        *v = (*v + n).clamp(-1.0, 1.0);
-                    }
-                    actions
-                })
-                .collect();
+            let proposals: Vec<Matrix> = {
+                let _propose = gcnrl_telemetry::span!("train.propose.ns", width = width);
+                let base = self.agent.act(&states, &adjacency);
+                let entries = base.rows() * base.cols();
+                noise
+                    .sample_correlated(width, entries, rho)
+                    .into_iter()
+                    .map(|perturbation| {
+                        let mut actions = base.clone();
+                        for (v, n) in actions.as_mut_slice().iter_mut().zip(perturbation) {
+                            *v = (*v + n).clamp(-1.0, 1.0);
+                        }
+                        actions
+                    })
+                    .collect()
+            };
             noise.decay_step();
 
             // Evaluate: the whole round is one engine batch (parallel fan-out
             // plus cache dedup of near-quantized repeat candidates).
-            let rollouts = self.env.rollout_actions(proposals);
+            let rollouts = {
+                let _evaluate = gcnrl_telemetry::span!("train.evaluate.ns", width = width);
+                self.env.rollout_actions(proposals)
+            };
 
             // Learn: every candidate enters the history and the replay
             // buffer wholesale; the EMA baseline advances on the best-of-`k`
@@ -187,6 +193,7 @@ impl GcnRlDesigner {
             // *round* rather than per simulation is what makes the wall
             // clock shrink with `k`: a round costs one parallel engine batch
             // plus one network step.
+            let _learn = gcnrl_telemetry::span!("train.learn.ns", width = width);
             for r in rollouts.iter() {
                 history.record(r.reward, &r.outcome.params, &r.outcome.report);
             }
@@ -208,6 +215,7 @@ impl GcnRlDesigner {
             self.agent
                 .critic_update(&states, &adjacency, &batch, baseline.value());
             self.agent.actor_update(&states, &adjacency);
+            drop(_learn);
             episode += width;
             observer(&history);
         }

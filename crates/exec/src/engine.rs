@@ -270,6 +270,7 @@ impl BatchEvaluator {
         let mut batch_hits = 0usize;
 
         {
+            let _lookup = gcnrl_telemetry::span!("exec.cache_lookup.ns");
             let mut state = self.lock_state();
             for (i, candidate) in params.iter().enumerate() {
                 let key = self.key_for(candidate);
@@ -289,7 +290,8 @@ impl BatchEvaluator {
 
         let simulated = pending.len();
         let threads_used = self.config.threads.min(simulated.max(1));
-        let fresh: Vec<(CacheKey, Vec<usize>, PerformanceReport)> =
+        let fresh: Vec<(CacheKey, Vec<usize>, PerformanceReport)> = {
+            let _simulate = gcnrl_telemetry::span!("exec.simulate.ns");
             if simulated > 1 && self.config.threads > 1 {
                 self.evaluate_pending_parallel(pending)
             } else {
@@ -300,9 +302,27 @@ impl BatchEvaluator {
                         (key, indices, report)
                     })
                     .collect()
-            };
+            }
+        };
 
         let wall = start.elapsed();
+        {
+            // The batch histogram is recorded by hand (rather than a span
+            // guard) because the trace fields are only known here, at the end
+            // of the measured region.
+            static BATCH_HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+            BATCH_HIST
+                .get_or_init(|| gcnrl_telemetry::global().histogram("exec.batch.ns"))
+                .record_duration(wall);
+            gcnrl_telemetry::trace_event("exec.batch.ns", start, wall, || {
+                vec![
+                    ("size", params.len().to_string()),
+                    ("cache_hits", batch_hits.to_string()),
+                    ("simulated", simulated.to_string()),
+                    ("threads", threads_used.to_string()),
+                ]
+            });
+        }
         {
             let mut state = self.lock_state();
             for (key, indices, report) in fresh {
@@ -318,7 +338,7 @@ impl BatchEvaluator {
                 cache_hits: batch_hits,
                 simulated,
                 threads: threads_used,
-                wall,
+                wall_seconds: wall.as_secs_f64(),
             };
         }
 

@@ -67,7 +67,6 @@
 mod backend;
 mod cache;
 mod engine;
-mod envvar;
 pub mod key;
 pub mod persist;
 mod pool;
@@ -78,11 +77,14 @@ pub mod testing;
 pub use backend::EvalBackend;
 pub use cache::ResultCache;
 pub use engine::{BatchEvaluator, EngineConfig};
-pub use envvar::env_usize;
+// Strict `GCNRL_*` knob parsing moved to the bottom of the crate graph
+// (gcnrl-telemetry) so every layer shares it; re-exported for the existing
+// `gcnrl_exec::env_usize` call sites.
+pub use gcnrl_telemetry::env_usize;
 pub use key::{quantize, CacheKey};
 pub use pool::WorkerPool;
 pub use service::{
-    panic_message, EvalService, PendingBatch, ServiceClosed, ServiceConfig, SessionHandle,
-    SessionStats,
+    panic_message, ClosedSessionStats, EvalService, PendingBatch, ServiceClosed, ServiceConfig,
+    SessionHandle, SessionStats,
 };
 pub use stats::{BatchReport, ExecStats};

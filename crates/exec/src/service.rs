@@ -48,8 +48,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of an [`EvalService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +115,45 @@ pub struct SessionStats {
     pub shared_rounds: u64,
 }
 
+/// Service-level aggregate of every retired session, folded in by
+/// [`SessionHandle::retire`]. A long-lived service used to keep one
+/// [`SessionStats`] entry per session it had *ever* hosted; closed sessions
+/// now collapse into this fixed-size summary, so the per-session map holds
+/// live sessions only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClosedSessionStats {
+    /// Sessions retired so far.
+    pub sessions: u64,
+    /// Requests those sessions submitted.
+    pub submitted: u64,
+    /// Requests the dispatcher resolved for them.
+    pub resolved: u64,
+    /// Candidates evaluated on their behalf.
+    pub candidates: u64,
+    /// Dispatch rounds they shared with at least one other session.
+    pub shared_rounds: u64,
+}
+
+impl ClosedSessionStats {
+    /// Folds one closing session into the aggregate.
+    pub fn fold(&mut self, stats: &SessionStats) {
+        self.sessions += 1;
+        self.submitted += stats.submitted;
+        self.resolved += stats.resolved;
+        self.candidates += stats.candidates;
+        self.shared_rounds += stats.shared_rounds;
+    }
+
+    /// Merges another aggregate (e.g. across the services of a registry).
+    pub fn merge(&mut self, other: &ClosedSessionStats) {
+        self.sessions += other.sessions;
+        self.submitted += other.submitted;
+        self.resolved += other.resolved;
+        self.candidates += other.candidates;
+        self.shared_rounds += other.shared_rounds;
+    }
+}
+
 /// What the dispatcher sends back per request: the reports, or the message
 /// of the evaluator panic that failed the request's round (each failed
 /// round carries its own message — a later failure is never masked by an
@@ -125,6 +165,9 @@ struct Request {
     session: u64,
     params: Vec<ParamVector>,
     reply: Sender<RoundOutcome>,
+    /// When the request entered the queue — the dispatcher records the
+    /// submit-to-dispatch delta as `service.queue_wait.ns`.
+    submitted_at: Instant,
 }
 
 /// State shared between the handles and the dispatcher thread. The
@@ -140,6 +183,8 @@ struct DispatchState {
     /// [`SessionHandle::retire`] when a connection closes, or by setting the
     /// weight back to 1).
     weights: Mutex<HashMap<u64, u64>>,
+    /// Aggregate of every retired session (see [`ClosedSessionStats`]).
+    closed: Mutex<ClosedSessionStats>,
 }
 
 struct ServiceShared {
@@ -214,6 +259,7 @@ impl EvalService {
             engine,
             sessions: Mutex::new(HashMap::new()),
             weights: Mutex::new(HashMap::new()),
+            closed: Mutex::new(ClosedSessionStats::default()),
         });
         let (tx, rx) = channel::<Request>();
         let dispatcher = {
@@ -293,7 +339,20 @@ impl EvalService {
         self.shared.state.engine.stats()
     }
 
-    /// Per-session accounting, in session-creation order.
+    /// Aggregate accounting of every session retired so far (live sessions
+    /// appear in [`EvalService::session_stats`] instead).
+    pub fn closed_session_stats(&self) -> ClosedSessionStats {
+        *self
+            .shared
+            .state
+            .closed
+            .lock()
+            .expect("service closed-session lock")
+    }
+
+    /// Per-session accounting of the *live* sessions, in session-creation
+    /// order (retired sessions are folded into
+    /// [`EvalService::closed_session_stats`]).
     pub fn session_stats(&self) -> Vec<SessionStats> {
         let sessions = self
             .shared
@@ -355,6 +414,7 @@ impl EvalService {
                     session,
                     params,
                     reply: reply_tx,
+                    submitted_at: Instant::now(),
                 })
                 .is_err()
             {
@@ -475,21 +535,33 @@ impl SessionHandle {
         self.submit(params.to_vec()).wait()
     }
 
-    /// Retires this session's scheduling state once it will submit no more:
-    /// its fair-share weight entry is removed so the dispatcher's per-round
-    /// weight snapshot does not grow with every weighted session a
-    /// long-lived service has ever hosted. The session's statistics remain
-    /// for reporting (including the weight it ran with), and a retired
-    /// session that submits anyway is simply scheduled at the default
-    /// weight. The network server calls this when a connection closes.
+    /// Retires this session once it will submit no more: its fair-share
+    /// weight entry is removed and its [`SessionStats`] entry is folded into
+    /// the service-level [`ClosedSessionStats`] aggregate, so neither the
+    /// dispatcher's weight snapshot nor the per-session stats map grows with
+    /// every session a long-lived service has ever hosted. A retired session
+    /// that submits anyway still works (scheduled at the default weight) but
+    /// is no longer accounted per-session. The network server calls this
+    /// when a connection closes.
     pub fn retire(&self) {
-        self.service
-            .shared
-            .state
+        let state = &self.service.shared.state;
+        state
             .weights
             .lock()
             .expect("service weights lock")
             .remove(&self.id);
+        let folded = state
+            .sessions
+            .lock()
+            .expect("service sessions lock")
+            .remove(&self.id);
+        if let Some(stats) = folded {
+            state
+                .closed
+                .lock()
+                .expect("service closed-session lock")
+                .fold(&stats);
+        }
     }
 
     /// This session's accounting (requests, candidates, shared rounds).
@@ -617,47 +689,71 @@ fn dispatch_loop(state: &DispatchState, queue: &Receiver<Request>, config: &Serv
                 }
             }
         }
-        // Deadline-based round closing: hold the round open up to the
-        // configured window so concurrent sessions pack fuller rounds, ending
-        // early once the backlog already fills the candidate cap.
-        if let (Some(window), true) = (config.round_deadline, open) {
-            let close = std::time::Instant::now() + window;
-            while backlog.iter().map(|r| r.params.len()).sum::<usize>() < cap {
-                let now = std::time::Instant::now();
-                let Some(remaining) = close.checked_duration_since(now).filter(|d| !d.is_zero())
-                else {
-                    break;
-                };
-                match queue.recv_timeout(remaining) {
+        // Round assembly — from "at least one request is queued" to "the
+        // round is closed" — is timed as `service.round_assemble.ns`: it
+        // covers the deadline window, the non-blocking drain and the fair
+        // sweep, i.e. the scheduling latency the service adds on top of the
+        // engine.
+        let round = {
+            let _assemble = gcnrl_telemetry::span!("service.round_assemble.ns");
+            // Deadline-based round closing: hold the round open up to the
+            // configured window so concurrent sessions pack fuller rounds,
+            // ending early once the backlog already fills the candidate cap.
+            if let (Some(window), true) = (config.round_deadline, open) {
+                let close = Instant::now() + window;
+                while backlog.iter().map(|r| r.params.len()).sum::<usize>() < cap {
+                    let now = Instant::now();
+                    let Some(remaining) =
+                        close.checked_duration_since(now).filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    match queue.recv_timeout(remaining) {
+                        Ok(request) => backlog.push_back(request),
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                            open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Pull in everything else that is already waiting, without
+            // blocking: concurrent sessions coalesce into one engine batch
+            // here.
+            loop {
+                match queue.try_recv() {
                     Ok(request) => backlog.push_back(request),
-                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
-                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
                         open = false;
                         break;
                     }
                 }
             }
-        }
-        // Pull in everything else that is already waiting, without blocking:
-        // concurrent sessions coalesce into one engine batch here.
-        loop {
-            match queue.try_recv() {
-                Ok(request) => backlog.push_back(request),
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                    open = false;
-                    break;
-                }
-            }
-        }
 
-        // Snapshot only the non-default weights (usually empty), so the cost
-        // does not scale with the total number of sessions ever opened.
-        let weights: HashMap<u64, u64> =
-            state.weights.lock().expect("service weights lock").clone();
-        let round = next_round(&mut backlog, cap, &weights);
+            // Snapshot only the non-default weights (usually empty), so the
+            // cost does not scale with the total number of sessions ever
+            // opened.
+            let weights: HashMap<u64, u64> =
+                state.weights.lock().expect("service weights lock").clone();
+            next_round(&mut backlog, cap, &weights)
+        };
         if round.is_empty() {
             continue;
+        }
+        {
+            // Requests still queued after the fair sweep = the depth the
+            // *next* round starts from; the gauge tracks the live value, the
+            // histogram its distribution across rounds.
+            static QUEUE_DEPTH: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+            static BACKLOG: OnceLock<Arc<gcnrl_telemetry::Gauge>> = OnceLock::new();
+            QUEUE_DEPTH
+                .get_or_init(|| gcnrl_telemetry::global().histogram("service.queue_depth"))
+                .record(backlog.len() as u64);
+            BACKLOG
+                .get_or_init(|| gcnrl_telemetry::global().gauge("service.backlog"))
+                .set(backlog.len() as i64);
         }
         run_round(state, round);
     }
@@ -676,6 +772,28 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn run_round(state: &DispatchState, round: Vec<Request>) {
+    // Round occupancy and per-request queueing delay. These are value
+    // histograms (not durations) except queue_wait, which measures
+    // submit-to-dispatch latency per request.
+    {
+        static QUEUE_WAIT: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+        static ROUND_SESSIONS: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+        static ROUND_CANDIDATES: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+        let queue_wait =
+            QUEUE_WAIT.get_or_init(|| gcnrl_telemetry::global().histogram("service.queue_wait.ns"));
+        for request in &round {
+            queue_wait.record_duration(request.submitted_at.elapsed());
+        }
+        let mut sessions: Vec<u64> = round.iter().map(|r| r.session).collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        ROUND_SESSIONS
+            .get_or_init(|| gcnrl_telemetry::global().histogram("service.round.sessions"))
+            .record(sessions.len() as u64);
+        ROUND_CANDIDATES
+            .get_or_init(|| gcnrl_telemetry::global().histogram("service.round.candidates"))
+            .record(round.iter().map(|r| r.params.len() as u64).sum());
+    }
     let mut mega: Vec<ParamVector> = Vec::with_capacity(round.iter().map(|r| r.params.len()).sum());
     for request in &round {
         mega.extend(request.params.iter().cloned());
@@ -864,6 +982,7 @@ mod tests {
                 session,
                 params: vec![pv(r)],
                 reply,
+                submitted_at: Instant::now(),
             }
         };
         let mut backlog: VecDeque<Request> = VecDeque::new();
@@ -904,7 +1023,7 @@ mod tests {
     }
 
     #[test]
-    fn retiring_a_session_prunes_its_weight_but_keeps_its_stats() {
+    fn retiring_a_session_folds_its_stats_into_the_closed_aggregate() {
         let service = latency_service(0, 1024);
         let session = service.session_named("transient").with_weight(5);
         assert_eq!(session.evaluate_batch(&[pv(1.0)]).len(), 1);
@@ -913,18 +1032,32 @@ mod tests {
             1,
             "weighted session must have a live weight entry"
         );
+        assert_eq!(service.session_stats().len(), 1);
+        assert_eq!(
+            service.closed_session_stats(),
+            ClosedSessionStats::default()
+        );
+
         session.retire();
         assert!(
             service.shared.state.weights.lock().unwrap().is_empty(),
             "retire must prune the dispatcher's weight entry"
         );
-        // Reporting is unaffected: the stats (weight included) remain.
-        let stats = session.session_stats();
-        assert_eq!(stats.name, "transient");
-        assert_eq!(stats.weight, 5);
-        assert_eq!(stats.candidates, 1);
-        // A retired session that submits anyway still works (default share).
+        // The per-session entry is gone; its numbers live on in the
+        // service-level aggregate.
+        assert!(service.session_stats().is_empty());
+        let closed = service.closed_session_stats();
+        assert_eq!(closed.sessions, 1);
+        assert_eq!(closed.submitted, 1);
+        assert_eq!(closed.resolved, 1);
+        assert_eq!(closed.candidates, 1);
+        // A retired session that submits anyway still works (default share,
+        // no per-session accounting).
         assert_eq!(session.evaluate_batch(&[pv(2.0)]).len(), 1);
+        assert_eq!(service.closed_session_stats().candidates, 1);
+        // Retire is idempotent: a second call folds nothing new.
+        session.retire();
+        assert_eq!(service.closed_session_stats().sessions, 1);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Execution statistics surfaced by the engine and the bench harness.
 
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
 
 /// Timing and cache statistics of one [`evaluate_batch`]
 /// (`crate::BatchEvaluator::evaluate_batch`) call.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Serializable so per-batch timing can ride the wire `Stats` frames and
+/// trace events directly; wall time is stored as seconds rather than a
+/// `Duration` so the JSON shape is a flat number.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Candidates requested.
     pub size: usize,
@@ -15,19 +18,29 @@ pub struct BatchReport {
     pub simulated: usize,
     /// Worker threads that participated (1 = serial path).
     pub threads: usize,
-    /// Wall time of the whole batch.
-    pub wall: Duration,
+    /// Wall time of the whole batch, in seconds.
+    pub wall_seconds: f64,
 }
 
 impl BatchReport {
     /// Candidates per second over the batch wall time.
     pub fn throughput(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.size as f64 / secs
+        if self.wall_seconds > 0.0 {
+            self.size as f64 / self.wall_seconds
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Accumulates another batch into this one: counts and wall time add,
+    /// `threads` keeps the widest batch — so a merged report reads as "this
+    /// much work over this much engine time".
+    pub fn merge(&mut self, other: &BatchReport) {
+        self.size += other.size;
+        self.cache_hits += other.cache_hits;
+        self.simulated += other.simulated;
+        self.threads = self.threads.max(other.threads);
+        self.wall_seconds += other.wall_seconds;
     }
 }
 
@@ -114,9 +127,46 @@ mod tests {
     fn batch_report_throughput() {
         let report = BatchReport {
             size: 50,
-            wall: Duration::from_millis(500),
+            wall_seconds: 0.5,
             ..BatchReport::default()
         };
         assert!((report.throughput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_report_merge_accumulates() {
+        let mut total = BatchReport {
+            size: 10,
+            cache_hits: 4,
+            simulated: 6,
+            threads: 2,
+            wall_seconds: 0.25,
+        };
+        total.merge(&BatchReport {
+            size: 5,
+            cache_hits: 5,
+            simulated: 0,
+            threads: 4,
+            wall_seconds: 0.75,
+        });
+        assert_eq!(total.size, 15);
+        assert_eq!(total.cache_hits, 9);
+        assert_eq!(total.simulated, 6);
+        assert_eq!(total.threads, 4);
+        assert!((total.wall_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_report_round_trips_through_json() {
+        let report = BatchReport {
+            size: 32,
+            cache_hits: 12,
+            simulated: 20,
+            threads: 8,
+            wall_seconds: 1.5,
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: BatchReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
     }
 }

@@ -237,6 +237,23 @@ impl RemoteBackend {
         }
     }
 
+    /// Fetches the server process's full telemetry snapshot — every counter,
+    /// gauge and latency histogram (solver, engine, service and serve-layer
+    /// timings).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn metrics(&self) -> Result<gcnrl_telemetry::RegistrySnapshot, ServeError> {
+        match self.rpc(&ClientMsg::Metrics)? {
+            ServerMsg::Metrics(snapshot) => Ok(snapshot),
+            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
+        }
+    }
+
     /// Closes the session cleanly (also attempted on drop, best-effort).
     ///
     /// # Errors
@@ -307,7 +324,7 @@ impl EvalBackend for RemoteBackend {
 
     fn last_batch(&self) -> BatchReport {
         self.remote_stats()
-            .map(|s| s.last_batch.into())
+            .map(|s| s.last_batch)
             .unwrap_or_else(|error| panic!("remote stats unavailable: {error}"))
     }
 }

@@ -29,15 +29,24 @@
 //!   [`EvalBackend`](gcnrl_exec::EvalBackend), so `SizingEnv::with_backend`
 //!   and `FomConfig::calibrated_with_backend` run unchanged against a remote
 //!   server with bit-identical results.
+//!
+//! Observability: every connection's handshake/frame timings feed the
+//! process-wide `gcnrl-telemetry` registry; clients can pull the full
+//! snapshot over the wire (`ClientMsg::Metrics` →
+//! [`RemoteBackend::metrics`]), and [`MetricsHttpServer`] exposes the same
+//! registry in Prometheus text format over plain HTTP (wired to
+//! `GCNRL_METRICS_ADDR` in the serve binary).
 
 pub mod protocol;
 
 mod client;
+mod metrics_http;
 mod registry;
 mod server;
 
 pub use client::{RemoteBackend, RemoteConfig, ServeError};
-pub use protocol::{FrameError, WireBatchReport, WireStats, PROTOCOL_VERSION};
+pub use metrics_http::MetricsHttpServer;
+pub use protocol::{FrameError, WireStats, PROTOCOL_VERSION};
 pub use registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
 pub use server::{EvalServer, ServerConfig, ServerStats};
 
@@ -144,7 +153,48 @@ mod tests {
         let server_stats = server.stats();
         assert_eq!(server_stats.connections_total, 2);
         assert_eq!(server_stats.services.len(), 1);
-        assert_eq!(server_stats.services[0].sessions.len(), 2);
+        // Both connections closed, so their sessions folded into the
+        // service-level aggregate instead of lingering in the live map.
+        let service = &server_stats.services[0];
+        assert!(service.sessions.is_empty(), "closed sessions must fold out");
+        assert_eq!(service.closed.sessions, 2);
+        assert_eq!(service.closed.candidates, 8);
+        assert_eq!(service.closed.submitted, service.closed.resolved);
+    }
+
+    #[test]
+    fn metrics_rpc_returns_a_live_telemetry_snapshot() {
+        let node = TechnologyNode::tsmc180();
+        let server = serial_server();
+        let remote = RemoteBackend::connect(server.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect");
+        EvalBackend::evaluate_batch(&remote, &candidates(Benchmark::TwoStageTia, &node, 3));
+        let snapshot = remote.metrics().expect("metrics over the wire");
+        // The batch above must have left nonzero counts in every layer the
+        // request traversed: serve framing, service dispatch, engine, solver.
+        for name in [
+            "serve.handshake.ns",
+            "serve.frame_read.ns",
+            "serve.frame_write.ns",
+            "service.round_assemble.ns",
+            "service.queue_wait.ns",
+            "exec.batch.ns",
+            "exec.simulate.ns",
+            "sim.factor.ns",
+            "sim.solve.ns",
+        ] {
+            let hist = snapshot
+                .histogram(name)
+                .unwrap_or_else(|| panic!("histogram {name} missing from the snapshot"));
+            assert!(hist.count >= 1, "{name} recorded nothing");
+            assert!(hist.sum > 0, "{name} has zero total duration");
+        }
+        // The same snapshot renders as Prometheus text on the client side.
+        let prom = snapshot.render_prometheus();
+        assert!(prom.contains("serve_handshake_ns_count"), "{prom}");
+        assert!(prom.contains("exec_batch_ns_bucket"), "{prom}");
+        remote.goodbye().expect("clean close");
+        server.shutdown();
     }
 
     #[test]
@@ -180,11 +230,11 @@ mod tests {
             .expect("connect");
         EvalBackend::evaluate_batch(&remote, &candidates(Benchmark::TwoStageTia, &node, 3));
         server.shutdown();
-        // Every submitted request resolved before the drain completed.
+        // Every submitted request resolved before the drain completed (the
+        // drained connections have retired into the closed aggregate).
         for service in server.stats().services {
-            for session in service.sessions {
-                assert_eq!(session.submitted, session.resolved, "{}", session.name);
-            }
+            assert!(service.sessions.is_empty());
+            assert_eq!(service.closed.submitted, service.closed.resolved);
         }
         // The torn-down server refuses further batches with an error (the
         // EvalBackend wrapper would panic; the try_ variant reports it).

@@ -1,0 +1,185 @@
+//! A minimal plain-HTTP listener exposing the process's telemetry registry
+//! in Prometheus text format.
+//!
+//! One endpoint, one format: any `GET` answers with
+//! [`MetricsRegistry::render_prometheus`](gcnrl_telemetry::MetricsRegistry::render_prometheus)
+//! of the global registry. Std-only (hand-rolled HTTP/1.1 response, no
+//! routing, no keep-alive) — enough for a Prometheus scraper or a `curl`,
+//! and nothing more. The serve binary binds one when `GCNRL_METRICS_ADDR`
+//! is set.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The Prometheus scrape endpoint. Dropping it (or calling
+/// [`MetricsHttpServer::shutdown`]) stops the listener.
+pub struct MetricsHttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MetricsHttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsHttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving scrapes of the global telemetry registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("gcnrl-metrics-http".to_owned())
+                .spawn(move || accept_loop(&listener, &shutdown))
+                .expect("spawn gcnrl-metrics-http accept loop")
+        };
+        Ok(MetricsHttpServer {
+            addr,
+            shutdown,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The address the endpoint is listening on (with the concrete port when
+    /// bound ephemerally).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a wake-up connection; it observes the
+        // flag and exits before serving it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.lock().expect("accept handle lock").take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // the shutdown wake-up (or a late scraper)
+                }
+                // Scrapes are cheap (render + one write), so they are served
+                // inline on the accept thread; a slow reader is bounded by
+                // the write timeout rather than wedging the loop forever.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                serve_scrape(&mut stream);
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Reads (and discards) the request head, then answers every request with
+/// the rendered registry — there is only one resource to serve, so the
+/// request line is irrelevant. Transport errors are ignored (the scraper
+/// retries next interval).
+fn serve_scrape(stream: &mut TcpStream) {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Best-effort: stop at the blank line ending the request head, on EOF,
+    // on timeout, or once an ill-behaved client has sent 64 KiB of headers.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 64 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let body = gcnrl_telemetry::global().render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Issues one `GET` against `addr` and returns the raw response text.
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .expect("send request");
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .expect("read response (Connection: close)");
+        response
+    }
+
+    #[test]
+    fn scrapes_return_the_global_registry_in_prometheus_text_format() {
+        gcnrl_telemetry::global()
+            .counter("serve.metrics_http.test_counter")
+            .add(5);
+        gcnrl_telemetry::global()
+            .histogram("serve.metrics_http.test_latency.ns")
+            .record(1500);
+        let server = MetricsHttpServer::bind("127.0.0.1:0").expect("bind metrics endpoint");
+        let response = scrape(server.local_addr());
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        // Prometheus name mangling: dots become underscores.
+        assert!(
+            response.contains("serve_metrics_http_test_counter 5"),
+            "{response}"
+        );
+        assert!(
+            response.contains("serve_metrics_http_test_latency_ns_count 1"),
+            "{response}"
+        );
+        assert!(response.contains("le=\"+Inf\""), "{response}");
+        // A second scrape works (one connection per scrape).
+        let again = scrape(server.local_addr());
+        assert!(again.contains("serve_metrics_http_test_counter"), "{again}");
+        server.shutdown();
+        // Idempotent shutdown; further connections are refused or unserved.
+        server.shutdown();
+    }
+}

@@ -25,12 +25,17 @@
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{BatchReport, ExecStats, SessionStats};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
+use gcnrl_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version of the wire protocol; bumped on incompatible message changes.
 /// The handshake rejects clients speaking a different version.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`BatchReport`] rides the wire directly (it now serialises with
+/// `wall_seconds`, replacing the old `WireBatchReport` shim) and the
+/// `Metrics` exchange returns the server's full telemetry snapshot.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on one frame's payload size (32 MiB). A `u32` length prefix
 /// could announce 4 GiB; the cap keeps a corrupt or hostile peer from making
@@ -68,45 +73,6 @@ pub struct Welcome {
     pub metric_specs: Vec<MetricSpec>,
 }
 
-/// [`BatchReport`] flattened for the wire (`Duration` carried as seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct WireBatchReport {
-    /// Candidates requested.
-    pub size: u64,
-    /// Candidates served from the cache.
-    pub cache_hits: u64,
-    /// Candidates that ran in the simulator.
-    pub simulated: u64,
-    /// Worker threads that participated.
-    pub threads: u64,
-    /// Wall time of the batch, seconds.
-    pub wall_seconds: f64,
-}
-
-impl From<BatchReport> for WireBatchReport {
-    fn from(report: BatchReport) -> Self {
-        WireBatchReport {
-            size: report.size as u64,
-            cache_hits: report.cache_hits as u64,
-            simulated: report.simulated as u64,
-            threads: report.threads as u64,
-            wall_seconds: report.wall.as_secs_f64(),
-        }
-    }
-}
-
-impl From<WireBatchReport> for BatchReport {
-    fn from(wire: WireBatchReport) -> Self {
-        BatchReport {
-            size: wire.size as usize,
-            cache_hits: wire.cache_hits as usize,
-            simulated: wire.simulated as usize,
-            threads: wire.threads as usize,
-            wall: std::time::Duration::from_secs_f64(wire.wall_seconds.max(0.0)),
-        }
-    }
-}
-
 /// The statistics bundle answering [`ClientMsg::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireStats {
@@ -115,8 +81,9 @@ pub struct WireStats {
     pub engine: ExecStats,
     /// This connection's session accounting.
     pub session: SessionStats,
-    /// The engine's most recent batch.
-    pub last_batch: WireBatchReport,
+    /// The engine's most recent batch ([`BatchReport`] serialises directly
+    /// since protocol v2 — wall time as `wall_seconds`).
+    pub last_batch: BatchReport,
 }
 
 /// Messages a client sends.
@@ -136,6 +103,9 @@ pub enum ClientMsg {
     },
     /// Request the session/engine statistics.
     Stats,
+    /// Request the server's full telemetry snapshot (every counter, gauge
+    /// and latency histogram of the process).
+    Metrics,
     /// Close the connection cleanly.
     Goodbye,
 }
@@ -153,6 +123,8 @@ pub enum ServerMsg {
     },
     /// Statistics answering [`ClientMsg::Stats`].
     Stats(WireStats),
+    /// Telemetry snapshot answering [`ClientMsg::Metrics`].
+    Metrics(RegistrySnapshot),
     /// The request failed (handshake rejection, evaluator panic, malformed
     /// message). The connection stays open unless the handshake failed.
     Error {
@@ -484,16 +456,45 @@ mod tests {
     }
 
     #[test]
-    fn batch_report_converts_to_and_from_the_wire() {
+    fn batch_reports_ride_the_wire_directly() {
         let report = BatchReport {
             size: 7,
             cache_hits: 3,
             simulated: 4,
             threads: 2,
-            wall: std::time::Duration::from_millis(125),
+            wall_seconds: 0.125,
         };
-        let wire: WireBatchReport = report.into();
-        let back: BatchReport = wire.into();
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&report));
+        let back: BatchReport = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read");
         assert_eq!(back, report);
+        // The JSON shape is the flat v1 `WireBatchReport` layout.
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"wall_seconds\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip_through_frames() {
+        let registry = gcnrl_telemetry::MetricsRegistry::new();
+        registry.counter("serve.test.counter").add(3);
+        registry
+            .histogram("serve.test.latency.ns")
+            .record(1_000_000);
+        let msg = ServerMsg::Metrics(registry.snapshot());
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&msg));
+        let back: ServerMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read");
+        let ServerMsg::Metrics(snapshot) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(snapshot.counter("serve.test.counter"), Some(3));
+        assert_eq!(
+            snapshot.histogram("serve.test.latency.ns").unwrap().count,
+            1
+        );
     }
 }

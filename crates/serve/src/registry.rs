@@ -14,7 +14,9 @@
 //! memory envelope no matter which services clients actually touch.
 
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_exec::{EngineConfig, EvalService, ExecStats, ServiceConfig, SessionStats};
+use gcnrl_exec::{
+    ClosedSessionStats, EngineConfig, EvalService, ExecStats, ServiceConfig, SessionStats,
+};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -78,8 +80,11 @@ pub struct ServiceEntryStats {
     pub node: String,
     /// Merged engine statistics across every session of the service.
     pub engine: ExecStats,
-    /// Per-session accounting, in session-creation order.
+    /// Per-session accounting of the *live* sessions, in session-creation
+    /// order.
     pub sessions: Vec<SessionStats>,
+    /// Aggregate of every retired (closed-connection) session.
+    pub closed: ClosedSessionStats,
 }
 
 /// Lazily instantiated, shared [`EvalService`]s keyed by
@@ -166,6 +171,7 @@ impl ServiceRegistry {
                 node: node.clone(),
                 engine: service.engine_stats(),
                 sessions: service.session_stats(),
+                closed: service.closed_session_stats(),
             })
             .collect()
     }

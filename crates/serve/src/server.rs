@@ -232,6 +232,7 @@ fn accept_loop(
 /// Sends `msg`, ignoring transport errors (the peer may already be gone —
 /// a mid-batch disconnect must not take the handler down).
 fn send(stream: &mut TcpStream, msg: &ServerMsg) {
+    let _write = gcnrl_telemetry::span!("serve.frame_write.ns");
     let _ = write_frame(stream, msg);
 }
 
@@ -240,6 +241,9 @@ fn handle_connection(shared: &ServerShared, mut stream: TcpStream, peer: SocketA
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
     let max = shared.config.max_frame_bytes;
     let mut reader = FrameReader::new();
+    // Times the whole handshake — waiting for Hello through sending Welcome
+    // (rejected handshakes record at their early return).
+    let handshake_span = gcnrl_telemetry::span!("serve.handshake.ns");
 
     // Handshake: the first frame must be a valid, version-matching Hello.
     let hello: Hello = loop {
@@ -302,11 +306,13 @@ fn handle_connection(shared: &ServerShared, mut stream: TcpStream, peer: SocketA
             metric_specs: service.engine().metric_specs().to_vec(),
         }),
     );
+    drop(handshake_span);
 
     serve_session(shared, &mut stream, &mut reader, &session);
-    // The connection is done: drop the session's scheduling state (its
-    // weight entry) so the dispatcher's per-round snapshot tracks live
-    // sessions only. Statistics remain for the server's reports.
+    // The connection is done: retire the session — its weight entry is
+    // pruned and its statistics fold into the service-level closed-session
+    // aggregate, so neither dispatcher snapshot nor stats map grows with
+    // every connection a long-lived server has ever hosted.
     session.retire();
 }
 
@@ -345,7 +351,19 @@ fn serve_session(
             send(stream, &ServerMsg::Goodbye);
             return;
         }
-        let msg = match reader.poll::<ClientMsg>(stream, max) {
+        // A poll that completes a frame is recorded as `serve.frame_read.ns`
+        // (empty poll ticks are idle time, not read latency, and stay out of
+        // the histogram).
+        let poll_start = std::time::Instant::now();
+        let polled = reader.poll::<ClientMsg>(stream, max);
+        if matches!(polled, Ok(Some(_))) {
+            static FRAME_READ: std::sync::OnceLock<Arc<gcnrl_telemetry::Histogram>> =
+                std::sync::OnceLock::new();
+            FRAME_READ
+                .get_or_init(|| gcnrl_telemetry::global().histogram("serve.frame_read.ns"))
+                .record_duration(poll_start.elapsed());
+        }
+        let msg = match polled {
             Ok(Some(msg)) => msg,
             Ok(None) => continue, // poll tick
             // Mid-batch (or idle) disconnect: tolerated, session dropped.
@@ -429,8 +447,14 @@ fn handle_msg(
                 &ServerMsg::Stats(WireStats {
                     engine: service.engine_stats(),
                     session: session.session_stats(),
-                    last_batch: service.engine().last_batch().into(),
+                    last_batch: service.engine().last_batch(),
                 }),
+            );
+        }
+        ClientMsg::Metrics => {
+            send(
+                stream,
+                &ServerMsg::Metrics(gcnrl_telemetry::global().snapshot()),
             );
         }
         ClientMsg::Goodbye => {

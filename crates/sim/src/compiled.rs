@@ -337,12 +337,16 @@ impl CompiledAc {
                 // Drop the previous factorisation first: a failed refactor
                 // must not leave a stale LU that solve_loaded would serve.
                 *lu = None;
-                let n = self.num_nodes;
-                for r in 0..n {
-                    for col in 0..n {
-                        y[(r, col)] = Complex::new(g[r * n + col], omega * c[r * n + col]);
+                {
+                    let _assemble = gcnrl_telemetry::span!("sim.assemble.ns");
+                    let n = self.num_nodes;
+                    for r in 0..n {
+                        for col in 0..n {
+                            y[(r, col)] = Complex::new(g[r * n + col], omega * c[r * n + col]);
+                        }
                     }
                 }
+                let _factor = gcnrl_telemetry::span!("sim.factor.ns");
                 *lu = Some(y.lu().map_err(|_| SimError::SingularSystem {
                     frequency_hz: freq_hz,
                 })?);
@@ -354,9 +358,13 @@ impl CompiledAc {
                 matrix,
                 numeric,
             } => {
-                for ((v, &gv), &cv) in matrix.values_mut().iter_mut().zip(&*g).zip(&*c) {
-                    *v = Complex::new(gv, omega * cv);
+                {
+                    let _assemble = gcnrl_telemetry::span!("sim.assemble.ns");
+                    for ((v, &gv), &cv) in matrix.values_mut().iter_mut().zip(&*g).zip(&*c) {
+                        *v = Complex::new(gv, omega * cv);
+                    }
                 }
+                let _factor = gcnrl_telemetry::span!("sim.factor.ns");
                 numeric
                     .refactor(matrix.values())
                     .map_err(|_| SimError::SingularSystem {
@@ -380,6 +388,7 @@ impl CompiledAc {
     /// on the sparse path), with one step of residual-gated iterative
     /// refinement to keep static pivoting at dense-LU accuracy.
     fn solve_loaded(&mut self) -> Result<(), SimError> {
+        let _solve = gcnrl_telemetry::span!("sim.solve.ns");
         let freq = self.factored_at.unwrap_or(0.0);
         let singular = |_| SimError::SingularSystem { frequency_hz: freq };
         match &mut self.backend {

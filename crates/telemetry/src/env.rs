@@ -3,9 +3,13 @@
 //! The config readers used to fall back to their defaults when a variable was
 //! set but malformed (`GCNRL_WORKERS=four` silently ran with the default
 //! worker count), which turns a typo in a CI matrix or a launch script into a
-//! silently wrong experiment. Every knob now goes through [`env_usize`],
-//! which distinguishes *unset* (use the default) from *unparseable* (fail
-//! loudly with the variable name and the offending value).
+//! silently wrong experiment. Every knob now goes through these helpers,
+//! which distinguish *unset* (use the default) from *unparseable* (fail
+//! loudly with the variable name and the offending value). They live here —
+//! the bottom of the crate graph — so every layer shares one contract;
+//! `gcnrl_exec` re-exports [`env_usize`] for its existing call sites.
+
+use std::net::SocketAddr;
 
 /// Reads `name` as a `usize`.
 ///
@@ -31,6 +35,30 @@ pub fn env_usize(name: &str) -> Option<usize> {
     }
 }
 
+/// Reads `name` as a non-empty string (`None` when unset or empty).
+pub fn env_string(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|value| !value.is_empty())
+}
+
+/// Reads `name` as a socket address (`host:port`).
+///
+/// Returns `None` when the variable is unset or empty.
+///
+/// # Panics
+///
+/// Panics with the variable name and the rejected value when the variable is
+/// set but does not parse as a socket address.
+pub fn env_socket_addr(name: &str) -> Option<SocketAddr> {
+    let value = env_string(name)?;
+    match value.trim().parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => panic!(
+            "invalid {name}={value:?}: expected a socket address like \
+              127.0.0.1:9187 (unset the variable to disable)"
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,14 +67,27 @@ mod tests {
     fn unset_and_empty_fall_back_to_the_default() {
         std::env::remove_var("GCNRL_TEST_UNSET_KNOB");
         assert_eq!(env_usize("GCNRL_TEST_UNSET_KNOB"), None);
+        assert_eq!(env_string("GCNRL_TEST_UNSET_KNOB"), None);
+        assert_eq!(env_socket_addr("GCNRL_TEST_UNSET_KNOB"), None);
         std::env::set_var("GCNRL_TEST_EMPTY_KNOB", "");
         assert_eq!(env_usize("GCNRL_TEST_EMPTY_KNOB"), None);
+        assert_eq!(env_string("GCNRL_TEST_EMPTY_KNOB"), None);
+        assert_eq!(env_socket_addr("GCNRL_TEST_EMPTY_KNOB"), None);
     }
 
     #[test]
     fn valid_values_parse_with_surrounding_whitespace() {
         std::env::set_var("GCNRL_TEST_VALID_KNOB", " 42 ");
         assert_eq!(env_usize("GCNRL_TEST_VALID_KNOB"), Some(42));
+    }
+
+    #[test]
+    fn valid_socket_addrs_parse() {
+        std::env::set_var("GCNRL_TEST_ADDR_KNOB", "127.0.0.1:9187");
+        assert_eq!(
+            env_socket_addr("GCNRL_TEST_ADDR_KNOB"),
+            Some("127.0.0.1:9187".parse().unwrap())
+        );
     }
 
     #[test]
@@ -61,5 +102,12 @@ mod tests {
     fn negative_values_are_rejected() {
         std::env::set_var("GCNRL_TEST_NEGATIVE_KNOB", "-3");
         let _ = env_usize("GCNRL_TEST_NEGATIVE_KNOB");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GCNRL_TEST_BAD_ADDR=\"localhost\"")]
+    fn malformed_socket_addrs_panic() {
+        std::env::set_var("GCNRL_TEST_BAD_ADDR", "localhost");
+        let _ = env_socket_addr("GCNRL_TEST_BAD_ADDR");
     }
 }

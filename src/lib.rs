@@ -11,6 +11,8 @@
 //! * [`serve`] — the network evaluation server (`EvalServer`) and the remote
 //!   `EvalBackend` (`RemoteBackend`) exposing the session service over TCP.
 //! * [`baselines`] — random search, ES, BO, MACE and the human-expert row.
+//! * [`telemetry`] — process-wide metrics, latency histograms and span
+//!   tracing (`GCNRL_TRACE`), recorded into by every layer above.
 //! * [`nn`] / [`rl`] / [`linalg`] — the supporting substrates.
 //!
 //! See the README for a quickstart and DESIGN.md for the architecture map.
@@ -24,3 +26,4 @@ pub use gcnrl_nn as nn;
 pub use gcnrl_rl as rl;
 pub use gcnrl_serve as serve;
 pub use gcnrl_sim as sim;
+pub use gcnrl_telemetry as telemetry;

@@ -120,22 +120,25 @@ fn concurrent_remote_clients_match_solo_local_runs_and_share_the_cache() {
     );
     assert_eq!(engine.requests, engine.simulated + engine.cache_hits);
 
-    // Per-session accounting covers every connection, fully drained.
-    let sessions = &stats.services[0].sessions;
-    assert_eq!(sessions.len(), CLIENTS);
-    for session in sessions {
-        assert!(session.name.starts_with("client-"));
-        assert_eq!(
-            session.submitted, session.resolved,
-            "{}: requests left pending",
-            session.name
-        );
-        assert!(
-            session.candidates >= (CALIBRATION + BUDGET) as u64,
-            "{}: candidates unaccounted",
-            session.name
-        );
-    }
+    // Every connection closed, so its per-session accounting folded into
+    // the service-level aggregate (the live map must not leak entries for
+    // retired sessions), fully drained.
+    let service = &stats.services[0];
+    assert!(
+        service.sessions.is_empty(),
+        "retired sessions must leave the live map: {:?}",
+        service.sessions
+    );
+    let closed = &service.closed;
+    assert_eq!(closed.sessions as usize, CLIENTS);
+    assert_eq!(
+        closed.submitted, closed.resolved,
+        "requests left pending: {closed:?}"
+    );
+    assert!(
+        closed.candidates >= (CLIENTS * (CALIBRATION + BUDGET)) as u64,
+        "candidates unaccounted: {closed:?}"
+    );
 }
 
 #[test]
