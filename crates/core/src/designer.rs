@@ -161,11 +161,11 @@ impl GcnRlDesigner {
                 .min(self.config.episodes - episode);
 
             // Propose: one policy action, `width` correlated perturbations.
-            let proposals: Vec<Matrix> = {
+            let (base, proposals): (Matrix, Vec<Matrix>) = {
                 let _propose = gcnrl_telemetry::span!("train.propose.ns", width = width);
                 let base = self.agent.act(&states, &adjacency);
                 let entries = base.rows() * base.cols();
-                noise
+                let proposals = noise
                     .sample_correlated(width, entries, rho)
                     .into_iter()
                     .map(|perturbation| {
@@ -175,15 +175,22 @@ impl GcnRlDesigner {
                         }
                         actions
                     })
-                    .collect()
+                    .collect();
+                (base, proposals)
             };
             noise.decay_step();
 
             // Evaluate: the whole round is one engine batch (parallel fan-out
-            // plus cache dedup of near-quantized repeat candidates).
+            // plus cache dedup of near-quantized repeat candidates). With
+            // grouped rollouts the unperturbed policy action anchors a shared
+            // base factorisation inside the solver.
             let rollouts = {
                 let _evaluate = gcnrl_telemetry::span!("train.evaluate.ns", width = width);
-                self.env.rollout_actions(proposals)
+                if self.config.grouped_rollouts {
+                    self.env.rollout_actions_with_base(&base, proposals)
+                } else {
+                    self.env.rollout_actions(proposals)
+                }
             };
 
             // Learn: every candidate enters the history and the replay

@@ -19,7 +19,7 @@ use std::sync::Arc;
 /// Squared pivot magnitudes below this are treated as numerically singular,
 /// matching the dense complex factorisation in this crate (which compares
 /// `abs_sq` against the same constant).
-const PIVOT_TINY_SQ: f64 = 1e-300;
+pub(crate) const PIVOT_TINY_SQ: f64 = 1e-300;
 
 /// The reusable symbolic analysis of one sparsity pattern: pivot order chosen
 /// by Markowitz cost (with a strong preference for diagonal pivots, which MNA
@@ -183,6 +183,37 @@ impl SymbolicLu {
     /// Total structural nonzeros of `L + U`.
     pub fn nnz_lu(&self) -> usize {
         self.lu_col_idx.len()
+    }
+
+    /// Row pointers of the permuted `L + U` structure (crate-internal: the
+    /// struct-of-arrays kernels replay the same elimination order).
+    pub(crate) fn lu_row_ptr(&self) -> &[usize] {
+        &self.lu_row_ptr
+    }
+
+    /// Column indices of the permuted `L + U` structure.
+    pub(crate) fn lu_col_idx(&self) -> &[usize] {
+        &self.lu_col_idx
+    }
+
+    /// Diagonal slot of each permuted row.
+    pub(crate) fn diag_slot(&self) -> &[usize] {
+        &self.diag_slot
+    }
+
+    /// Original row of permuted row `k`.
+    pub(crate) fn row_perm(&self) -> &[usize] {
+        &self.row_perm
+    }
+
+    /// Original column of permuted column `k`.
+    pub(crate) fn col_perm(&self) -> &[usize] {
+        &self.col_perm
+    }
+
+    /// Crate-internal access to the slot map (see [`SymbolicLu::scatter_map`]).
+    pub(crate) fn scatter_for(&self, pattern: &SparsityPattern) -> Result<Vec<usize>, LinalgError> {
+        self.scatter_map(pattern)
     }
 
     /// Fill-in: nonzeros created beyond the analysed input pattern.
@@ -437,6 +468,35 @@ impl<T: SparseScalar> SparseLu<T> {
             b[sym.col_perm[k]] = y[k];
         }
         Ok(())
+    }
+
+    /// Whether a factorisation is currently valid.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Solves `A eᵣ = w` for the unit right-hand side at original row `row`.
+    ///
+    /// These columns of `A⁻¹` are the building blocks of Sherman–Morrison–
+    /// Woodbury corrections (see [`super::RankUpdate`]); they depend only on
+    /// the base factorisation, so callers batching many low-rank updates can
+    /// solve each distinct row once and share the column.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::solve`], plus [`LinalgError::InvalidDimensions`]
+    /// when `row` is out of range.
+    pub fn solve_unit(&self, row: usize) -> Result<Vec<T>, LinalgError> {
+        if row >= self.symbolic.n {
+            return Err(LinalgError::InvalidDimensions {
+                reason: "unit solve row out of range",
+            });
+        }
+        let mut e = vec![T::ZERO; self.symbolic.n];
+        e[row] = T::ONE;
+        let mut scratch = vec![T::ZERO; self.symbolic.n];
+        self.solve_with_scratch(&mut e, &mut scratch)?;
+        Ok(e)
     }
 
     /// Solves `A x = b` and applies one step of iterative refinement using the

@@ -1,0 +1,565 @@
+//! Low-rank (Sherman–Morrison–Woodbury) corrections over a base [`SparseLu`].
+//!
+//! A rollout round perturbs a handful of stamp slots of the round's base
+//! matrix: `A = A₀ + Σᵢ dᵢ·e_{rᵢ}·e_{cᵢ}ᵀ`.  Grouping the deltas by their `k`
+//! distinct rows gives `A = A₀ + U·Vᵀ` with `U = [e_{r₁} … e_{r_k}]`, so
+//!
+//! ```text
+//! A⁻¹ b = y − W·C⁻¹·(Vᵀ y),   y = A₀⁻¹ b,   W = A₀⁻¹ U,   C = I_k + Vᵀ W
+//! ```
+//!
+//! costs `k` unit solves plus `O(n·k + k³)` per right-hand side instead of a
+//! full numeric refactorisation.  The unit-solve columns `W` depend only on
+//! the base factorisation and the perturbed *rows*, so callers batching many
+//! candidates against one base solve each distinct row once
+//! ([`SparseLu::solve_unit`]) and share the columns via
+//! [`RankUpdate::plan_with_columns`].
+//!
+//! The capacitance matrix `C` is where near-cancellation shows up when the
+//! update drives the system toward singularity; [`RankUpdate::plan`] refuses
+//! (returns [`LinalgError::Singular`]) when a pivot of `C` collapses relative
+//! to the magnitudes that were summed into it, and callers are expected to
+//! fall back to a full refactor (see the residual gate in `gcnrl-sim`).
+
+use super::lu::{SparseLu, PIVOT_TINY_SQ};
+use super::scalar::SparseScalar;
+use crate::LinalgError;
+
+/// A pivot of `C` whose squared magnitude falls below this fraction of the
+/// largest squared addend that was accumulated into `C` has lost ~12 digits
+/// to cancellation: the correction would be numerically meaningless, so the
+/// plan is rejected and the caller refactors instead.
+const CAP_CANCELLATION_SQ: f64 = 1e-24;
+
+/// Returns the sorted distinct rows touched by `deltas` (entries are
+/// `(row, col, value)` triples in original coordinates).
+pub fn distinct_rows<T>(deltas: &[(usize, usize, T)]) -> Vec<usize> {
+    let mut rows: Vec<usize> = deltas.iter().map(|&(r, _, _)| r).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// A planned rank-`k` correction: the factored capacitance matrix plus the
+/// `W = A₀⁻¹ U` columns, ready to correct any number of base solutions.
+#[derive(Debug, Clone)]
+pub struct RankUpdate<T> {
+    n: usize,
+    /// Sorted distinct original rows carrying the update (length `k`).
+    rows: Vec<usize>,
+    /// Delta terms as `(row group index, column, value)`.
+    terms: Vec<(usize, usize, T)>,
+    /// `W` columns, column-major `n × k`.
+    w: Vec<T>,
+    /// Dense row-major LU of `C = I_k + Vᵀ W` (unit-diagonal `L`).
+    cap: Vec<T>,
+    /// Partial-pivoting row swaps applied during the `C` factorisation.
+    piv: Vec<usize>,
+}
+
+impl<T: SparseScalar> RankUpdate<T> {
+    /// Plans the correction for `deltas` against `base`, solving the `W`
+    /// columns through the base factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when the capacitance matrix is
+    /// singular or has cancelled past recovery (the caller should refactor),
+    /// and propagates base-solve errors.
+    pub fn plan(base: &SparseLu<T>, deltas: &[(usize, usize, T)]) -> Result<Self, LinalgError> {
+        let rows = distinct_rows(deltas);
+        let n = base.symbolic().n();
+        let mut w = Vec::with_capacity(n * rows.len());
+        for &r in &rows {
+            w.extend_from_slice(&base.solve_unit(r)?);
+        }
+        Self::plan_with_columns(n, deltas, rows, w)
+    }
+
+    /// Plans the correction from precomputed `W` columns.
+    ///
+    /// `rows` must be sorted, distinct, and cover every row appearing in
+    /// `deltas` (a superset is fine: extra rows contribute identity rows to
+    /// `C`, which lets a batch of candidates share the columns of their row
+    /// union).  `w` holds one `A₀⁻¹ e_r` column per entry of `rows`,
+    /// column-major.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidDimensions`] on malformed inputs,
+    /// [`LinalgError::Singular`] when `C` is singular or ill-conditioned.
+    pub fn plan_with_columns(
+        n: usize,
+        deltas: &[(usize, usize, T)],
+        rows: Vec<usize>,
+        w: Vec<T>,
+    ) -> Result<Self, LinalgError> {
+        let mut upd = RankUpdate {
+            n,
+            rows,
+            terms: Vec::with_capacity(deltas.len()),
+            w,
+            cap: Vec::new(),
+            piv: Vec::new(),
+        };
+        upd.refactor_cap(deltas)?;
+        Ok(upd)
+    }
+
+    /// Re-plans this correction in place for new deltas and columns, reusing
+    /// every internal allocation — the hot-loop variant of
+    /// [`RankUpdate::plan_with_columns`] for callers that re-plan per
+    /// frequency point (the columns `W(ω)` change, the buffers do not).
+    ///
+    /// On error the plan is poisoned and must not be used to correct until
+    /// the next successful re-plan.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RankUpdate::plan_with_columns`].
+    pub fn replan_with_columns(
+        &mut self,
+        n: usize,
+        deltas: &[(usize, usize, T)],
+        rows: &[usize],
+        w: &[T],
+    ) -> Result<(), LinalgError> {
+        self.n = n;
+        self.rows.clear();
+        self.rows.extend_from_slice(rows);
+        self.w.clear();
+        self.w.extend_from_slice(w);
+        self.refactor_cap(deltas)
+    }
+
+    /// Validates `self.rows`/`self.w`, regroups `deltas` into `self.terms`
+    /// and refactors the capacitance matrix `C = I_k + Vᵀ W` into
+    /// `self.cap`/`self.piv`.  Shared by the planning entry points.
+    fn refactor_cap(&mut self, deltas: &[(usize, usize, T)]) -> Result<(), LinalgError> {
+        let (n, rows, w) = (self.n, &self.rows, &self.w);
+        let k = rows.len();
+        if w.len() != n * k {
+            return Err(LinalgError::InvalidDimensions {
+                reason: "rank update column buffer does not match n * k",
+            });
+        }
+        if rows.windows(2).any(|p| p[0] >= p[1]) || rows.iter().any(|&r| r >= n) {
+            return Err(LinalgError::InvalidDimensions {
+                reason: "rank update rows must be sorted, distinct and in range",
+            });
+        }
+        self.terms.clear();
+        for &(r, c, d) in deltas {
+            let group = rows
+                .binary_search(&r)
+                .map_err(|_| LinalgError::InvalidDimensions {
+                    reason: "delta row missing from the planned row set",
+                })?;
+            if c >= n {
+                return Err(LinalgError::InvalidDimensions {
+                    reason: "delta column out of range",
+                });
+            }
+            self.terms.push((group, c, d));
+        }
+
+        // C = I_k + Vᵀ W, tracking the largest squared addend so the pivot
+        // gate below measures cancellation, not absolute scale.
+        let cap = &mut self.cap;
+        cap.clear();
+        cap.resize(k * k, T::ZERO);
+        let mut addend_max_sq = if k > 0 { 1.0f64 } else { 0.0 };
+        for j in 0..k {
+            cap[j * k + j] = T::ONE;
+        }
+        for &(group, c, d) in &self.terms {
+            for l in 0..k {
+                let a = d * w[l * n + c];
+                addend_max_sq = addend_max_sq.max(a.magnitude_sq());
+                cap[group * k + l] += a;
+            }
+        }
+
+        // Dense LU of C with partial pivoting by magnitude.
+        let piv = &mut self.piv;
+        piv.clear();
+        for col in 0..k {
+            let mut best = col;
+            let mut best_sq = cap[col * k + col].magnitude_sq();
+            for r in col + 1..k {
+                let sq = cap[r * k + col].magnitude_sq();
+                if sq > best_sq {
+                    best = r;
+                    best_sq = sq;
+                }
+            }
+            piv.push(best);
+            if best != col {
+                for c in 0..k {
+                    cap.swap(col * k + c, best * k + c);
+                }
+            }
+            let p = cap[col * k + col];
+            if best_sq < PIVOT_TINY_SQ
+                || best_sq < CAP_CANCELLATION_SQ * addend_max_sq
+                || !p.is_finite_scalar()
+            {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            for r in col + 1..k {
+                let f = cap[r * k + col] / p;
+                cap[r * k + col] = f;
+                for c in col + 1..k {
+                    let u = cap[col * k + c];
+                    cap[r * k + c] -= f * u;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The correction rank `k` (number of distinct update rows planned).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The sorted distinct rows this plan covers.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The planned `W = A₀⁻¹ U` columns, column-major `n × k`.
+    pub fn w_columns(&self) -> &[T] {
+        &self.w
+    }
+
+    /// Corrects a base solution in place: `y ← y − W·C⁻¹·(Vᵀ y)`, turning
+    /// `A₀⁻¹ b` into `(A₀ + UVᵀ)⁻¹ b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when `y` has the wrong length.
+    pub fn correct(&self, y: &mut [T]) -> Result<(), LinalgError> {
+        self.correct_with_scratch(y, &mut Vec::new())
+    }
+
+    /// [`RankUpdate::correct`] with a caller-owned scratch buffer for the
+    /// `k`-vector `Vᵀ y`, so hot loops correcting many solutions allocate
+    /// nothing per call.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when `y` has the wrong length.
+    pub fn correct_with_scratch(
+        &self,
+        y: &mut [T],
+        scratch: &mut Vec<T>,
+    ) -> Result<(), LinalgError> {
+        let (n, k) = (self.n, self.rows.len());
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank_update_correct",
+                lhs: (n, 1),
+                rhs: (y.len(), 1),
+            });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        // t = Vᵀ y.
+        scratch.clear();
+        scratch.resize(k, T::ZERO);
+        let t = scratch;
+        for &(group, c, d) in &self.terms {
+            t[group] += d * y[c];
+        }
+        // z = C⁻¹ t via the stored pivoted LU.
+        for (col, &p) in self.piv.iter().enumerate() {
+            if p != col {
+                t.swap(col, p);
+            }
+        }
+        for col in 0..k {
+            let tc = t[col];
+            for (r, tr) in t.iter_mut().enumerate().take(k).skip(col + 1) {
+                *tr -= self.cap[r * k + col] * tc;
+            }
+        }
+        for col in (0..k).rev() {
+            let mut acc = t[col];
+            for (c, &tc) in t.iter().enumerate().take(k).skip(col + 1) {
+                acc -= self.cap[col * k + c] * tc;
+            }
+            t[col] = acc / self.cap[col * k + col];
+        }
+        // y ← y − W z.
+        for (l, &z) in t.iter().enumerate() {
+            let wl = &self.w[l * n..(l + 1) * n];
+            for (yi, &wi) in y.iter_mut().zip(wl) {
+                *yi -= wi * z;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `(A₀ + UVᵀ) x = b` through the base factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SparseLu::solve`] and [`RankUpdate::correct`] errors.
+    pub fn solve(&self, base: &SparseLu<T>, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        let mut y = base.solve(b)?;
+        self.correct(&mut y)?;
+        Ok(y)
+    }
+
+    /// Accumulates `Δ·x` into `out` (`Δ` being the planned delta terms), the
+    /// piece callers need to evaluate the true residual `b − (A₀ + Δ)x`
+    /// without assembling the updated matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] on length mismatches.
+    pub fn delta_matvec_add(&self, x: &[T], out: &mut [T]) -> Result<(), LinalgError> {
+        if x.len() != self.n || out.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank_update_delta_matvec",
+                lhs: (self.n, 1),
+                rhs: (x.len(), out.len()),
+            });
+        }
+        for &(group, c, d) in &self.terms {
+            out[self.rows[group]] += d * x[c];
+        }
+        Ok(())
+    }
+}
+
+/// Convenience one-shot: plan the correction for `deltas` and solve `rhs`.
+///
+/// # Errors
+///
+/// See [`RankUpdate::plan`] and [`RankUpdate::solve`]; a
+/// [`LinalgError::Singular`] means the caller should fall back to a full
+/// refactor of the updated matrix.
+pub fn solve_updated<T: SparseScalar>(
+    base: &SparseLu<T>,
+    deltas: &[(usize, usize, T)],
+    rhs: &[T],
+) -> Result<Vec<T>, LinalgError> {
+    RankUpdate::plan(base, deltas)?.solve(base, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::{splu, CsrMatrix, TripletBuilder};
+    use crate::Complex;
+    use proptest::prelude::*;
+
+    fn tridiagonal(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push(i, i, 2.5);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.0);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn apply_deltas<T: SparseScalar>(
+        a: &CsrMatrix<T>,
+        deltas: &[(usize, usize, T)],
+    ) -> CsrMatrix<T> {
+        let mut b = TripletBuilder::new(a.pattern().n());
+        for ((r, c, _), &v) in a.pattern().iter().zip(a.values()) {
+            b.push(r, c, v);
+        }
+        for &(r, c, d) in deltas {
+            b.push(r, c, d);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rank_k_update_matches_full_refactor_real() {
+        let a = tridiagonal(10);
+        let base = splu(&a).unwrap();
+        let deltas = [(2usize, 2usize, 0.8f64), (2, 3, -0.3), (7, 6, 0.45)];
+        let rhs: Vec<f64> = (0..10).map(|i| (i as f64 * 0.9).sin()).collect();
+        let x = solve_updated(&base, &deltas, &rhs).unwrap();
+        let full = splu(&apply_deltas(&a, &deltas)).unwrap();
+        let want = full.solve(&rhs).unwrap();
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-10, "{xi} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn rank_k_update_matches_full_refactor_complex() {
+        let mut tb = TripletBuilder::new(6);
+        for i in 0..6 {
+            tb.push(i, i, Complex::new(2.0, 0.7 * i as f64));
+            if i + 1 < 6 {
+                tb.push(i, i + 1, Complex::new(-0.5, 0.1));
+                tb.push(i + 1, i, Complex::new(-0.5, -0.2));
+            }
+        }
+        let a = tb.build().unwrap();
+        let base = splu(&a).unwrap();
+        let deltas = [
+            (1usize, 1usize, Complex::new(0.4, -0.9)),
+            (4, 3, Complex::new(-0.2, 0.35)),
+        ];
+        let rhs: Vec<Complex> = (0..6).map(|i| Complex::new(1.0, i as f64 * 0.3)).collect();
+        let x = solve_updated(&base, &deltas, &rhs).unwrap();
+        let full = splu(&apply_deltas(&a, &deltas)).unwrap();
+        let want = full.solve(&rhs).unwrap();
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((*xi - *wi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_bitwise_noop() {
+        let a = tridiagonal(7);
+        let base = splu(&a).unwrap();
+        let rhs = vec![1.25f64; 7];
+        let plain = base.solve(&rhs).unwrap();
+        let updated = solve_updated(&base, &[], &rhs).unwrap();
+        assert_eq!(plain, updated);
+    }
+
+    #[test]
+    fn shared_row_union_superset_is_accepted() {
+        let a = tridiagonal(8);
+        let base = splu(&a).unwrap();
+        // Union of two candidates' rows; this candidate only touches row 5.
+        let rows = vec![1usize, 5, 6];
+        let mut w = Vec::new();
+        for &r in &rows {
+            w.extend_from_slice(&base.solve_unit(r).unwrap());
+        }
+        let deltas = [(5usize, 5usize, 0.6f64)];
+        let upd = RankUpdate::plan_with_columns(8, &deltas, rows, w).unwrap();
+        assert_eq!(upd.rank(), 3);
+        let rhs = vec![1.0f64; 8];
+        let x = upd.solve(&base, &rhs).unwrap();
+        let full = splu(&apply_deltas(&a, &deltas)).unwrap();
+        let want = full.solve(&rhs).unwrap();
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn replanning_in_place_matches_a_fresh_plan() {
+        let a = tridiagonal(9);
+        let base = splu(&a).unwrap();
+        let rows = vec![2usize, 6];
+        let mut w = Vec::new();
+        for &r in &rows {
+            w.extend_from_slice(&base.solve_unit(r).unwrap());
+        }
+        let first = [(2usize, 2usize, 0.4f64), (6, 5, -0.25)];
+        let second = [(2usize, 1usize, -0.7f64), (6, 6, 0.9)];
+        let mut upd = RankUpdate::plan_with_columns(9, &first, rows.clone(), w.clone()).unwrap();
+        upd.replan_with_columns(9, &second, &rows, &w).unwrap();
+        let fresh = RankUpdate::plan_with_columns(9, &second, rows, w).unwrap();
+        let rhs: Vec<f64> = (0..9).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let mut scratch = Vec::new();
+        let mut x = base.solve(&rhs).unwrap();
+        upd.correct_with_scratch(&mut x, &mut scratch).unwrap();
+        let want = fresh.solve(&base, &rhs).unwrap();
+        assert_eq!(x, want);
+        // A failed re-plan poisons the plan but the next one recovers.
+        assert!(upd
+            .replan_with_columns(9, &[(0, 0, 1.0)], &[2, 6], &[0.0])
+            .is_err());
+        upd.replan_with_columns(9, &second, fresh.rows(), fresh.w_columns())
+            .unwrap();
+        let mut x2 = base.solve(&rhs).unwrap();
+        upd.correct(&mut x2).unwrap();
+        assert_eq!(x2, want);
+    }
+
+    #[test]
+    fn cancelled_capacitance_matrix_is_rejected() {
+        let a = tridiagonal(5);
+        let base = splu(&a).unwrap();
+        // d = -1/w₀[0] drives C = 1 + d·w₀[0] to exact cancellation: the
+        // updated matrix is singular and the plan must refuse.
+        let w0 = base.solve_unit(0).unwrap();
+        let d = -1.0 / w0[0];
+        assert!(matches!(
+            RankUpdate::plan(&base, &[(0, 0, d)]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_probe_via_delta_matvec() {
+        let a = tridiagonal(6);
+        let base = splu(&a).unwrap();
+        let deltas = [(3usize, 2usize, 0.7f64), (3, 4, -0.4)];
+        let upd = RankUpdate::plan(&base, &deltas).unwrap();
+        let rhs = vec![2.0f64; 6];
+        let x = upd.solve(&base, &rhs).unwrap();
+        // b − A₀x − Δx ≈ 0 when the correction is exact.
+        let mut ax = a.matvec(&x).unwrap();
+        upd.delta_matvec_add(&x, &mut ax).unwrap();
+        for (bi, axi) in rhs.iter().zip(&ax) {
+            assert!((bi - axi).abs() < 1e-10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_small_updates_agree_with_refactor(
+            n in 4usize..12,
+            seed_vals in prop::collection::vec(0.2f64..2.0, 12),
+            picks in prop::collection::vec((0usize..12, 0usize..12, -0.9f64..0.9), 1..4),
+        ) {
+            let mut tb = TripletBuilder::new(n);
+            for i in 0..n {
+                tb.push(i, i, 3.0 + seed_vals[i % seed_vals.len()]);
+                if i + 1 < n {
+                    tb.push(i, i + 1, -seed_vals[(i + 3) % seed_vals.len()]);
+                    tb.push(i + 1, i, -seed_vals[(i + 5) % seed_vals.len()]);
+                }
+            }
+            let a = tb.build().unwrap();
+            let base = splu(&a).unwrap();
+            // Keep perturbations on existing structural positions.
+            let deltas: Vec<(usize, usize, f64)> = picks
+                .iter()
+                .map(|&(r, c, d)| {
+                    let r = r % n;
+                    let off = c % 3;
+                    let c = match off {
+                        0 => r,
+                        1 => (r + 1).min(n - 1),
+                        _ => r.saturating_sub(1),
+                    };
+                    (r, c, d)
+                })
+                .collect();
+            let rhs: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+            match solve_updated(&base, &deltas, &rhs) {
+                Ok(x) => {
+                    let full = splu(&apply_deltas(&a, &deltas)).unwrap();
+                    let want = full.solve(&rhs).unwrap();
+                    for (xi, wi) in x.iter().zip(&want) {
+                        prop_assert!((xi - wi).abs() < 1e-8, "{xi} vs {wi}");
+                    }
+                }
+                // An ill-conditioned C is a legal outcome: the caller
+                // refactors instead.
+                Err(LinalgError::Singular { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+}

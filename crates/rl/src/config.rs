@@ -52,6 +52,14 @@ pub struct DdpgConfig {
     /// priorities the rollout pipeline records, instead of uniformly. The
     /// uniform default is pinned by the serial-equivalence regression test.
     pub prioritized_replay: bool,
+    /// When `true`, rollout batches are evaluated through the grouped
+    /// backend path (`evaluate_batch_with_base`): the round's unperturbed
+    /// policy action anchors a shared base factorisation and each candidate
+    /// is corrected through a rank-k solver update. Grouped results match
+    /// the per-candidate path to solver accuracy but not bit-exactly, so the
+    /// default stays `false` to preserve the pinned `k = 1` serial
+    /// equivalence.
+    pub grouped_rollouts: bool,
 }
 
 impl Default for DdpgConfig {
@@ -73,6 +81,7 @@ impl Default for DdpgConfig {
             rollout_rho: 0.5,
             rollout_k_max: 0,
             prioritized_replay: false,
+            grouped_rollouts: false,
         }
     }
 }
@@ -140,6 +149,14 @@ impl DdpgConfig {
         self
     }
 
+    /// Returns a copy that evaluates rollout batches through the grouped
+    /// backend path (base factorisation shared across the round's
+    /// candidates).
+    pub fn with_grouped_rollouts(mut self) -> Self {
+        self.grouped_rollouts = true;
+        self
+    }
+
     /// The rollout width to use at a given noise-decay progress (`0` at the
     /// start of exploration, `1` when the noise has fully decayed).
     pub fn rollout_width_at(&self, decay_progress: f64) -> usize {
@@ -165,6 +182,14 @@ mod tests {
         // Uniform replay is the pinned default; the flag is opt-in.
         assert!(!c.prioritized_replay);
         assert!(c.with_prioritized_replay().prioritized_replay);
+        // Grouped rollouts are opt-in too: the default preserves the k = 1
+        // serial bit-equivalence.
+        assert!(!c.grouped_rollouts);
+        assert!(
+            DdpgConfig::default()
+                .with_grouped_rollouts()
+                .grouped_rollouts
+        );
     }
 
     #[test]

@@ -39,6 +39,24 @@ pub trait Evaluator: Send + Sync {
 
     /// Evaluates one candidate sizing.
     fn evaluate(&self, params: &ParamVector) -> PerformanceReport;
+
+    /// Evaluates a group of candidate sizings clustered around a shared
+    /// `base` sizing (the rollout shape: one unperturbed action plus its
+    /// perturbations).  The default evaluates each candidate independently;
+    /// evaluators with batched solver support override this to factor the
+    /// base circuit once per frequency and correct candidate solves through
+    /// rank-k updates (see [`CompiledAc::sweep_batch`](crate::CompiledAc::sweep_batch)).
+    ///
+    /// Results must match per-candidate [`Evaluator::evaluate`] calls to
+    /// solver accuracy (~1e-9 on raw voltages), though not bit-exactly.
+    fn evaluate_group(
+        &self,
+        base: &ParamVector,
+        candidates: &[ParamVector],
+    ) -> Vec<PerformanceReport> {
+        let _ = base;
+        candidates.iter().map(|p| self.evaluate(p)).collect()
+    }
 }
 
 /// Builds the evaluator for `benchmark` under technology `node`.
