@@ -15,23 +15,34 @@
 //!   sharing the budget (default 4).
 //! * `GCNRL_SERVE_DEADLINE_MS` — dispatcher round deadline per service:
 //!   wait up to this window to pack fuller rounds.
+//! * `GCNRL_SERVE_PIPELINE` — client-side pipeline window used by the smoke
+//!   clients (and by bench binaries riding `GCNRL_SERVE_ADDR`); `1`
+//!   reproduces the strictly blocking v2 behaviour.
+//! * `GCNRL_SERVE_BACKLOG` — admission control: reject new handshakes with
+//!   `Error{busy}` while more than this many evaluation requests are
+//!   pending across the registry (unset = admit unconditionally).
+//! * `GCNRL_SERVE_WORKERS` — reactor worker threads harvesting resolved
+//!   batches (default 4; the engine has its own compute pool).
 //! * `GCNRL_THREADS` / `GCNRL_CACHE_PATH` — engine template, as everywhere.
 //! * `GCNRL_METRICS_ADDR` — when set (`host:port`), also bind a plain-HTTP
 //!   Prometheus scrape endpoint exposing the process's telemetry registry
 //!   (handshake/frame/dispatch/solver latency histograms, queue gauges).
 //! * `GCNRL_SERVE_SMOKE` — run the CI smoke instead of serving: bind, run
-//!   this many concurrent remote random-search clients over real loopback
-//!   TCP, assert their runs are bit-identical to solo local runs, assert
-//!   cross-client cache hits, a clean drain, a live `Metrics` RPC snapshot
-//!   and (with `GCNRL_METRICS_ADDR` set) a Prometheus scrape, then exit.
+//!   this many concurrent pipelined remote random-search clients over real
+//!   loopback TCP, assert their runs are bit-identical to solo local runs,
+//!   assert cross-client cache hits, a clean drain, a live `Metrics` RPC
+//!   snapshot, a kill-and-restart reconnect scenario and (with
+//!   `GCNRL_METRICS_ADDR` set) a Prometheus scrape, then exit.
 
 use gcnrl_bench::{
-    budget_from_env, env_for_backend, env_for_session, service_session, ExperimentConfig,
+    budget_from_env, env_for_backend, env_for_session, serve_pipeline, service_session,
+    ExperimentConfig,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
 use gcnrl_exec::{env_usize, EngineConfig, ServiceConfig};
 use gcnrl_serve::{
-    EvalServer, MetricsHttpServer, RegistryConfig, RemoteBackend, RemoteConfig, ServerConfig,
+    EvalServer, MetricsHttpServer, ReconnectConfig, RegistryConfig, RemoteBackend, RemoteConfig,
+    ServerConfig,
 };
 use std::io::{Read, Write};
 
@@ -47,10 +58,76 @@ fn server_config() -> ServerConfig {
     }
     .with_cache_budget(env_usize("GCNRL_SERVE_CACHE_CAP").unwrap_or(65_536))
     .with_cache_slots(env_usize("GCNRL_SERVE_SLOTS").unwrap_or(Benchmark::ALL.len()));
+    let defaults = ServerConfig::default();
     ServerConfig {
         registry,
-        ..ServerConfig::default()
+        workers: env_usize("GCNRL_SERVE_WORKERS").unwrap_or(defaults.workers),
+        backlog_limit: env_usize("GCNRL_SERVE_BACKLOG")
+            .map(|limit| limit as u64)
+            .or(defaults.backlog_limit),
+        ..defaults
     }
+}
+
+fn smoke_client_config(session: String) -> RemoteConfig {
+    RemoteConfig {
+        session: Some(session),
+        pipeline: serve_pipeline().unwrap_or(RemoteConfig::default().pipeline),
+        ..RemoteConfig::default()
+    }
+}
+
+/// Kill-and-restart scenario on a scratch server: a pipelined client must
+/// ride the reconnect-with-backoff path across a full server restart on the
+/// same address with bit-identical results.
+fn restart_smoke(benchmark: Benchmark, node: &TechnologyNode) {
+    let space = benchmark.circuit().design_space(node);
+    let batch: Vec<_> = (0..3)
+        .map(|i| {
+            let unit: Vec<f64> = (0..space.num_parameters())
+                .map(|k| ((i * 41 + k * 11) % 83) as f64 / 82.0)
+                .collect();
+            space.from_unit(&unit)
+        })
+        .collect();
+
+    let server = EvalServer::bind("127.0.0.1:0", server_config()).expect("bind scratch server");
+    let addr = server.local_addr();
+    let remote = RemoteBackend::connect_with(
+        addr,
+        benchmark,
+        node,
+        RemoteConfig {
+            reconnect: ReconnectConfig {
+                max_retries: 10,
+                base_delay: std::time::Duration::from_millis(20),
+                max_delay: std::time::Duration::from_millis(500),
+            },
+            ..smoke_client_config("restart-smoke".to_owned())
+        },
+    )
+    .expect("restart client connect");
+    let before = remote
+        .try_evaluate_batch(&batch)
+        .expect("pre-restart batch");
+
+    server.shutdown();
+    let server = EvalServer::bind(addr, server_config()).expect("rebind after restart");
+    let after = remote
+        .try_evaluate_batch(&batch)
+        .expect("post-restart batch");
+    assert_eq!(
+        before, after,
+        "the restart must be invisible in the results"
+    );
+    assert!(
+        remote.reconnects() >= 1,
+        "the backend should have re-handshaked across the restart"
+    );
+    remote.goodbye().expect("restart client goodbye");
+    server.shutdown();
+    assert_eq!(server.stats().connections_total, 1);
+    println!("restart smoke OK: reconnect-with-backoff across a server restart");
 }
 
 fn print_stats(server: &EvalServer) {
@@ -142,10 +219,7 @@ fn smoke(server: &EvalServer, metrics: Option<&MetricsHttpServer>, clients: usiz
                     addr,
                     benchmark,
                     &node,
-                    RemoteConfig {
-                        session: Some(format!("smoke-{seed}")),
-                        ..RemoteConfig::default()
-                    },
+                    smoke_client_config(format!("smoke-{seed}")),
                 )
                 .expect("smoke client connect");
                 gcnrl_baselines::random_search(
@@ -175,10 +249,7 @@ fn smoke(server: &EvalServer, metrics: Option<&MetricsHttpServer>, clients: usiz
         addr,
         benchmark,
         &node,
-        RemoteConfig {
-            session: Some("metrics-probe".to_owned()),
-            ..RemoteConfig::default()
-        },
+        smoke_client_config("metrics-probe".to_owned()),
     )
     .expect("metrics probe connect");
     let snapshot = probe.metrics().expect("Metrics RPC");
@@ -247,6 +318,8 @@ fn smoke(server: &EvalServer, metrics: Option<&MetricsHttpServer>, clients: usiz
          {} cross-client cache hits, clean drain, telemetry live",
         engine.cache_hits
     );
+
+    restart_smoke(benchmark, &node);
 }
 
 fn main() {

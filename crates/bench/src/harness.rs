@@ -149,6 +149,13 @@ pub fn serve_addr() -> Option<String> {
         .filter(|addr| !addr.is_empty())
 }
 
+/// The remote pipeline window (`GCNRL_SERVE_PIPELINE`): how many batches a
+/// remote backend keeps in flight concurrently. Defaults to the client
+/// default when unset; `1` reproduces the strictly blocking v2 behaviour.
+pub fn serve_pipeline() -> Option<usize> {
+    gcnrl_exec::env_usize("GCNRL_SERVE_PIPELINE")
+}
+
 /// The evaluation backend a bench run should use for `(benchmark, node)`:
 /// a [`RemoteBackend`](gcnrl_serve::RemoteBackend) session on the shared
 /// server named by `GCNRL_SERVE_ADDR` when that knob is set, otherwise a
@@ -174,6 +181,8 @@ pub fn backend_for(
                 node,
                 gcnrl_serve::RemoteConfig {
                     session: Some(format!("bench:{benchmark}@{}", node.name)),
+                    pipeline: serve_pipeline()
+                        .unwrap_or(gcnrl_serve::RemoteConfig::default().pipeline),
                     ..gcnrl_serve::RemoteConfig::default()
                 },
             )

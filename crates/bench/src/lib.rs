@@ -23,5 +23,6 @@ pub use harness::{
     backend_for, budget_from_env, env_for_backend, env_for_session, make_env, make_env_with_engine,
     merge_exec_stats, print_exec_stats, print_latency_table, print_merged_exec, print_series,
     run_all_methods, run_method, run_method_instrumented, run_method_with_engine, serve_addr,
-    service_session, write_json, ExperimentConfig, MethodResult, SeriesSummary, METHODS,
+    serve_pipeline, service_session, write_json, ExperimentConfig, MethodResult, SeriesSummary,
+    METHODS,
 };

@@ -185,6 +185,9 @@ struct DispatchState {
     weights: Mutex<HashMap<u64, u64>>,
     /// Aggregate of every retired session (see [`ClosedSessionStats`]).
     closed: Mutex<ClosedSessionStats>,
+    /// Requests submitted but not yet resolved — the live queue depth the
+    /// serve tier reads for admission control.
+    pending: AtomicU64,
 }
 
 struct ServiceShared {
@@ -260,6 +263,7 @@ impl EvalService {
             sessions: Mutex::new(HashMap::new()),
             weights: Mutex::new(HashMap::new()),
             closed: Mutex::new(ClosedSessionStats::default()),
+            pending: AtomicU64::new(0),
         });
         let (tx, rx) = channel::<Request>();
         let dispatcher = {
@@ -372,6 +376,14 @@ impl EvalService {
         self.shared.shutdown();
     }
 
+    /// Requests submitted but not yet resolved, across every session. This
+    /// is the queue depth a front-end reads for admission control: it counts
+    /// a request from the moment [`EvalService::try_submit`] (or a blocking
+    /// submit) accepts it until the dispatcher sends its reply.
+    pub fn pending_requests(&self) -> u64 {
+        self.shared.state.pending.load(Ordering::Relaxed)
+    }
+
     /// Whether the service still accepts submissions.
     pub fn is_open(&self) -> bool {
         self.shared
@@ -406,9 +418,11 @@ impl EvalService {
                 return Err(ServiceClosed);
             };
             // Count the submission before the dispatcher can possibly
-            // resolve it, so `submitted >= resolved` holds for any
-            // concurrent stats reader; roll back if the send fails.
+            // resolve it, so `submitted >= resolved` (and a non-negative
+            // pending count) holds for any concurrent reader; roll back if
+            // the send fails.
             bump_submitted(1);
+            self.shared.state.pending.fetch_add(1, Ordering::Relaxed);
             if sender
                 .send(Request {
                     session,
@@ -419,6 +433,7 @@ impl EvalService {
                 .is_err()
             {
                 bump_submitted(-1);
+                self.shared.state.pending.fetch_sub(1, Ordering::Relaxed);
                 return Err(ServiceClosed);
             }
         }
@@ -630,10 +645,26 @@ impl PendingBatch {
     /// Panics if the request was dropped because the evaluator panicked
     /// (the original panic message is included).
     pub fn wait(self) -> Vec<PerformanceReport> {
+        match self.try_wait() {
+            Ok(reports) => reports,
+            Err(message) => panic!("evaluation service request failed: {message}"),
+        }
+    }
+
+    /// Blocks until the dispatcher resolves the request, returning the
+    /// failure as a value instead of panicking — the network server uses
+    /// this to turn an evaluator panic into an `Error` frame for the one
+    /// affected client while the reactor keeps serving everyone else.
+    ///
+    /// # Errors
+    ///
+    /// The panic message of the evaluator, or a note that the service
+    /// dropped the request.
+    pub fn try_wait(self) -> Result<Vec<PerformanceReport>, String> {
         match self.reply.recv() {
-            Ok(Ok(reports)) => reports,
-            Ok(Err(message)) => panic!("evaluation service request failed: {message}"),
-            Err(_) => panic!("evaluation service dropped a pending request"),
+            Ok(Ok(reports)) => Ok(reports),
+            Ok(Err(message)) => Err(message.as_ref().clone()),
+            Err(_) => Err("the evaluation service dropped a pending request".to_owned()),
         }
     }
 }
@@ -809,6 +840,7 @@ fn run_round(state: &DispatchState, round: Vec<Request>) {
             let message = Arc::new(panic_message(payload.as_ref()));
             for request in round {
                 let _ = request.reply.send(Err(Arc::clone(&message)));
+                state.pending.fetch_sub(1, Ordering::Relaxed);
             }
             return;
         }
@@ -832,6 +864,7 @@ fn run_round(state: &DispatchState, round: Vec<Request>) {
         }
         // A dropped waiter (abandoned session) is not an error.
         let _ = request.reply.send(Ok(slice));
+        state.pending.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

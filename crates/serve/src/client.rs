@@ -5,16 +5,31 @@
 //! bit-exactly, a `SizingEnv` (or `FomConfig` calibration sweep) over a
 //! `RemoteBackend` produces results bit-identical to the same run over a
 //! local engine — the server is purely a sharing/locality decision.
+//!
+//! Protocol v3 client: every request carries an `id`, a background reader
+//! thread matches responses back to their waiters, so up to
+//! [`RemoteConfig::pipeline`] batches ride the wire concurrently
+//! ([`RemoteBackend::submit_batch`] / [`PendingReply::wait`]). The
+//! synchronous [`EvalBackend::evaluate_batch`] path is submit-then-wait and
+//! therefore bit-identical to the old blocking client. On a transport
+//! failure the reader transparently reconnects with bounded exponential
+//! backoff ([`ReconnectConfig`]), re-handshakes, re-opens every multiplexed
+//! channel and replays the in-flight window — waiters never observe a
+//! blip unless every retry is exhausted.
 
 use crate::protocol::{
-    write_frame, ClientMsg, FrameError, FrameReader, Hello, ServerMsg, Welcome, WireStats,
+    encode_frame, ClientMsg, FrameError, FrameReader, Hello, ServerMsg, Welcome, WireStats,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{BatchReport, EvalBackend, ExecStats};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Why a remote operation failed.
 #[derive(Debug)]
@@ -27,6 +42,8 @@ pub enum ServeError {
     Rejected(String),
     /// The server sent a reply the protocol does not allow here.
     Protocol(String),
+    /// The connection died and every reconnect attempt failed.
+    Disconnected(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -36,6 +53,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Frame(e) => write!(f, "protocol framing error: {e}"),
             ServeError::Rejected(msg) => write!(f, "server rejected the request: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Disconnected(msg) => write!(f, "connection lost: {msg}"),
         }
     }
 }
@@ -54,6 +72,44 @@ impl From<FrameError> for ServeError {
     }
 }
 
+/// Reconnect-with-backoff policy applied when the server connection drops
+/// mid-session (server restart, network blip).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconnectConfig {
+    /// Reconnect attempts before the backend gives up and fails every
+    /// outstanding request (`0` disables reconnecting entirely).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig {
+            max_retries: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ReconnectConfig {
+    /// The backoff before retry `attempt` (0-based): exponential with a
+    /// deterministic ±25% jitter (no RNG — the jitter pattern is a fixed
+    /// multiplicative-hash sequence, so tests stay reproducible while
+    /// concurrent clients still de-synchronise).
+    fn delay(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let jitter = 0.75 + 0.5 * ((attempt as u64 * 2_654_435_761) % 1000) as f64 / 1000.0;
+        doubled.mul_f64(jitter)
+    }
+}
+
 /// Client-side connection options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteConfig {
@@ -65,6 +121,11 @@ pub struct RemoteConfig {
     pub weight: u64,
     /// Frame payload cap applied to received frames.
     pub max_frame_bytes: usize,
+    /// Batches allowed in flight concurrently ([`RemoteBackend::submit_batch`]
+    /// blocks past this window). `GCNRL_SERVE_PIPELINE` in the binaries.
+    pub pipeline: usize,
+    /// Reconnect-with-backoff policy on transport failures.
+    pub reconnect: ReconnectConfig,
 }
 
 impl Default for RemoteConfig {
@@ -73,31 +134,472 @@ impl Default for RemoteConfig {
             session: None,
             weight: 1,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pipeline: 8,
+            reconnect: ReconnectConfig::default(),
         }
     }
 }
 
-struct Connection {
-    stream: TcpStream,
-    reader: FrameReader,
-    /// Set once a Goodbye went out, so drop does not send a second one.
+/// What a completed request resolved to.
+enum Reply {
+    Batch(Vec<PerformanceReport>),
+    Stats(WireStats),
+    Metrics(gcnrl_telemetry::RegistrySnapshot),
+    Opened {
+        session: String,
+        metric_specs: Vec<MetricSpec>,
+    },
+    Closed,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    /// An `EvalBatch` — counted against the pipeline window.
+    Batch,
+    /// `Stats`/`Metrics`/`Open`/`Close` issued by a caller.
+    Control,
+    /// A channel re-`Open` issued by the reconnect path; nobody waits on it.
+    Internal,
+}
+
+/// One in-flight request: the encoded frame (kept for replay after a
+/// reconnect) and, once the reader matched a response, its outcome.
+struct Slot {
+    frame: Vec<u8>,
+    kind: SlotKind,
+    result: Option<Result<Reply, String>>,
+}
+
+/// Everything needed to re-open a multiplexed channel after a reconnect.
+#[derive(Clone)]
+struct ChannelSpec {
+    benchmark: Benchmark,
+    node: TechnologyNode,
+    session: Option<String>,
+    weight: Option<u64>,
+}
+
+struct ClientState {
+    /// The write half; `None` while the reader is between connections.
+    stream: Option<TcpStream>,
+    pending: BTreeMap<u64, Slot>,
+    /// Live multiplexed channels (excluding channel 0, which rides `Hello`).
+    channels: BTreeMap<u32, ChannelSpec>,
+    next_id: u64,
+    next_channel: u32,
+    /// `EvalBatch` requests in flight (window accounting).
+    batches_in_flight: usize,
+    /// Completed reconnects — bumps once per successful re-handshake.
+    generation: u64,
+    /// A clean shutdown was requested (`goodbye` or drop).
     closed: bool,
+    /// Terminal failure after retries exhausted; fails all future requests.
+    broken: Option<String>,
+}
+
+struct ClientInner {
+    addr: SocketAddr,
+    hello: Hello,
+    max_frame_bytes: usize,
+    pipeline: usize,
+    reconnect: ReconnectConfig,
+    state: Mutex<ClientState>,
+    cond: Condvar,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ClientInner {
+    /// Registers a request slot and writes its frame if connected (if not,
+    /// the reconnect replay sends it). Returns the request id.
+    fn send(
+        &self,
+        kind: SlotKind,
+        build: impl FnOnce(u64) -> ClientMsg,
+    ) -> Result<u64, ServeError> {
+        let mut state = self.state.lock().expect("remote client lock");
+        if kind == SlotKind::Batch {
+            while state.batches_in_flight >= self.pipeline.max(1)
+                && state.broken.is_none()
+                && !state.closed
+            {
+                state = self.cond.wait(state).expect("remote client lock");
+            }
+        }
+        if let Some(broken) = &state.broken {
+            return Err(ServeError::Disconnected(broken.clone()));
+        }
+        if state.closed {
+            return Err(ServeError::Protocol(
+                "the remote session is already closed".to_owned(),
+            ));
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let frame = encode_frame(&build(id))?;
+        state.pending.insert(
+            id,
+            Slot {
+                frame: frame.clone(),
+                kind,
+                result: None,
+            },
+        );
+        if kind == SlotKind::Batch {
+            state.batches_in_flight += 1;
+        }
+        if let Some(stream) = &mut state.stream {
+            if let Err(error) = stream.write_all(&frame) {
+                // Kick the (possibly blocked) reader into its reconnect
+                // path; the slot just registered is replayed from there.
+                let _ = stream.shutdown(Shutdown::Both);
+                state.stream = None;
+                let _ = error;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Blocks until request `id` resolves.
+    fn wait(&self, id: u64) -> Result<Reply, ServeError> {
+        let mut state = self.state.lock().expect("remote client lock");
+        loop {
+            if state
+                .pending
+                .get(&id)
+                .is_some_and(|slot| slot.result.is_some())
+            {
+                let slot = state.pending.remove(&id).expect("checked present");
+                return match slot.result.expect("checked resolved") {
+                    Ok(reply) => Ok(reply),
+                    Err(message) => Err(ServeError::Rejected(message)),
+                };
+            }
+            if !state.pending.contains_key(&id) {
+                return Err(ServeError::Protocol(format!(
+                    "request {id} vanished without a reply"
+                )));
+            }
+            state = self.cond.wait(state).expect("remote client lock");
+        }
+    }
+
+    /// Fails every outstanding request and wakes all waiters.
+    fn fail_all(state: &mut ClientState, cond: &Condvar, message: &str) {
+        let mut resolved_batches = 0;
+        for slot in state.pending.values_mut() {
+            if slot.result.is_none() {
+                if slot.kind == SlotKind::Batch {
+                    resolved_batches += 1;
+                }
+                slot.result = Some(Err(message.to_owned()));
+            }
+        }
+        state.batches_in_flight = state.batches_in_flight.saturating_sub(resolved_batches);
+        cond.notify_all();
+    }
+}
+
+/// The background reader: matches response frames to pending slots and owns
+/// the reconnect path.
+fn reader_loop(inner: &Arc<ClientInner>, mut stream: TcpStream) {
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.read_msg::<ServerMsg>(&mut stream, inner.max_frame_bytes) {
+            Ok(msg) => {
+                let mut state = inner.state.lock().expect("remote client lock");
+                match msg {
+                    ServerMsg::BatchResult { id, reports, .. } => {
+                        deliver(&mut state, id, Ok(Reply::Batch(reports)));
+                    }
+                    ServerMsg::Stats { id, stats, .. } => {
+                        deliver(&mut state, id, Ok(Reply::Stats(stats)));
+                    }
+                    ServerMsg::Metrics { id, snapshot } => {
+                        deliver(&mut state, id, Ok(Reply::Metrics(snapshot)));
+                    }
+                    ServerMsg::Opened {
+                        id,
+                        session,
+                        metric_specs,
+                        ..
+                    } => {
+                        deliver(
+                            &mut state,
+                            id,
+                            Ok(Reply::Opened {
+                                session,
+                                metric_specs,
+                            }),
+                        );
+                    }
+                    ServerMsg::Closed { id, .. } => {
+                        deliver(&mut state, id, Ok(Reply::Closed));
+                    }
+                    ServerMsg::Error {
+                        id: Some(id),
+                        message,
+                        ..
+                    } => {
+                        deliver(&mut state, id, Err(message));
+                    }
+                    ServerMsg::Error {
+                        id: None, message, ..
+                    } => {
+                        // Connection-level error: the server is about to
+                        // close on us. Treat like a disconnect (reconnect
+                        // replays the window) but remember the reason.
+                        drop(state);
+                        match reconnect(inner, &message) {
+                            Some((s, r)) => {
+                                stream = s;
+                                reader = r;
+                            }
+                            None => return,
+                        }
+                        continue;
+                    }
+                    ServerMsg::Goodbye => {
+                        if state.closed {
+                            state.stream = None;
+                            ClientInner::fail_all(
+                                &mut state,
+                                &inner.cond,
+                                "the remote session closed",
+                            );
+                            return;
+                        }
+                        // Server-initiated drain: reconnect (the restart
+                        // case) or give up after retries.
+                        drop(state);
+                        match reconnect(inner, "server said goodbye") {
+                            Some((s, r)) => {
+                                stream = s;
+                                reader = r;
+                            }
+                            None => return,
+                        }
+                        continue;
+                    }
+                    ServerMsg::Welcome(_) => {
+                        // Handshakes are read inline by connect/reconnect;
+                        // a stray Welcome here is a server bug — ignore.
+                    }
+                }
+                inner.cond.notify_all();
+            }
+            Err(error) => {
+                {
+                    let mut state = inner.state.lock().expect("remote client lock");
+                    state.stream = None;
+                    if state.closed {
+                        ClientInner::fail_all(&mut state, &inner.cond, "the remote session closed");
+                        return;
+                    }
+                }
+                match reconnect(inner, &error.to_string()) {
+                    Some((s, r)) => {
+                        stream = s;
+                        reader = r;
+                    }
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+fn deliver(state: &mut ClientState, id: u64, result: Result<Reply, String>) {
+    if let Some(slot) = state.pending.get_mut(&id) {
+        if slot.kind == SlotKind::Internal {
+            // A reconnect-replayed Open: nobody waits on it, drop the slot.
+            state.pending.remove(&id);
+            return;
+        }
+        // The pipeline window frees on *delivery*, not on `wait` — a
+        // submitter blocked on a full window must not deadlock against a
+        // caller that collects its replies only after submitting them all.
+        if slot.kind == SlotKind::Batch && slot.result.is_none() {
+            state.batches_in_flight = state.batches_in_flight.saturating_sub(1);
+        }
+        slot.result = Some(result);
+    }
+    // Unknown ids (e.g. a duplicate reply straddling a reconnect) are
+    // dropped: every waiter matches on its own id, so spurious frames
+    // cannot corrupt another request's result.
+}
+
+/// Dials, handshakes and replays the window. Returns the new read half or
+/// `None` when retries are exhausted (state is then marked broken) or the
+/// backend closed meanwhile.
+fn reconnect(inner: &Arc<ClientInner>, reason: &str) -> Option<(TcpStream, FrameReader)> {
+    let retries = inner.reconnect.max_retries;
+    for attempt in 0..retries {
+        // Sleep in small slices so a concurrent drop aborts promptly.
+        let mut remaining = inner.reconnect.delay(attempt);
+        while !remaining.is_zero() {
+            let slice = remaining.min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            remaining -= slice;
+            if inner.state.lock().expect("remote client lock").closed {
+                return None;
+            }
+        }
+        let Ok(mut fresh) = TcpStream::connect(inner.addr) else {
+            continue;
+        };
+        let _ = fresh.set_nodelay(true);
+        if handshake(&mut fresh, &inner.hello, inner.max_frame_bytes).is_err() {
+            continue;
+        }
+        let mut state = inner.state.lock().expect("remote client lock");
+        if state.closed {
+            return None;
+        }
+        // Re-open every multiplexed channel, then replay the whole pending
+        // window in id order — all under the state lock, so submitters
+        // cannot interleave half a frame into the replay stream.
+        let reopen: Vec<(u32, ChannelSpec)> = state
+            .channels
+            .iter()
+            .map(|(channel, spec)| (*channel, spec.clone()))
+            .collect();
+        for (channel, spec) in reopen {
+            let id = state.next_id;
+            state.next_id += 1;
+            let msg = ClientMsg::Open {
+                id,
+                channel,
+                benchmark: spec.benchmark,
+                node: spec.node,
+                session: spec.session,
+                weight: spec.weight,
+            };
+            if let Ok(frame) = encode_frame(&msg) {
+                state.pending.insert(
+                    id,
+                    Slot {
+                        frame,
+                        kind: SlotKind::Internal,
+                        result: None,
+                    },
+                );
+            }
+        }
+        let mut wrote_ok = true;
+        let frames: Vec<Vec<u8>> = state
+            .pending
+            .values()
+            .filter(|slot| slot.result.is_none())
+            .map(|slot| slot.frame.clone())
+            .collect();
+        for frame in frames {
+            if fresh.write_all(&frame).is_err() {
+                wrote_ok = false;
+                break;
+            }
+        }
+        if !wrote_ok {
+            continue;
+        }
+        let Ok(write_half) = fresh.try_clone() else {
+            continue;
+        };
+        state.stream = Some(write_half);
+        state.generation += 1;
+        inner.cond.notify_all();
+        return Some((fresh, FrameReader::new()));
+    }
+    let message = format!("{reason} (after {retries} reconnect attempts)");
+    let mut state = inner.state.lock().expect("remote client lock");
+    state.stream = None;
+    state.broken = Some(message.clone());
+    ClientInner::fail_all(&mut state, &inner.cond, &message);
+    None
+}
+
+/// Writes `Hello` and reads `Welcome` on a fresh stream (bounded by a read
+/// timeout so a wedged server cannot hang the reconnect loop forever).
+fn handshake(
+    stream: &mut TcpStream,
+    hello: &Hello,
+    max_frame_bytes: usize,
+) -> Result<Welcome, ServeError> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    stream.write_all(&encode_frame(&ClientMsg::Hello(hello.clone()))?)?;
+    let mut reader = FrameReader::new();
+    let welcome = match reader.read_msg(stream, max_frame_bytes)? {
+        ServerMsg::Welcome(welcome) => Ok(welcome),
+        ServerMsg::Error { message, .. } => Err(ServeError::Rejected(message)),
+        other => Err(ServeError::Protocol(format!(
+            "expected Welcome, got {other:?}"
+        ))),
+    };
+    let _ = stream.set_read_timeout(None);
+    welcome
+}
+
+/// One in-flight batch: hand the window to the server, collect later.
+///
+/// Dropping a `PendingReply` without waiting abandons the result (the reader
+/// discards it on arrival); the reply still counts against the pipeline
+/// window until it resolves.
+#[must_use = "a submitted batch resolves through PendingReply::wait"]
+pub struct PendingReply {
+    inner: Arc<ClientInner>,
+    /// `None` for an empty batch, which never touches the wire.
+    id: Option<u64>,
+    expected: usize,
+}
+
+impl PendingReply {
+    /// Blocks until the batch resolves, returning reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the server failed the batch,
+    /// [`ServeError::Disconnected`] when the connection died and every
+    /// reconnect attempt failed.
+    pub fn wait(self) -> Result<Vec<PerformanceReport>, ServeError> {
+        let Some(id) = self.id else {
+            return Ok(Vec::new());
+        };
+        match self.inner.wait(id)? {
+            Reply::Batch(reports) => {
+                if reports.len() == self.expected {
+                    Ok(reports)
+                } else {
+                    Err(ServeError::Protocol(format!(
+                        "asked for {} reports, got {}",
+                        self.expected,
+                        reports.len()
+                    )))
+                }
+            }
+            _ => Err(ServeError::Protocol(
+                "expected BatchResult for a batch request".to_owned(),
+            )),
+        }
+    }
 }
 
 /// One remote evaluation session: an [`EvalBackend`] whose engine lives in
 /// an [`EvalServer`](crate::EvalServer) process, reached over a
 /// length-prefixed JSON protocol.
 ///
-/// The handle serialises its requests internally (one in flight at a time),
-/// mirroring how a [`SessionHandle`](gcnrl_exec::SessionHandle) is used by a
-/// single optimisation loop. Open one `RemoteBackend` per concurrent client.
+/// The synchronous [`EvalBackend`] methods behave exactly like the blocking
+/// client; [`RemoteBackend::submit_batch`] pipelines up to
+/// [`RemoteConfig::pipeline`] batches. [`RemoteBackend::open_channel`]
+/// multiplexes further logical sessions (possibly different benchmarks)
+/// over the same socket — the returned handle is itself a full
+/// `RemoteBackend` sharing the connection.
 pub struct RemoteBackend {
+    inner: Arc<ClientInner>,
+    /// Wire channel this handle speaks on (0 = the `Hello` session).
+    channel: u32,
     benchmark: Benchmark,
     node: TechnologyNode,
     metric_specs: Vec<MetricSpec>,
     session: String,
-    max_frame_bytes: usize,
-    conn: Mutex<Connection>,
 }
 
 impl std::fmt::Debug for RemoteBackend {
@@ -106,6 +608,7 @@ impl std::fmt::Debug for RemoteBackend {
             .field("benchmark", &self.benchmark)
             .field("node", &self.node.name)
             .field("session", &self.session)
+            .field("channel", &self.channel)
             .finish()
     }
 }
@@ -117,7 +620,7 @@ impl RemoteBackend {
     ///
     /// [`ServeError::Io`] when the server is unreachable,
     /// [`ServeError::Rejected`] when the handshake is refused (e.g. a
-    /// protocol version mismatch).
+    /// protocol version mismatch or admission control).
     pub fn connect(
         addr: impl ToSocketAddrs,
         benchmark: Benchmark,
@@ -126,7 +629,8 @@ impl RemoteBackend {
         Self::connect_with(addr, benchmark, node, RemoteConfig::default())
     }
 
-    /// Connects with explicit session name / weight / frame-cap options.
+    /// Connects with explicit session / weight / pipeline / reconnect
+    /// options.
     ///
     /// # Errors
     ///
@@ -139,51 +643,160 @@ impl RemoteBackend {
     ) -> Result<Self, ServeError> {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        write_frame(
-            &mut stream,
-            &ClientMsg::Hello(Hello {
-                version: PROTOCOL_VERSION,
-                benchmark,
-                node: node.clone(),
-                session: config.session,
-                weight: Some(config.weight.max(1)),
-            }),
-        )?;
-        let mut reader = FrameReader::new();
-        let welcome: Welcome = match reader.read_msg(&mut stream, config.max_frame_bytes)? {
-            ServerMsg::Welcome(welcome) => welcome,
-            ServerMsg::Error { message } => return Err(ServeError::Rejected(message)),
-            other => {
-                return Err(ServeError::Protocol(format!(
-                    "expected Welcome, got {other:?}"
-                )))
-            }
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            benchmark,
+            node: node.clone(),
+            session: config.session.clone(),
+            weight: Some(config.weight.max(1)),
         };
+        let welcome = handshake(&mut stream, &hello, config.max_frame_bytes)?;
+        let write_half = stream.try_clone()?;
+        let inner = Arc::new(ClientInner {
+            addr: stream.peer_addr()?,
+            hello,
+            max_frame_bytes: config.max_frame_bytes,
+            pipeline: config.pipeline.max(1),
+            reconnect: config.reconnect,
+            state: Mutex::new(ClientState {
+                stream: Some(write_half),
+                pending: BTreeMap::new(),
+                channels: BTreeMap::new(),
+                next_id: 1,
+                next_channel: 1,
+                batches_in_flight: 0,
+                generation: 0,
+                closed: false,
+                broken: None,
+            }),
+            cond: Condvar::new(),
+            reader: Mutex::new(None),
+        });
+        let for_reader = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("gcnrl-remote-reader".to_owned())
+            .spawn(move || reader_loop(&for_reader, stream))
+            .map_err(ServeError::Io)?;
+        *inner.reader.lock().expect("reader handle lock") = Some(handle);
         Ok(RemoteBackend {
+            inner,
+            channel: 0,
             benchmark,
             node: node.clone(),
             metric_specs: welcome.metric_specs,
             session: welcome.session,
-            max_frame_bytes: config.max_frame_bytes,
-            conn: Mutex::new(Connection {
-                stream,
-                reader,
-                closed: false,
-            }),
         })
     }
 
-    /// The session name the server registered for this connection.
+    /// The session name the server registered for this handle.
     pub fn session_name(&self) -> &str {
         &self.session
     }
 
-    /// One request/reply round trip.
-    fn rpc(&self, msg: &ClientMsg) -> Result<ServerMsg, ServeError> {
-        let mut conn = self.conn.lock().expect("remote connection lock");
-        write_frame(&mut conn.stream, msg)?;
-        let Connection { stream, reader, .. } = &mut *conn;
-        Ok(reader.read_msg(stream, self.max_frame_bytes)?)
+    /// Completed reconnects so far (0 on an unbroken connection).
+    pub fn reconnects(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("remote client lock")
+            .generation
+    }
+
+    /// Opens another logical session over the same socket (protocol v3
+    /// channel multiplexing). The returned handle is a full
+    /// [`RemoteBackend`] — same pipeline window, same reconnect policy, and
+    /// it is re-opened automatically after a reconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the server refuses the open,
+    /// transport/protocol errors otherwise.
+    pub fn open_channel(
+        &self,
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        session: Option<String>,
+        weight: u64,
+    ) -> Result<RemoteBackend, ServeError> {
+        let spec = ChannelSpec {
+            benchmark,
+            node: node.clone(),
+            session,
+            weight: Some(weight.max(1)),
+        };
+        let channel = {
+            let mut state = self.inner.state.lock().expect("remote client lock");
+            let channel = state.next_channel;
+            state.next_channel += 1;
+            channel
+        };
+        let open = spec.clone();
+        let id = self
+            .inner
+            .send(SlotKind::Control, move |id| ClientMsg::Open {
+                id,
+                channel,
+                benchmark: open.benchmark,
+                node: open.node,
+                session: open.session,
+                weight: open.weight,
+            })?;
+        match self.inner.wait(id)? {
+            Reply::Opened {
+                session,
+                metric_specs,
+            } => {
+                self.inner
+                    .state
+                    .lock()
+                    .expect("remote client lock")
+                    .channels
+                    .insert(channel, spec);
+                Ok(RemoteBackend {
+                    inner: Arc::clone(&self.inner),
+                    channel,
+                    benchmark,
+                    node: node.clone(),
+                    metric_specs,
+                    session,
+                })
+            }
+            _ => Err(ServeError::Protocol(
+                "expected Opened for an Open request".to_owned(),
+            )),
+        }
+    }
+
+    /// Submits a batch without waiting: up to [`RemoteConfig::pipeline`]
+    /// submissions ride the wire concurrently (the call blocks once the
+    /// window is full). Results come back through [`PendingReply::wait`],
+    /// in input order within the batch regardless of response reordering.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a full window blocks rather than erroring.
+    pub fn submit_batch(&self, params: &[ParamVector]) -> Result<PendingReply, ServeError> {
+        if params.is_empty() {
+            return Ok(PendingReply {
+                inner: Arc::clone(&self.inner),
+                id: None,
+                expected: 0,
+            });
+        }
+        let channel = self.channel;
+        let owned = params.to_vec();
+        let id = self
+            .inner
+            .send(SlotKind::Batch, move |id| ClientMsg::EvalBatch {
+                id,
+                channel,
+                params: owned,
+            })?;
+        Ok(PendingReply {
+            inner: Arc::clone(&self.inner),
+            id: Some(id),
+            expected: params.len(),
+        })
     }
 
     /// Evaluates a batch remotely, returning reports in input order.
@@ -197,28 +810,7 @@ impl RemoteBackend {
         &self,
         params: &[ParamVector],
     ) -> Result<Vec<PerformanceReport>, ServeError> {
-        if params.is_empty() {
-            return Ok(Vec::new());
-        }
-        match self.rpc(&ClientMsg::EvalBatch {
-            params: params.to_vec(),
-        })? {
-            ServerMsg::BatchResult { reports } => {
-                if reports.len() == params.len() {
-                    Ok(reports)
-                } else {
-                    Err(ServeError::Protocol(format!(
-                        "asked for {} reports, got {}",
-                        params.len(),
-                        reports.len()
-                    )))
-                }
-            }
-            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
-            other => Err(ServeError::Protocol(format!(
-                "expected BatchResult, got {other:?}"
-            ))),
-        }
+        self.submit_batch(params)?.wait()
     }
 
     /// Fetches the server-side statistics bundle (shared engine, this
@@ -228,12 +820,18 @@ impl RemoteBackend {
     ///
     /// Transport/protocol errors.
     pub fn remote_stats(&self) -> Result<WireStats, ServeError> {
-        match self.rpc(&ClientMsg::Stats)? {
-            ServerMsg::Stats(stats) => Ok(stats),
-            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
-            other => Err(ServeError::Protocol(format!(
-                "expected Stats, got {other:?}"
-            ))),
+        let channel = self.channel;
+        let id = self
+            .inner
+            .send(SlotKind::Control, move |id| ClientMsg::Stats {
+                id,
+                channel,
+            })?;
+        match self.inner.wait(id)? {
+            Reply::Stats(stats) => Ok(stats),
+            _ => Err(ServeError::Protocol(
+                "expected Stats for a Stats request".to_owned(),
+            )),
         }
     }
 
@@ -245,44 +843,107 @@ impl RemoteBackend {
     ///
     /// Transport/protocol errors.
     pub fn metrics(&self) -> Result<gcnrl_telemetry::RegistrySnapshot, ServeError> {
-        match self.rpc(&ClientMsg::Metrics)? {
-            ServerMsg::Metrics(snapshot) => Ok(snapshot),
-            ServerMsg::Error { message } => Err(ServeError::Rejected(message)),
-            other => Err(ServeError::Protocol(format!(
-                "expected Metrics, got {other:?}"
-            ))),
+        let id = self
+            .inner
+            .send(SlotKind::Control, move |id| ClientMsg::Metrics { id })?;
+        match self.inner.wait(id)? {
+            Reply::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(ServeError::Protocol(
+                "expected Metrics for a Metrics request".to_owned(),
+            )),
         }
     }
 
-    /// Closes the session cleanly (also attempted on drop, best-effort).
+    /// Closes this handle cleanly: channel 0 says `Goodbye` (ending the
+    /// whole connection after every in-flight request resolves), a
+    /// multiplexed channel sends `Close` and leaves the connection up.
     ///
     /// # Errors
     ///
-    /// Transport errors; the connection is consumed either way.
+    /// Transport errors; the handle is consumed either way.
     pub fn goodbye(self) -> Result<(), ServeError> {
-        let mut conn = self.conn.lock().expect("remote connection lock");
-        conn.closed = true;
-        write_frame(&mut conn.stream, &ClientMsg::Goodbye)?;
-        let Connection { stream, reader, .. } = &mut *conn;
-        match reader.read_msg::<ServerMsg>(stream, self.max_frame_bytes) {
-            Ok(ServerMsg::Goodbye) | Err(FrameError::Closed) => Ok(()),
-            Ok(other) => Err(ServeError::Protocol(format!(
-                "expected Goodbye, got {other:?}"
-            ))),
-            Err(e) => Err(ServeError::Frame(e)),
+        if self.channel != 0 {
+            let channel = self.channel;
+            let id = self
+                .inner
+                .send(SlotKind::Control, move |id| ClientMsg::Close {
+                    id,
+                    channel,
+                })?;
+            let outcome = match self.inner.wait(id)? {
+                Reply::Closed => Ok(()),
+                _ => Err(ServeError::Protocol(
+                    "expected Closed for a Close request".to_owned(),
+                )),
+            };
+            self.inner
+                .state
+                .lock()
+                .expect("remote client lock")
+                .channels
+                .remove(&channel);
+            return outcome;
         }
+        // Channel 0: drain the window, then Goodbye and join the reader.
+        let mut state = self.inner.state.lock().expect("remote client lock");
+        while !state.pending.is_empty() && state.broken.is_none() {
+            state = self.inner.cond.wait(state).expect("remote client lock");
+        }
+        state.closed = true;
+        let outcome = match &mut state.stream {
+            Some(stream) => match encode_frame(&ClientMsg::Goodbye) {
+                Ok(frame) => stream.write_all(&frame).map_err(ServeError::Io),
+                Err(error) => Err(ServeError::Io(error)),
+            },
+            None => Ok(()),
+        };
+        drop(state);
+        self.inner.cond.notify_all();
+        if let Some(handle) = self.inner.reader.lock().expect("reader handle lock").take() {
+            let _ = handle.join();
+        }
+        outcome
     }
 }
 
 impl Drop for RemoteBackend {
     fn drop(&mut self) {
-        // Best-effort clean close so the server logs a Goodbye instead of a
-        // disconnect; failures are fine (the server tolerates both).
-        if let Ok(mut conn) = self.conn.lock() {
-            if !conn.closed {
-                conn.closed = true;
-                let _ = write_frame(&mut conn.stream, &ClientMsg::Goodbye);
+        if self.channel != 0 {
+            // Best-effort Close for a multiplexed channel; the connection
+            // itself stays owned by the channel-0 handle.
+            let mut state = self.inner.state.lock().expect("remote client lock");
+            if state.closed || state.broken.is_some() {
+                return;
             }
+            state.channels.remove(&self.channel);
+            let channel = self.channel;
+            let id = state.next_id;
+            state.next_id += 1;
+            if let (Some(stream), Ok(frame)) = (
+                &mut state.stream,
+                encode_frame(&ClientMsg::Close { id, channel }),
+            ) {
+                let _ = stream.write_all(&frame);
+            }
+            return;
+        }
+        // Channel 0: best-effort Goodbye, then stop and join the reader so
+        // no thread outlives the backend.
+        {
+            let mut state = self.inner.state.lock().expect("remote client lock");
+            if !state.closed {
+                state.closed = true;
+                if let Some(stream) = &mut state.stream {
+                    if let Ok(frame) = encode_frame(&ClientMsg::Goodbye) {
+                        let _ = stream.write_all(&frame);
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            self.inner.cond.notify_all();
+        }
+        if let Some(handle) = self.inner.reader.lock().expect("reader handle lock").take() {
+            let _ = handle.join();
         }
     }
 }

@@ -8,27 +8,33 @@
 //! simulator-in-the-loop training implies:
 //!
 //! ```text
-//!   trainer ──┐  RemoteBackend            EvalServer
-//!   bench   ──┼──(EvalBackend over TCP)──▶ accept loop ──▶ ServiceRegistry
-//!   sizing  ──┘  length-prefixed JSON      1 thread/conn    1 EvalService per
-//!                frames, versioned         1 session/conn   (benchmark, node),
-//!                handshake                                  shared cache
+//!   trainer ──┐  RemoteBackend             EvalServer (reactor)
+//!   bench   ──┼──(EvalBackend over TCP)──▶ poll loop ────▶ ServiceRegistry
+//!   sizing  ──┘  length-prefixed JSON      owns all conns   1 EvalService per
+//!                frames, pipelined by      + worker pool    (benchmark, node),
+//!                request id (proto v3)     for harvesting   shared cache
 //! ```
 //!
 //! Three layers:
 //!
-//! * [`protocol`] — length-prefixed JSON frames carrying serde messages
-//!   (`Hello`/`Welcome` handshake, `EvalBatch`/`BatchResult`, `Stats`,
-//!   `Error`, `Goodbye`). Std-only; floats round-trip bit-exactly.
-//! * [`EvalServer`] — a `TcpListener` accept loop mapping each connection
-//!   1:1 onto an `EvalService` session, fronted by the multi-benchmark
-//!   [`ServiceRegistry`] (one engine per `(benchmark, node)` under a global
-//!   cache-budget split), with graceful drain-on-shutdown and
-//!   per-connection/per-service statistics.
+//! * [`protocol`] — length-prefixed JSON frames carrying serde messages.
+//!   Protocol v3 tags every request with an `id` (responses may return out
+//!   of order → clients pipeline) and an optional `channel` (several logical
+//!   sessions multiplex one socket via `Open`/`Close`); v2 blocking clients
+//!   remain fully served through a server-side compat shim. Std-only;
+//!   floats round-trip bit-exactly.
+//! * [`EvalServer`] — a nonblocking reactor owning every client socket on
+//!   one I/O thread (incremental reads/writes, `poll(2)` readiness), with a
+//!   small worker pool harvesting resolved batches, fronted by the
+//!   multi-benchmark [`ServiceRegistry`] (one engine per `(benchmark,
+//!   node)` under a global cache-budget split), with graceful
+//!   drain-on-shutdown, admission control and per-connection statistics.
 //! * [`RemoteBackend`] — a client implementing
 //!   [`EvalBackend`](gcnrl_exec::EvalBackend), so `SizingEnv::with_backend`
 //!   and `FomConfig::calibrated_with_backend` run unchanged against a remote
-//!   server with bit-identical results.
+//!   server with bit-identical results — now keeping a configurable window
+//!   of batches in flight ([`RemoteConfig::pipeline`]) and transparently
+//!   reconnecting with bounded backoff ([`ReconnectConfig`]).
 //!
 //! Observability: every connection's handshake/frame timings feed the
 //! process-wide `gcnrl-telemetry` registry; clients can pull the full
@@ -41,10 +47,11 @@ pub mod protocol;
 
 mod client;
 mod metrics_http;
+mod poll;
 mod registry;
 mod server;
 
-pub use client::{RemoteBackend, RemoteConfig, ServeError};
+pub use client::{ReconnectConfig, RemoteBackend, RemoteConfig, ServeError};
 pub use metrics_http::MetricsHttpServer;
 pub use protocol::{FrameError, WireStats, PROTOCOL_VERSION};
 pub use registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};

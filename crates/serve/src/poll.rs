@@ -1,0 +1,241 @@
+//! Readiness polling for the reactor: a thin std-only facade over `poll(2)`.
+//!
+//! The reactor registers every socket it owns (listener, wake pipe, client
+//! connections) into a [`PollSet`] each iteration, blocks in one `poll(2)`
+//! call until something is readable/writable (or the tick times out), and
+//! then asks which registrations fired. On Unix this is the real syscall
+//! through a minimal FFI declaration (std already links libc, so no crate is
+//! needed); elsewhere it degrades to a short sleep that reports everything
+//! ready — correct, because every reactor I/O path tolerates `WouldBlock`,
+//! just busier.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Sockets the reactor can register for readiness.
+pub trait Pollable {
+    /// The raw descriptor handed to `poll(2)`.
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl Pollable for TcpStream {
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+impl Pollable for TcpListener {
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// Mirrors `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+/// One `poll(2)` registration set, rebuilt every reactor iteration (interest
+/// changes each tick — write readiness is only requested while a connection
+/// has buffered output). Registration order is the token: [`PollSet::register`]
+/// returns the index to query after [`PollSet::wait`].
+#[derive(Default)]
+pub struct PollSet {
+    #[cfg(unix)]
+    fds: Vec<sys::PollFd>,
+    #[cfg(not(unix))]
+    len: usize,
+}
+
+impl PollSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    /// Drops every registration (readiness results included).
+    pub fn clear(&mut self) {
+        #[cfg(unix)]
+        self.fds.clear();
+        #[cfg(not(unix))]
+        {
+            self.len = 0;
+        }
+    }
+
+    /// Registers `socket` for read and/or write readiness, returning its
+    /// token.
+    pub fn register(&mut self, socket: &impl Pollable, read: bool, write: bool) -> usize {
+        #[cfg(unix)]
+        {
+            let mut events = 0;
+            if read {
+                events |= sys::POLLIN;
+            }
+            if write {
+                events |= sys::POLLOUT;
+            }
+            self.fds.push(sys::PollFd {
+                fd: socket.raw_fd(),
+                events,
+                revents: 0,
+            });
+            self.fds.len() - 1
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (socket, read, write);
+            self.len += 1;
+            self.len - 1
+        }
+    }
+
+    /// Blocks until at least one registration is ready or `timeout` passes,
+    /// returning how many registrations fired (0 on timeout or interrupt).
+    pub fn wait(&mut self, timeout: Duration) -> std::io::Result<usize> {
+        #[cfg(unix)]
+        {
+            if self.fds.is_empty() {
+                std::thread::sleep(timeout.min(Duration::from_millis(50)));
+                return Ok(0);
+            }
+            let millis = timeout.as_millis().min(i32::MAX as u128) as i32;
+            // SAFETY: `fds` is a live, correctly-sized buffer of #[repr(C)]
+            // pollfd entries, exactly what poll(2) expects; the kernel only
+            // writes `revents` within the passed length.
+            let ready = unsafe {
+                sys::poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as std::os::raw::c_ulong,
+                    millis.max(0),
+                )
+            };
+            if ready < 0 {
+                let err = std::io::Error::last_os_error();
+                if err.kind() == std::io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(ready as usize)
+        }
+        #[cfg(not(unix))]
+        {
+            // Fallback: a short sleep, then report everything ready. All
+            // reactor reads/writes tolerate WouldBlock, so this only costs
+            // wake-ups, never correctness.
+            std::thread::sleep(timeout.min(Duration::from_millis(2)));
+            Ok(self.len)
+        }
+    }
+
+    /// Whether registration `token` is readable (data, EOF, or a socket
+    /// error — all of which a read will surface).
+    pub fn readable(&self, token: usize) -> bool {
+        #[cfg(unix)]
+        {
+            self.fds[token].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL)
+                != 0
+        }
+        #[cfg(not(unix))]
+        {
+            token < self.len
+        }
+    }
+
+    /// Whether registration `token` is writable (or errored — a write will
+    /// surface it).
+    pub fn writable(&self, token: usize) -> bool {
+        #[cfg(unix)]
+        {
+            self.fds[token].revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL)
+                != 0
+        }
+        #[cfg(not(unix))]
+        {
+            token < self.len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn read_readiness_follows_data() {
+        let (mut a, b) = pair();
+        let mut set = PollSet::new();
+        let token = set.register(&b, true, false);
+        // Nothing written yet: a zero-ish timeout elapses without readiness
+        // (the portable fallback reports ready, which is also acceptable to
+        // callers — so only assert the strict case on unix).
+        set.wait(Duration::from_millis(1)).expect("wait");
+        #[cfg(unix)]
+        assert!(!set.readable(token));
+        a.write_all(b"x").expect("write");
+        a.flush().expect("flush");
+        let mut ready = false;
+        for _ in 0..100 {
+            set.clear();
+            let token = set.register(&b, true, false);
+            set.wait(Duration::from_millis(10)).expect("wait");
+            if set.readable(token) {
+                ready = true;
+                break;
+            }
+        }
+        assert!(ready, "written byte never became readable");
+        let _ = token;
+    }
+
+    #[test]
+    fn write_readiness_is_reported_on_an_open_socket() {
+        let (a, _b) = pair();
+        let mut set = PollSet::new();
+        let token = set.register(&a, false, true);
+        set.wait(Duration::from_millis(10)).expect("wait");
+        assert!(set.writable(token), "idle socket should accept writes");
+    }
+
+    #[test]
+    fn empty_sets_time_out_cleanly() {
+        let mut set = PollSet::new();
+        let started = std::time::Instant::now();
+        assert_eq!(set.wait(Duration::from_millis(5)).expect("wait"), 0);
+        assert!(started.elapsed() >= Duration::from_millis(4));
+    }
+}

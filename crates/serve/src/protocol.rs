@@ -16,9 +16,21 @@
 //! one the server's engine produced. That is what lets a
 //! [`RemoteBackend`](crate::RemoteBackend) reproduce local runs exactly.
 //!
+//! # Protocol v3: pipelining and multiplexing
+//!
+//! Since v3 every request carries a client-chosen `id` echoed on its
+//! response, so a client may keep a whole *window* of requests in flight and
+//! match responses out of order; and a `channel` number names one of several
+//! logical sessions sharing the socket ([`ClientMsg::Open`] opens extra
+//! channels — e.g. a trainer running source + target transfer sessions over
+//! one connection). The handshake still opens with [`Hello`] (which binds
+//! channel 0); v2 clients are recognised by `Hello.version == 2` and served
+//! through the legacy shapes in [`v2`], strictly one request at a time.
+//!
 //! A connection opens with a versioned handshake ([`Hello`] →
 //! [`ServerMsg::Welcome`] or [`ServerMsg::Error`]), then any number of
-//! [`ClientMsg::EvalBatch`] / [`ClientMsg::Stats`] exchanges, and closes
+//! pipelined [`ClientMsg::EvalBatch`] / [`ClientMsg::Stats`] /
+//! [`ClientMsg::Metrics`] exchanges (and channel `Open`/`Close`), and closes
 //! with `Goodbye` (or by dropping the socket — the server tolerates
 //! mid-batch disconnects).
 
@@ -30,24 +42,32 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version of the wire protocol; bumped on incompatible message changes.
-/// The handshake rejects clients speaking a different version.
+/// The handshake rejects clients speaking anything but this or
+/// [`LEGACY_PROTOCOL_VERSION`].
 ///
-/// v2: [`BatchReport`] rides the wire directly (it now serialises with
-/// `wall_seconds`, replacing the old `WireBatchReport` shim) and the
-/// `Metrics` exchange returns the server's full telemetry snapshot.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: requests carry an `id` (responses may return out of order —
+/// pipelining) and a `channel` (several logical sessions per socket —
+/// multiplexing). v2 clients are still served via the [`v2`] compat shapes.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// The previous protocol version the server still accepts: blocking
+/// one-request-at-a-time clients speaking the [`v2`] message shapes.
+pub const LEGACY_PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on one frame's payload size (32 MiB). A `u32` length prefix
 /// could announce 4 GiB; the cap keeps a corrupt or hostile peer from making
 /// the receiver allocate it.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 << 20;
 
-/// The handshake a client opens its connection with.
+/// The handshake a client opens its connection with. Identical in v2 and
+/// v3 (the JSON shape did not change), which is what lets the server decode
+/// the first frame before knowing the peer's version.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hello {
-    /// Client protocol version; must equal [`PROTOCOL_VERSION`].
+    /// Client protocol version; must equal [`PROTOCOL_VERSION`] or
+    /// [`LEGACY_PROTOCOL_VERSION`].
     pub version: u32,
-    /// Benchmark the session evaluates (selects the registry service).
+    /// Benchmark channel 0 evaluates (selects the registry service).
     pub benchmark: Benchmark,
     /// Technology node of the evaluator.
     pub node: TechnologyNode,
@@ -62,12 +82,12 @@ pub struct Hello {
 /// The server's answer to a valid [`Hello`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Welcome {
-    /// Server protocol version (equals the client's, or the handshake would
-    /// have failed with [`ServerMsg::Error`]).
+    /// The protocol version the connection will speak: the client's own
+    /// (the server answers v2 clients in v2 shapes).
     pub version: u32,
-    /// The session name the server registered for this connection.
+    /// The session name the server registered for channel 0.
     pub session: String,
-    /// Metric descriptions of the evaluator behind the session, in evaluator
+    /// Metric descriptions of the evaluator behind channel 0, in evaluator
     /// order — what [`EvalBackend::metric_specs`](gcnrl_exec::EvalBackend)
     /// reports on the client side.
     pub metric_specs: Vec<MetricSpec>,
@@ -79,60 +99,201 @@ pub struct WireStats {
     /// Cumulative statistics of the shared engine serving the session — the
     /// merged view where cross-client cache hits show up.
     pub engine: ExecStats,
-    /// This connection's session accounting.
+    /// The channel's session accounting.
     pub session: SessionStats,
-    /// The engine's most recent batch ([`BatchReport`] serialises directly
-    /// since protocol v2 — wall time as `wall_seconds`).
+    /// The engine's most recent batch.
     pub last_batch: BatchReport,
 }
 
-/// Messages a client sends.
+/// Messages a v3 client sends. Every request variant carries a
+/// client-chosen `id` that the server echoes on the response, so responses
+/// may return out of order; `channel` selects which of the connection's
+/// logical sessions serves the request (channel 0 is bound by the
+/// handshake, further channels by [`ClientMsg::Open`]).
 ///
-/// (Variant sizes are deliberately uneven — `Hello` inlines the technology
-/// node. Wire messages are transient, one-per-exchange values, so the
-/// `large_enum_variant` size concern does not apply.)
+/// (Variant sizes are deliberately uneven — `Hello`/`Open` inline the
+/// technology node. Wire messages are transient, one-per-exchange values,
+/// so the `large_enum_variant` size concern does not apply.)
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ClientMsg {
-    /// Handshake; must be the first message on the connection.
+    /// Handshake; must be the first message on the connection. Binds
+    /// channel 0 to a session for `(benchmark, node)`.
     Hello(Hello),
-    /// Evaluate a batch of candidates through the connection's session.
+    /// Opens another logical session on the same socket under a fresh,
+    /// client-chosen channel number. Answered by [`ServerMsg::Opened`].
+    Open {
+        /// Request id, echoed on the response.
+        id: u64,
+        /// Client-chosen channel number; must not collide with a channel
+        /// that is already open on this connection.
+        channel: u32,
+        /// Benchmark the new channel evaluates.
+        benchmark: Benchmark,
+        /// Technology node of the evaluator.
+        node: TechnologyNode,
+        /// Optional session name (defaults to `peer#channel`).
+        session: Option<String>,
+        /// Optional fair-share weight for the new session.
+        weight: Option<u64>,
+    },
+    /// Closes one channel (retiring its server-side session) while the
+    /// connection and its other channels stay open. Answered by
+    /// [`ServerMsg::Closed`].
+    Close {
+        /// Request id, echoed on the response.
+        id: u64,
+        /// The channel to close.
+        channel: u32,
+    },
+    /// Evaluate a batch of candidates through one channel's session.
     EvalBatch {
+        /// Request id, echoed on the response.
+        id: u64,
+        /// Channel whose session evaluates the batch.
+        channel: u32,
         /// Candidate sizings, evaluated in order.
         params: Vec<ParamVector>,
     },
-    /// Request the session/engine statistics.
-    Stats,
+    /// Request the channel's session/engine statistics.
+    Stats {
+        /// Request id, echoed on the response.
+        id: u64,
+        /// Channel whose session is described.
+        channel: u32,
+    },
     /// Request the server's full telemetry snapshot (every counter, gauge
     /// and latency histogram of the process).
-    Metrics,
-    /// Close the connection cleanly.
+    Metrics {
+        /// Request id, echoed on the response.
+        id: u64,
+    },
+    /// Close the connection cleanly (all channels retire).
     Goodbye,
 }
 
-/// Messages the server sends.
+/// Messages a v3 server sends.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerMsg {
-    /// Successful handshake.
+    /// Successful handshake (channel 0 is open).
     Welcome(Welcome),
+    /// A channel opened by [`ClientMsg::Open`].
+    Opened {
+        /// Echo of the request id.
+        id: u64,
+        /// The channel number that is now open.
+        channel: u32,
+        /// The session name the server registered for the channel.
+        session: String,
+        /// Metric descriptions of the evaluator behind the channel.
+        metric_specs: Vec<MetricSpec>,
+    },
+    /// A channel closed by [`ClientMsg::Close`].
+    Closed {
+        /// Echo of the request id.
+        id: u64,
+        /// The channel that closed.
+        channel: u32,
+    },
     /// Reports for one [`ClientMsg::EvalBatch`], in request order.
     BatchResult {
+        /// Echo of the request id.
+        id: u64,
+        /// Echo of the request channel.
+        channel: u32,
         /// One report per requested candidate.
         reports: Vec<PerformanceReport>,
     },
     /// Statistics answering [`ClientMsg::Stats`].
-    Stats(WireStats),
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// Echo of the request channel.
+        channel: u32,
+        /// The statistics bundle.
+        stats: WireStats,
+    },
     /// Telemetry snapshot answering [`ClientMsg::Metrics`].
-    Metrics(RegistrySnapshot),
-    /// The request failed (handshake rejection, evaluator panic, malformed
-    /// message). The connection stays open unless the handshake failed.
+    Metrics {
+        /// Echo of the request id.
+        id: u64,
+        /// The process-wide registry snapshot.
+        snapshot: RegistrySnapshot,
+    },
+    /// The request failed (handshake rejection, admission control,
+    /// evaluator panic, malformed message). `id`/`channel` are `None` for
+    /// connection-level failures that answer no specific request — which is
+    /// also how a legacy v2 `Error { message }` frame decodes, so a v3
+    /// client pointed at an old server still reads its handshake rejection.
     Error {
+        /// Echo of the failing request's id (`None`: connection-level).
+        id: Option<u64>,
+        /// Echo of the failing request's channel, when known.
+        channel: Option<u32>,
         /// Human-readable failure description.
         message: String,
     },
-    /// Acknowledges a client `Goodbye`; sent before the server closes.
+    /// Acknowledges a client `Goodbye` (or announces a server drain); sent
+    /// before the server closes the connection.
     Goodbye,
+}
+
+/// The legacy v2 message shapes, kept so existing blocking clients keep
+/// working against the v3 server (and so tests can impersonate one). A v2
+/// connection is recognised by its `Hello.version`; the server then decodes
+/// its frames with these enums and answers in these shapes, strictly one
+/// request at a time (v2 clients never pipeline, and serialised service
+/// preserves the in-order responses they rely on).
+pub mod v2 {
+    use super::{
+        Deserialize, Hello, ParamVector, PerformanceReport, RegistrySnapshot, Serialize, Welcome,
+        WireStats,
+    };
+
+    /// Messages a v2 client sends (no ids, no channels — one implicit
+    /// session per connection, one request in flight).
+    #[allow(clippy::large_enum_variant)]
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum ClientMsg {
+        /// Handshake; must be the first message on the connection.
+        Hello(Hello),
+        /// Evaluate a batch through the connection's session.
+        EvalBatch {
+            /// Candidate sizings, evaluated in order.
+            params: Vec<ParamVector>,
+        },
+        /// Request the session/engine statistics.
+        Stats,
+        /// Request the server's telemetry snapshot.
+        Metrics,
+        /// Close the connection cleanly.
+        Goodbye,
+    }
+
+    /// Messages a v2 server sends.
+    #[allow(clippy::large_enum_variant)]
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum ServerMsg {
+        /// Successful handshake.
+        Welcome(Welcome),
+        /// Reports for one `EvalBatch`, in request order.
+        BatchResult {
+            /// One report per requested candidate.
+            reports: Vec<PerformanceReport>,
+        },
+        /// Statistics answering `Stats`.
+        Stats(WireStats),
+        /// Telemetry snapshot answering `Metrics`.
+        Metrics(RegistrySnapshot),
+        /// The request failed.
+        Error {
+            /// Human-readable failure description.
+            message: String,
+        },
+        /// Acknowledges a client `Goodbye`.
+        Goodbye,
+    }
 }
 
 /// Why a frame could not be read.
@@ -182,19 +343,35 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
+/// Serialises `msg` into one length-prefixed frame, returning the raw bytes
+/// (prefix included). The reactor's worker pool uses this to serialise
+/// responses off the I/O thread; [`write_frame`] and
+/// [`FrameWriter::queue`] build on it.
+///
+/// # Errors
+///
+/// `InvalidData` when the message cannot serialise or exceeds `u32::MAX`
+/// payload bytes.
+pub fn encode_frame<T: Serialize>(msg: &T) -> std::io::Result<Vec<u8>> {
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(bytes);
+    Ok(frame)
+}
+
 /// Serialises `msg` as one frame onto `writer` and flushes.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error (e.g. when the peer disconnected).
 pub fn write_frame<T: Serialize>(writer: &mut impl Write, msg: &T) -> std::io::Result<()> {
-    let payload = serde_json::to_string(msg)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    let bytes = payload.as_bytes();
-    let len = u32::try_from(bytes.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
-    writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(bytes)?;
+    let frame = encode_frame(msg)?;
+    writer.write_all(&frame)?;
     writer.flush()
 }
 
@@ -220,9 +397,10 @@ impl FrameReader {
 
     /// Tries to complete one frame: parses the buffer if a full frame is
     /// already present, otherwise performs **one** `read` on `reader` (which
-    /// blocks up to the stream's read timeout) and retries. Returns
-    /// `Ok(None)` when the read timed out before a frame completed — the
-    /// caller decides whether to keep polling.
+    /// blocks up to the stream's read timeout, or not at all on a
+    /// nonblocking stream) and retries. Returns `Ok(None)` when the read
+    /// timed out (or would block) before a frame completed — the caller
+    /// decides whether to keep polling.
     ///
     /// # Errors
     ///
@@ -311,6 +489,104 @@ impl FrameReader {
     }
 }
 
+/// A buffered writer for nonblocking sockets: frames queue into an internal
+/// buffer and [`FrameWriter::flush_into`] writes as much as the socket
+/// accepts, keeping the rest (with its progress offset) for the next
+/// readiness event. The reactor holds one per connection and only asks for
+/// write-readiness while bytes are pending, so a slow or stalled client
+/// costs buffer memory, never an I/O thread.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket (compacted lazily so a
+    /// long sequence of partial writes does not re-copy the whole buffer
+    /// each time).
+    head: usize,
+}
+
+impl FrameWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Bytes queued but not yet accepted by the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Serialises `msg` and queues it as one frame.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the message cannot serialise (nothing is queued).
+    pub fn queue<T: Serialize>(&mut self, msg: &T) -> std::io::Result<()> {
+        let frame = encode_frame(msg)?;
+        self.queue_frame(&frame);
+        Ok(())
+    }
+
+    /// Queues one pre-encoded frame (length prefix included) — the worker
+    /// pool serialises responses off the reactor thread and hands the raw
+    /// bytes over.
+    pub fn queue_frame(&mut self, frame: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(frame);
+    }
+
+    /// Writes as much pending data as `writer` accepts. Returns `Ok(true)`
+    /// when the buffer drained completely, `Ok(false)` when the socket
+    /// would block with bytes still pending (ask for write-readiness and
+    /// retry later).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors other than `WouldBlock` (the connection is dead;
+    /// drop it).
+    pub fn flush_into(&mut self, writer: &mut impl Write) -> std::io::Result<bool> {
+        while self.head < self.buf.len() {
+            match writer.write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.head += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.head = 0;
+        Ok(true)
+    }
+
+    /// Drops already-written bytes once they dominate the buffer (or the
+    /// buffer is fully drained), keeping amortised cost linear.
+    fn compact(&mut self) {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head > 64 * 1024 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,9 +613,21 @@ mod tests {
         let msgs = vec![
             hello(),
             ClientMsg::EvalBatch {
+                id: 7,
+                channel: 0,
                 params: vec![ParamVector::new(vec![ComponentParams::Resistance(1.25)])],
             },
-            ClientMsg::Stats,
+            ClientMsg::Open {
+                id: 8,
+                channel: 1,
+                benchmark: Benchmark::Ldo,
+                node: TechnologyNode::tsmc180(),
+                session: None,
+                weight: None,
+            },
+            ClientMsg::Close { id: 9, channel: 1 },
+            ClientMsg::Stats { id: 10, channel: 0 },
+            ClientMsg::Metrics { id: 11 },
             ClientMsg::Goodbye,
         ];
         let mut wire = Vec::new();
@@ -367,6 +655,8 @@ mod tests {
         report.set("bw_hz", 2.5e9 * (1.0 + f64::EPSILON));
         report.set("noise", -1e-300);
         let msg = ServerMsg::BatchResult {
+            id: 3,
+            channel: 0,
             reports: vec![report.clone()],
         };
         let mut reader = FrameReader::new();
@@ -374,9 +664,10 @@ mod tests {
         let back: ServerMsg = reader
             .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
             .expect("read");
-        let ServerMsg::BatchResult { reports } = back else {
+        let ServerMsg::BatchResult { id, reports, .. } = back else {
             panic!("wrong variant");
         };
+        assert_eq!(id, 3);
         assert_eq!(reports[0], report);
         for (name, value) in report.iter() {
             assert_eq!(
@@ -385,6 +676,53 @@ mod tests {
                 "{name} drifted through the wire"
             );
         }
+    }
+
+    #[test]
+    fn v2_and_v3_hello_frames_are_wire_compatible() {
+        // The handshake decodes before the version is known: a v2 client's
+        // Hello must parse as a v3 ClientMsg (and vice versa).
+        let legacy = v2::ClientMsg::Hello(Hello {
+            version: LEGACY_PROTOCOL_VERSION,
+            benchmark: Benchmark::TwoStageTia,
+            node: TechnologyNode::tsmc180(),
+            session: None,
+            weight: None,
+        });
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&legacy));
+        let back: ClientMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read v2 hello as v3");
+        let ClientMsg::Hello(hello) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(hello.version, LEGACY_PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn legacy_error_frames_decode_as_connection_level_v3_errors() {
+        // A v2 server rejecting a handshake sends Error { message } with no
+        // id/channel; the v3 client must still read it (fields land None).
+        let legacy = v2::ServerMsg::Error {
+            message: "protocol version mismatch".to_owned(),
+        };
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&legacy));
+        let back: ServerMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read v2 error as v3");
+        let ServerMsg::Error {
+            id,
+            channel,
+            message,
+        } = back
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(id, None);
+        assert_eq!(channel, None);
+        assert!(message.contains("version mismatch"));
     }
 
     #[test]
@@ -441,7 +779,7 @@ mod tests {
         let junk = b"{not json";
         wire.extend_from_slice(&(junk.len() as u32).to_be_bytes());
         wire.extend_from_slice(junk);
-        write_frame(&mut wire, &ClientMsg::Stats).expect("write");
+        write_frame(&mut wire, &ClientMsg::Goodbye).expect("write");
         let mut reader = FrameReader::new();
         let mut cursor = std::io::Cursor::new(wire);
         assert!(matches!(
@@ -452,7 +790,7 @@ mod tests {
         let next: ClientMsg = reader
             .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
             .expect("read");
-        assert_eq!(next, ClientMsg::Stats);
+        assert_eq!(next, ClientMsg::Goodbye);
     }
 
     #[test]
@@ -482,19 +820,88 @@ mod tests {
         registry
             .histogram("serve.test.latency.ns")
             .record(1_000_000);
-        let msg = ServerMsg::Metrics(registry.snapshot());
+        let msg = ServerMsg::Metrics {
+            id: 12,
+            snapshot: registry.snapshot(),
+        };
         let mut reader = FrameReader::new();
         let mut cursor = std::io::Cursor::new(frame_bytes(&msg));
         let back: ServerMsg = reader
             .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
             .expect("read");
-        let ServerMsg::Metrics(snapshot) = back else {
+        let ServerMsg::Metrics { id, snapshot } = back else {
             panic!("wrong variant");
         };
+        assert_eq!(id, 12);
         assert_eq!(snapshot.counter("serve.test.counter"), Some(3));
         assert_eq!(
             snapshot.histogram("serve.test.latency.ns").unwrap().count,
             1
         );
+    }
+
+    #[test]
+    fn frame_writer_survives_partial_writes_and_would_block() {
+        // A socket that accepts one byte, then signals WouldBlock, on
+        // repeat: the writer must resume exactly where it stopped and
+        // deliver a byte-identical stream.
+        struct Trickle {
+            out: Vec<u8>,
+            starve: bool,
+        }
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.starve = !self.starve;
+                if self.starve {
+                    Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"))
+                } else {
+                    self.out.push(buf[0]);
+                    Ok(1)
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let msgs = vec![
+            ServerMsg::Goodbye,
+            ServerMsg::Error {
+                id: Some(1),
+                channel: Some(0),
+                message: "busy".to_owned(),
+            },
+        ];
+        let mut expected = Vec::new();
+        let mut writer = FrameWriter::new();
+        for msg in &msgs {
+            write_frame(&mut expected, msg).expect("write to vec");
+            writer.queue(msg).expect("queue");
+        }
+        assert_eq!(writer.pending(), expected.len());
+
+        let mut sink = Trickle {
+            out: Vec::new(),
+            starve: false,
+        };
+        let mut rounds = 0usize;
+        while !writer.flush_into(&mut sink).expect("flush") {
+            rounds += 1;
+            assert!(rounds < 10 * expected.len(), "flush never drained");
+        }
+        assert!(writer.is_empty());
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(sink.out, expected, "stream drifted across partial writes");
+
+        // Queuing after a drain reuses the buffer cleanly.
+        writer.queue(&ServerMsg::Goodbye).expect("queue");
+        let mut plain = Vec::new();
+        assert!(writer.flush_into(&mut plain).expect("flush"));
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(plain);
+        let back: ServerMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read");
+        assert_eq!(back, ServerMsg::Goodbye);
     }
 }

@@ -151,6 +151,37 @@ impl ServiceRegistry {
         built
     }
 
+    /// Installs an already-built service for `(benchmark, node)`, replacing
+    /// any lazily created one. Tests use this to put a deterministic
+    /// evaluator (e.g. a fixed-latency stub) behind the wire path; the
+    /// admission-control tests rely on it to hold the queue provably busy.
+    pub fn insert_service(
+        &self,
+        benchmark: Benchmark,
+        node: &TechnologyNode,
+        service: EvalService,
+    ) {
+        let key = format!(
+            "{benchmark:?}@{}",
+            serde_json::to_string(node).unwrap_or_else(|_| node.name.clone())
+        );
+        self.services
+            .lock()
+            .expect("registry lock")
+            .insert(key, (benchmark, node.name.clone(), service));
+    }
+
+    /// Requests submitted but not yet resolved, summed over every service —
+    /// the backlog signal the server's admission control compares against
+    /// `GCNRL_SERVE_BACKLOG`.
+    pub fn pending_requests(&self) -> u64 {
+        let services = self.services.lock().expect("registry lock");
+        services
+            .values()
+            .map(|(_, _, service)| service.pending_requests())
+            .sum()
+    }
+
     /// Number of services instantiated so far.
     pub fn len(&self) -> usize {
         self.services.lock().expect("registry lock").len()

@@ -1,37 +1,55 @@
-//! The network evaluation server: a `TcpListener` accept loop mapping each
-//! connection 1:1 onto an [`EvalService`] session.
+//! The network evaluation server: a nonblocking reactor owning every client
+//! socket, feeding a small worker pool over the [`ServiceRegistry`].
 //!
 //! ```text
-//!   client A ──TCP──┐                ┌── session A ──┐
-//!   client B ──TCP──┤  EvalServer    ├── session B ──┤   EvalService(s)
-//!   client C ──TCP──┼──accept loop───┼── session C ──┼──(one per benchmark
-//!                   │  thread/conn   │               │   + node, shared
-//!                   └────────────────┘               │   engine + cache)
-//!                                                    └── ServiceRegistry
+//!   client A ──TCP──┐                        ┌ worker ┐
+//!   client B ──TCP──┤  reactor (poll loop)   ├ worker ┤   EvalService(s)
+//!   client C ──TCP──┼─ owns all sockets,  ───┼ worker ┼──(one per benchmark
+//!                   │  decodes frames,       └────────┘   + node, shared
+//!                   │  submits inline        completions   engine + cache)
+//!                   └────────────────────────────────────── ServiceRegistry
 //! ```
 //!
-//! Concurrency model: **connection-per-session, thread-per-connection** —
-//! the std-only sibling of the process-local service's session handles. A
-//! handler thread owns its socket and its session; all cross-connection
-//! coordination happens inside the `EvalService` dispatcher, which already
-//! provides fair (weighted) rounds, in-flight dedup and one shared cache.
+//! Concurrency model: **one reactor I/O thread, N worker threads**. The
+//! reactor does every socket read/write (incremental, `WouldBlock`-tolerant,
+//! via [`FrameReader`]/[`FrameWriter`]) and — crucially — submits decoded
+//! `EvalBatch` requests onto their [`EvalService`] queue *inline*, so the
+//! dispatcher sees the whole pipelined window at once and packs full rounds.
+//! Workers only do the blocking part: harvesting resolved batches
+//! ([`PendingBatch::try_wait`]), building registry services on handshakes,
+//! and serialising response frames off the I/O thread. Completed responses
+//! come back through a completion queue plus a loopback wake socket.
 //!
-//! Shutdown is a graceful drain: the accept loop stops, every handler
-//! finishes its in-flight request, sends `Goodbye` and closes, then the
-//! registry drains each service's queue and joins its dispatcher.
+//! Protocol v3 connections pipeline freely (responses carry the request
+//! `id`, so they may return out of order) and multiplex several logical
+//! sessions over one socket (`Open`/`Close` channels). Legacy v2
+//! connections are served through the same reactor with a compat shim that
+//! processes their requests strictly one at a time, preserving the in-order
+//! responses a blocking client relies on.
+//!
+//! Shutdown is a graceful drain: the listener drops immediately (freeing
+//! the port), every connection keeps being served until it has been quiet
+//! for a few poll ticks with nothing in flight, then gets `Goodbye` and
+//! closes; `drain_grace` bounds a client that keeps submitting. Afterwards
+//! the workers drain and the registry joins every dispatcher.
 
+use crate::poll::PollSet;
 use crate::protocol::{
-    write_frame, ClientMsg, FrameError, FrameReader, Hello, ServerMsg, Welcome, WireStats,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    encode_frame, v2, ClientMsg, FrameError, FrameReader, FrameWriter, Hello, ServerMsg, Welcome,
+    WireStats, DEFAULT_MAX_FRAME_BYTES, LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
-use gcnrl_exec::SessionHandle;
+use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
+use gcnrl_exec::{panic_message, PendingBatch, SessionHandle};
 use serde::Serialize;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of an [`EvalServer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -41,16 +59,28 @@ pub struct ServerConfig {
     pub registry: RegistryConfig,
     /// Per-frame payload cap enforced on received frames.
     pub max_frame_bytes: usize,
-    /// How often an idle connection handler wakes to check for shutdown
-    /// (the socket read timeout).
+    /// The reactor's poll tick: how long one readiness wait blocks when
+    /// nothing is happening (shutdown latency is bounded by it).
     pub poll_interval: Duration,
-    /// On shutdown, how long a connection keeps answering requests that were
-    /// already in flight before it says Goodbye. The drain ends once three
-    /// consecutive poll ticks (3 × `poll_interval`) find nothing pending —
-    /// one empty tick cannot distinguish "idle" from "request in transit" —
-    /// so per-connection shutdown costs at least that; the grace window only
-    /// bounds a client that keeps submitting into the closing server.
+    /// On shutdown, how long a connection keeps being served before it is
+    /// force-closed. Each connection says Goodbye once it has been quiet —
+    /// no frames, nothing in flight — for 3 × `poll_interval` (one quiet
+    /// tick cannot distinguish "idle" from "request in transit"), so
+    /// shutdown costs at least that; the grace window only bounds a client
+    /// that keeps submitting into the closing server.
     pub drain_grace: Duration,
+    /// Worker threads harvesting resolved batches and serialising
+    /// responses. They never run evaluations (the engine has its own pool);
+    /// a handful is plenty even at hundreds of connections.
+    pub workers: usize,
+    /// Per-connection cap on requests in flight; a client exceeding it gets
+    /// per-request `Error` frames instead of unbounded server-side state.
+    pub max_pipeline: usize,
+    /// Admission control: when set, a `Hello` arriving while more than this
+    /// many evaluation requests are pending across the registry is rejected
+    /// with an `Error{busy}` frame (`GCNRL_SERVE_BACKLOG` in the serve
+    /// binary). `None` admits unconditionally.
+    pub backlog_limit: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +90,9 @@ impl Default for ServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(50),
             drain_grace: Duration::from_secs(2),
+            workers: 4,
+            max_pipeline: 1024,
+            backlog_limit: None,
         }
     }
 }
@@ -74,6 +107,9 @@ pub struct ServerStats {
     /// Connections rejected during the handshake (version mismatch,
     /// malformed hello).
     pub connections_rejected: u64,
+    /// Handshakes turned away by admission control (backlog over
+    /// [`ServerConfig::backlog_limit`]).
+    pub admission_rejected: u64,
     /// Per-service statistics of every instantiated registry entry.
     pub services: Vec<ServiceEntryStats>,
 }
@@ -85,6 +121,7 @@ struct ServerShared {
     connections_total: AtomicU64,
     connections_active: AtomicU64,
     connections_rejected: AtomicU64,
+    admission_rejected: AtomicU64,
 }
 
 /// The evaluation server. Dropping it (or calling [`EvalServer::shutdown`])
@@ -92,8 +129,11 @@ struct ServerShared {
 pub struct EvalServer {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
-    accept: Mutex<Option<JoinHandle<()>>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Write end of the reactor's wake socket (a loopback pair): one byte
+    /// makes the poll loop spin immediately. Workers hold clones.
+    wake: TcpStream,
+    reactor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for EvalServer {
@@ -105,16 +145,30 @@ impl std::fmt::Debug for EvalServer {
     }
 }
 
+/// A connected loopback pair used as a self-wake channel: anything written
+/// to the returned writer makes the reader end poll-readable.
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
 impl EvalServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// the accept loop.
+    /// the reactor + worker threads.
     ///
     /// # Errors
     ///
     /// Returns the bind error (address in use, permission, ...).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (wake_tx, wake_rx) = wake_pair()?;
         let shared = Arc::new(ServerShared {
             registry: ServiceRegistry::new(config.registry.clone()),
             config,
@@ -122,21 +176,47 @@ impl EvalServer {
             connections_total: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
         });
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
+        let (task_tx, task_rx) = channel::<Task>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let completions: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers.max(1) {
             let shared = Arc::clone(&shared);
-            let handlers = Arc::clone(&handlers);
+            let task_rx = Arc::clone(&task_rx);
+            let completions = Arc::clone(&completions);
+            let wake = wake_tx.try_clone()?;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gcnrl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &task_rx, &completions, &wake))
+                    .expect("spawn gcnrl-serve worker"),
+            );
+        }
+        let reactor = {
+            let reactor = Reactor {
+                shared: Arc::clone(&shared),
+                listener: Some(listener),
+                wake_rx,
+                tasks: task_tx,
+                completions,
+                conns: Vec::new(),
+                next_gen: 0,
+                drain: None,
+                poll: PollSet::new(),
+            };
             std::thread::Builder::new()
-                .name("gcnrl-serve-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &shared, &handlers))
-                .expect("spawn gcnrl-serve accept loop")
+                .name("gcnrl-serve-reactor".to_owned())
+                .spawn(move || reactor.run())
+                .expect("spawn gcnrl-serve reactor")
         };
         Ok(EvalServer {
             shared,
             addr,
-            accept: Mutex::new(Some(accept)),
-            handlers,
+            wake: wake_tx,
+            reactor: Mutex::new(Some(reactor)),
+            workers: Mutex::new(workers),
         })
     }
 
@@ -157,29 +237,32 @@ impl EvalServer {
             connections_total: self.shared.connections_total.load(Ordering::Relaxed),
             connections_active: self.shared.connections_active.load(Ordering::Relaxed),
             connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
+            admission_rejected: self.shared.admission_rejected.load(Ordering::Relaxed),
             services: self.shared.registry.stats(),
         }
     }
 
-    /// Graceful drain: stops accepting, lets every connection finish its
-    /// in-flight request and close, then drains and joins every service
-    /// dispatcher. Idempotent; also runs on drop.
+    /// Graceful drain: the listener drops (freeing the port), every
+    /// connection finishes what is in flight, gets `Goodbye` and closes,
+    /// then the workers drain and every service dispatcher joins.
+    /// Idempotent; also runs on drop.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a wake-up connection; it observes the
-        // flag and exits before handling it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.lock().expect("accept handle lock").take() {
-            let _ = accept.join();
+        let mut wake = &self.wake;
+        let _ = wake.write(&[1]);
+        if let Some(reactor) = self.reactor.lock().expect("reactor handle lock").take() {
+            let _ = reactor.join();
         }
-        let handlers: Vec<JoinHandle<()>> = self
-            .handlers
+        // The reactor dropped the task sender on exit; workers finish the
+        // queued tasks and stop.
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
             .lock()
-            .expect("handler list lock")
+            .expect("worker handles lock")
             .drain(..)
             .collect();
-        for handler in handlers {
-            let _ = handler.join();
+        for worker in workers {
+            let _ = worker.join();
         }
         self.shared.registry.shutdown();
     }
@@ -191,203 +274,109 @@ impl Drop for EvalServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<ServerShared>,
-    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // the shutdown wake-up (or a late client)
-                }
-                shared.connections_total.fetch_add(1, Ordering::Relaxed);
-                shared.connections_active.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name(format!("gcnrl-serve-{peer}"))
-                    .spawn(move || {
-                        handle_connection(&shared, stream, peer);
-                        shared.connections_active.fetch_sub(1, Ordering::Relaxed);
-                    })
-                    .expect("spawn gcnrl-serve connection handler");
-                let mut list = handlers.lock().expect("handler list lock");
-                // Reap finished handlers so a long-lived server does not
-                // accumulate one zombie handle per past connection.
-                list.retain(|h| !h.is_finished());
-                list.push(handle);
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept failure (e.g. EMFILE); keep serving.
-                std::thread::sleep(Duration::from_millis(10));
-            }
+/// Work handed from the reactor to the worker pool. Every task carries the
+/// connection's slab token + generation so a completion for a
+/// since-closed connection is recognised and discarded.
+enum Task {
+    /// Build (or look up) the registry service for a handshake and open its
+    /// channel-0 session.
+    Hello {
+        token: usize,
+        gen: u64,
+        hello: Hello,
+        peer: SocketAddr,
+    },
+    /// Open an additional channel (v3 multiplexing).
+    Open {
+        token: usize,
+        gen: u64,
+        id: u64,
+        channel: u32,
+        benchmark: Benchmark,
+        node: TechnologyNode,
+        session: Option<String>,
+        weight: Option<u64>,
+        peer: SocketAddr,
+    },
+    /// Harvest a batch the reactor already submitted to its service.
+    Wait {
+        token: usize,
+        gen: u64,
+        version: u32,
+        id: u64,
+        channel: u32,
+        pending: PendingBatch,
+    },
+}
+
+/// A worker's result, applied to the connection by the reactor.
+struct Done {
+    token: usize,
+    gen: u64,
+    /// Pre-serialised response frames to queue on the connection.
+    frames: Vec<Vec<u8>>,
+    /// Successful handshake: the version the connection now speaks.
+    set_version: Option<u32>,
+    /// The handshake finished (success or failure) — resume reading.
+    handshake_done: bool,
+    /// A session to install under a channel number.
+    open: Option<(u32, SessionHandle)>,
+    /// The `Open` for this channel finished (success or failure) — release
+    /// the reservation.
+    channel_done: Option<u32>,
+    /// One in-flight request (`Open`/`Wait`) completed.
+    request_done: bool,
+    /// Close the connection once the queued frames flush.
+    close: bool,
+}
+
+impl Done {
+    fn base(token: usize, gen: u64) -> Self {
+        Done {
+            token,
+            gen,
+            frames: Vec::new(),
+            set_version: None,
+            handshake_done: false,
+            open: None,
+            channel_done: None,
+            request_done: false,
+            close: false,
         }
     }
 }
 
-/// Sends `msg`, ignoring transport errors (the peer may already be gone —
-/// a mid-batch disconnect must not take the handler down).
-fn send(stream: &mut TcpStream, msg: &ServerMsg) {
-    let _write = gcnrl_telemetry::span!("serve.frame_write.ns");
-    let _ = write_frame(stream, msg);
-}
-
-fn handle_connection(shared: &ServerShared, mut stream: TcpStream, peer: SocketAddr) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let max = shared.config.max_frame_bytes;
-    let mut reader = FrameReader::new();
-    // Times the whole handshake — waiting for Hello through sending Welcome
-    // (rejected handshakes record at their early return).
-    let handshake_span = gcnrl_telemetry::span!("serve.handshake.ns");
-
-    // Handshake: the first frame must be a valid, version-matching Hello.
-    let hello: Hello = loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            send(&mut stream, &ServerMsg::Goodbye);
-            return;
-        }
-        match reader.poll::<ClientMsg>(&mut stream, max) {
-            Ok(Some(ClientMsg::Hello(hello))) => break hello,
-            Ok(Some(other)) => {
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut stream,
-                    &ServerMsg::Error {
-                        message: format!("expected Hello, got {other:?}"),
-                    },
-                );
-                return;
-            }
-            Ok(None) => continue, // poll tick
-            Err(FrameError::Closed | FrameError::Torn { .. }) => return,
-            Err(error) => {
-                shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut stream,
-                    &ServerMsg::Error {
-                        message: format!("handshake failed: {error}"),
-                    },
-                );
-                return;
-            }
-        }
+/// Serialises an `Error` response in the connection's wire version.
+fn error_frame(version: u32, id: Option<u64>, channel: Option<u32>, message: String) -> Vec<u8> {
+    let frame = if version == LEGACY_PROTOCOL_VERSION {
+        encode_frame(&v2::ServerMsg::Error { message })
+    } else {
+        encode_frame(&ServerMsg::Error {
+            id,
+            channel,
+            message,
+        })
     };
-    if hello.version != PROTOCOL_VERSION {
-        shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
-        send(
-            &mut stream,
-            &ServerMsg::Error {
-                message: format!(
-                    "protocol version mismatch: client speaks v{}, server speaks v{}",
-                    hello.version, PROTOCOL_VERSION
-                ),
-            },
-        );
-        return;
-    }
-
-    // Map the connection 1:1 onto a session of the registry's service for
-    // the requested (benchmark, node) pair.
-    let service = shared.registry.service_for(hello.benchmark, &hello.node);
-    let session_name = hello.session.unwrap_or_else(|| peer.to_string());
-    let session = service
-        .session_named(session_name.clone())
-        .with_weight(hello.weight.unwrap_or(1));
-    send(
-        &mut stream,
-        &ServerMsg::Welcome(Welcome {
-            version: PROTOCOL_VERSION,
-            session: session_name,
-            metric_specs: service.engine().metric_specs().to_vec(),
-        }),
-    );
-    drop(handshake_span);
-
-    serve_session(shared, &mut stream, &mut reader, &session);
-    // The connection is done: retire the session — its weight entry is
-    // pruned and its statistics fold into the service-level closed-session
-    // aggregate, so neither dispatcher snapshot nor stats map grows with
-    // every connection a long-lived server has ever hosted.
-    session.retire();
+    frame.unwrap_or_default()
 }
 
-fn serve_session(
-    shared: &ServerShared,
-    stream: &mut TcpStream,
-    reader: &mut FrameReader,
-    session: &SessionHandle,
-) {
-    let max = shared.config.max_frame_bytes;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Graceful drain: a request the client already sent (sitting in
-            // the reader buffer, the kernel socket buffer, or still in
-            // transit on the link) must still be answered — a synchronous
-            // client blocked in its request/reply round trip would otherwise
-            // see Goodbye where BatchResult was promised. One empty poll
-            // tick cannot distinguish "nothing in flight" from "in transit",
-            // so the drain ends only after several consecutive empty ticks;
-            // the grace window bounds a client that keeps submitting into
-            // the closing server.
-            let grace = std::time::Instant::now() + shared.config.drain_grace;
-            let mut empty_ticks = 0;
-            while std::time::Instant::now() < grace && empty_ticks < 3 {
-                match reader.poll::<ClientMsg>(stream, max) {
-                    Ok(Some(msg)) => {
-                        empty_ticks = 0;
-                        if handle_msg(stream, session, msg).is_break() {
-                            return;
-                        }
-                    }
-                    Ok(None) => empty_ticks += 1,
-                    Err(_) => return,
-                }
-            }
-            send(stream, &ServerMsg::Goodbye);
-            return;
-        }
-        // A poll that completes a frame is recorded as `serve.frame_read.ns`
-        // (empty poll ticks are idle time, not read latency, and stay out of
-        // the histogram).
-        let poll_start = std::time::Instant::now();
-        let polled = reader.poll::<ClientMsg>(stream, max);
-        if matches!(polled, Ok(Some(_))) {
-            static FRAME_READ: std::sync::OnceLock<Arc<gcnrl_telemetry::Histogram>> =
-                std::sync::OnceLock::new();
-            FRAME_READ
-                .get_or_init(|| gcnrl_telemetry::global().histogram("serve.frame_read.ns"))
-                .record_duration(poll_start.elapsed());
-        }
-        let msg = match polled {
-            Ok(Some(msg)) => msg,
-            Ok(None) => continue, // poll tick
-            // Mid-batch (or idle) disconnect: tolerated, session dropped.
-            Err(FrameError::Closed | FrameError::Torn { .. }) => return,
-            Err(error @ (FrameError::Oversized { .. } | FrameError::Malformed(_))) => {
-                send(
-                    stream,
-                    &ServerMsg::Error {
-                        message: error.to_string(),
-                    },
-                );
-                // Oversized frames cannot be skipped (the buffer holds only
-                // their prefix); close rather than desynchronise.
-                if matches!(error, FrameError::Oversized { .. }) {
-                    return;
-                }
-                continue;
-            }
-            Err(FrameError::Io(_)) => return,
-        };
-        if handle_msg(stream, session, msg).is_break() {
-            return;
-        }
-    }
+/// Serialises a `BatchResult` in the connection's wire version.
+fn batch_frame(
+    version: u32,
+    id: u64,
+    channel: u32,
+    reports: Vec<gcnrl_sim::PerformanceReport>,
+) -> Vec<u8> {
+    let frame = if version == LEGACY_PROTOCOL_VERSION {
+        encode_frame(&v2::ServerMsg::BatchResult { reports })
+    } else {
+        encode_frame(&ServerMsg::BatchResult {
+            id,
+            channel,
+            reports,
+        })
+    };
+    frame.unwrap_or_default()
 }
 
 /// The name of the first non-finite metric value in `reports`, if any.
@@ -400,99 +389,970 @@ fn first_non_finite(reports: &[gcnrl_sim::PerformanceReport]) -> Option<String> 
     })
 }
 
-/// Serves one decoded client message; `Break` means the connection is done.
-fn handle_msg(
-    stream: &mut TcpStream,
-    session: &SessionHandle,
-    msg: ClientMsg,
-) -> std::ops::ControlFlow<()> {
-    match msg {
-        ClientMsg::EvalBatch { params } => {
-            // Mirror the local SessionHandle contract: an evaluator panic
-            // fails this request (reported to this client) while the
-            // service keeps serving later ones.
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                session.evaluate_batch(&params)
+fn worker_loop(
+    shared: &ServerShared,
+    tasks: &Mutex<Receiver<Task>>,
+    completions: &Mutex<Vec<Done>>,
+    wake: &TcpStream,
+) {
+    loop {
+        // Take the receiver lock only to pull one task; blocking in recv
+        // while holding it would serialise the pool.
+        let task = match tasks.lock().expect("worker task lock").try_recv() {
+            Ok(task) => Some(task),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+        };
+        let task = match task {
+            Some(task) => task,
+            None => {
+                // Queue empty: block in recv_timeout under the lock — other
+                // idle workers just wait their turn for the lock, and a
+                // short timeout keeps them rotating.
+                match tasks
+                    .lock()
+                    .expect("worker task lock")
+                    .recv_timeout(Duration::from_millis(20))
+                {
+                    Ok(task) => task,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        };
+        let done = process_task(shared, task);
+        completions
+            .lock()
+            .expect("completion queue lock")
+            .push(done);
+        // One byte on the wake socket spins the reactor; WouldBlock means
+        // bytes are already pending, which wakes it just the same.
+        let mut wake = wake;
+        let _ = wake.write(&[1]);
+    }
+}
+
+fn process_task(shared: &ServerShared, task: Task) -> Done {
+    match task {
+        Task::Hello {
+            token,
+            gen,
+            hello,
+            peer,
+        } => {
+            let version = hello.version;
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let service = shared.registry.service_for(hello.benchmark, &hello.node);
+                let name = hello.session.clone().unwrap_or_else(|| peer.to_string());
+                let session = service
+                    .session_named(name.clone())
+                    .with_weight(hello.weight.unwrap_or(1));
+                let specs = service.engine().metric_specs().to_vec();
+                (session, name, specs)
             }));
-            match outcome {
+            let mut done = Done::base(token, gen);
+            done.handshake_done = true;
+            match built {
+                Ok((session, name, specs)) => {
+                    done.frames.push(
+                        encode_frame(&ServerMsg::Welcome(Welcome {
+                            version,
+                            session: name,
+                            metric_specs: specs,
+                        }))
+                        .unwrap_or_default(),
+                    );
+                    done.set_version = Some(version);
+                    done.open = Some((0, session));
+                }
+                Err(payload) => {
+                    shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    done.frames.push(error_frame(
+                        version,
+                        None,
+                        None,
+                        format!("handshake failed: {}", panic_message(payload.as_ref())),
+                    ));
+                    done.close = true;
+                }
+            }
+            done
+        }
+        Task::Open {
+            token,
+            gen,
+            id,
+            channel,
+            benchmark,
+            node,
+            session,
+            weight,
+            peer,
+        } => {
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let service = shared.registry.service_for(benchmark, &node);
+                let name = session.unwrap_or_else(|| format!("{peer}#{channel}"));
+                let handle = service
+                    .session_named(name.clone())
+                    .with_weight(weight.unwrap_or(1));
+                let specs = service.engine().metric_specs().to_vec();
+                (handle, name, specs)
+            }));
+            let mut done = Done::base(token, gen);
+            done.channel_done = Some(channel);
+            done.request_done = true;
+            match built {
+                Ok((handle, name, specs)) => {
+                    done.frames.push(
+                        encode_frame(&ServerMsg::Opened {
+                            id,
+                            channel,
+                            session: name,
+                            metric_specs: specs,
+                        })
+                        .unwrap_or_default(),
+                    );
+                    done.open = Some((channel, handle));
+                }
+                Err(payload) => {
+                    done.frames.push(error_frame(
+                        PROTOCOL_VERSION,
+                        Some(id),
+                        Some(channel),
+                        format!("open failed: {}", panic_message(payload.as_ref())),
+                    ));
+                }
+            }
+            done
+        }
+        Task::Wait {
+            token,
+            gen,
+            version,
+            id,
+            channel,
+            pending,
+        } => {
+            let mut done = Done::base(token, gen);
+            done.request_done = true;
+            let frame = match pending.try_wait() {
                 Ok(reports) => match first_non_finite(&reports) {
                     // JSON cannot carry inf/NaN losslessly (they render as
                     // null); failing the request loudly beats silently
                     // corrupting a value and breaking the bit-exactness the
                     // remote path promises. No current evaluator emits
                     // non-finite metrics, so this is a guard, not a path.
-                    None => send(stream, &ServerMsg::BatchResult { reports }),
-                    Some(metric) => send(
-                        stream,
-                        &ServerMsg::Error {
-                            message: format!(
-                                "metric `{metric}` is non-finite and cannot travel \
-                                 losslessly over the JSON wire"
-                            ),
-                        },
+                    None => batch_frame(version, id, channel, reports),
+                    Some(metric) => error_frame(
+                        version,
+                        Some(id),
+                        Some(channel),
+                        format!(
+                            "metric `{metric}` is non-finite and cannot travel \
+                             losslessly over the JSON wire"
+                        ),
                     ),
                 },
-                Err(payload) => send(
-                    stream,
-                    &ServerMsg::Error {
-                        message: gcnrl_exec::panic_message(payload.as_ref()),
-                    },
-                ),
-            }
-        }
-        ClientMsg::Stats => {
-            let service = session.service();
-            send(
-                stream,
-                &ServerMsg::Stats(WireStats {
-                    engine: service.engine_stats(),
-                    session: session.session_stats(),
-                    last_batch: service.engine().last_batch(),
-                }),
-            );
-        }
-        ClientMsg::Metrics => {
-            send(
-                stream,
-                &ServerMsg::Metrics(gcnrl_telemetry::global().snapshot()),
-            );
-        }
-        ClientMsg::Goodbye => {
-            send(stream, &ServerMsg::Goodbye);
-            return std::ops::ControlFlow::Break(());
-        }
-        ClientMsg::Hello(_) => {
-            send(
-                stream,
-                &ServerMsg::Error {
-                    message: "duplicate Hello on an established connection".to_owned(),
-                },
-            );
+                Err(message) => error_frame(version, Some(id), Some(channel), message),
+            };
+            done.frames.push(frame);
+            done
         }
     }
-    std::ops::ControlFlow::Continue(())
+}
+
+/// One client socket owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Generation stamp distinguishing this connection from a later one
+    /// reusing the same slab slot (stale completions are discarded).
+    gen: u64,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Negotiated protocol version; 0 until the handshake completes.
+    version: u32,
+    /// A `Hello` is with a worker; reads pause until it returns.
+    handshaking: bool,
+    /// Open logical sessions by channel number (0 = the handshake session).
+    channels: HashMap<u32, SessionHandle>,
+    /// Channels with an `Open` in flight (reserved against duplicates).
+    pending_channels: HashSet<u32>,
+    /// Requests handed to workers and not yet completed.
+    in_flight: usize,
+    /// Decoded v2 requests awaiting their strictly-serialised turn.
+    v2_queue: VecDeque<v2::ClientMsg>,
+    /// The client said Goodbye; acknowledge once everything in flight is
+    /// answered.
+    goodbye_wanted: bool,
+    /// Goodbye is queued; stop reading, close after the flush.
+    goodbye_queued: bool,
+    /// Close once the write buffer drains and nothing is in flight.
+    close_after_flush: bool,
+    /// The transport failed; close immediately.
+    dead: bool,
+    /// When the last complete frame arrived (drain quiescence check).
+    last_frame: Instant,
+    /// When the connection was accepted (handshake latency span).
+    opened_at: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: SocketAddr, gen: u64) -> Self {
+        let now = Instant::now();
+        Conn {
+            stream,
+            peer,
+            gen,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(),
+            version: 0,
+            handshaking: false,
+            channels: HashMap::new(),
+            pending_channels: HashSet::new(),
+            in_flight: 0,
+            v2_queue: VecDeque::new(),
+            goodbye_wanted: false,
+            goodbye_queued: false,
+            close_after_flush: false,
+            dead: false,
+            last_frame: now,
+            opened_at: now,
+        }
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.dead && !self.handshaking && !self.close_after_flush && !self.goodbye_queued
+    }
+
+    fn closable(&self) -> bool {
+        self.dead
+            || (self.close_after_flush
+                && self.writer.is_empty()
+                && self.in_flight == 0
+                && !self.handshaking)
+    }
+
+    fn queue_msg<T: Serialize>(&mut self, msg: &T) {
+        if let Ok(frame) = encode_frame(msg) {
+            self.writer.queue_frame(&frame);
+        }
+    }
+
+    fn queue_error(&mut self, id: Option<u64>, channel: Option<u32>, message: String) {
+        // Pre-handshake errors go out v3-shaped: a v2 client ignores the
+        // extra `id`/`channel` keys, a v3 client reads them as None.
+        let version = if self.version == 0 {
+            PROTOCOL_VERSION
+        } else {
+            self.version
+        };
+        let frame = error_frame(version, id, channel, message);
+        self.writer.queue_frame(&frame);
+    }
+}
+
+fn connections_gauge() -> &'static Arc<gcnrl_telemetry::Gauge> {
+    static GAUGE: OnceLock<Arc<gcnrl_telemetry::Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| gcnrl_telemetry::global().gauge("serve.connections"))
+}
+
+fn pipeline_depth_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.pipeline_depth"))
+}
+
+fn reactor_wake_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.reactor_wake.ns"))
+}
+
+fn handshake_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.handshake.ns"))
+}
+
+fn frame_read_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.frame_read.ns"))
+}
+
+fn frame_write_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
+    static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.frame_write.ns"))
+}
+
+/// Writes as much buffered output as the socket accepts; a transport error
+/// kills the connection.
+fn flush_conn(conn: &mut Conn) {
+    if conn.dead || conn.writer.is_empty() {
+        return;
+    }
+    let started = Instant::now();
+    match conn.writer.flush_into(&mut conn.stream) {
+        Ok(_) => frame_write_hist().record_duration(started.elapsed()),
+        Err(_) => conn.dead = true,
+    }
+}
+
+struct Reactor {
+    shared: Arc<ServerShared>,
+    listener: Option<TcpListener>,
+    wake_rx: TcpStream,
+    tasks: Sender<Task>,
+    completions: Arc<Mutex<Vec<Done>>>,
+    /// Connection slab; slots are reused, generations disambiguate.
+    conns: Vec<Option<Conn>>,
+    next_gen: u64,
+    /// Set when the drain begins: the force-close deadline.
+    drain: Option<Instant>,
+    poll: PollSet,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && self.drain.is_none() {
+                self.drain = Some(Instant::now() + self.shared.config.drain_grace);
+                // Free the port immediately so a restarted server can bind.
+                self.listener = None;
+                // Give every connection a fresh quiet window: frames already
+                // in the kernel buffer still get read and answered.
+                let now = Instant::now();
+                for conn in self.conns.iter_mut().flatten() {
+                    conn.last_frame = now;
+                }
+            }
+            let touched = self.apply_completions();
+            let had_completions = !touched.is_empty();
+            for slot in touched {
+                self.pump_read(slot);
+            }
+            if self.drain.is_some() {
+                self.drain_tick();
+            }
+            self.sweep_closes();
+            if self.drain.is_some() && self.conns.iter().all(Option::is_none) {
+                return;
+            }
+
+            // Register interest: read while the connection accepts frames,
+            // write only while output is buffered.
+            self.poll.clear();
+            let wake_token = self.poll.register(&self.wake_rx, true, false);
+            let listener_token = match &self.listener {
+                Some(listener) => Some(self.poll.register(listener, true, false)),
+                None => None,
+            };
+            let mut conn_tokens: Vec<(usize, usize)> = Vec::new();
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let read = conn.wants_read();
+                let write = !conn.writer.is_empty() && !conn.dead;
+                if read || write {
+                    conn_tokens.push((slot, self.poll.register(&conn.stream, read, write)));
+                }
+            }
+            let mut timeout = self.shared.config.poll_interval;
+            if let Some(deadline) = self.drain {
+                timeout = timeout.min(deadline.saturating_duration_since(Instant::now()));
+            }
+            let _ = self.poll.wait(timeout.max(Duration::from_millis(1)));
+
+            let started = Instant::now();
+            let mut worked = had_completions;
+            if self.poll.readable(wake_token) {
+                worked = true;
+                let mut buf = [0u8; 256];
+                let mut wake = &self.wake_rx;
+                while matches!(wake.read(&mut buf), Ok(n) if n > 0) {}
+            }
+            if listener_token.is_some_and(|token| self.poll.readable(token)) {
+                worked = true;
+                self.accept_new();
+            }
+            let events: Vec<(usize, bool, bool)> = conn_tokens
+                .into_iter()
+                .map(|(slot, token)| (slot, self.poll.readable(token), self.poll.writable(token)))
+                .collect();
+            for (slot, readable, writable) in events {
+                if writable {
+                    if let Some(conn) = self.conns[slot].as_mut() {
+                        flush_conn(conn);
+                    }
+                }
+                if readable {
+                    self.pump_read(slot);
+                }
+                worked |= readable || writable;
+            }
+            if worked {
+                reactor_wake_hist().record_duration(started.elapsed());
+            }
+        }
+    }
+
+    fn accept_new(&mut self) {
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.shared
+                        .connections_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .connections_active
+                        .fetch_add(1, Ordering::Relaxed);
+                    connections_gauge().inc();
+                    self.next_gen += 1;
+                    let conn = Conn::new(stream, peer, self.next_gen);
+                    match self.conns.iter().position(Option::is_none) {
+                        Some(slot) => self.conns[slot] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failure (e.g. EMFILE); keep serving.
+                Err(_) => break,
+            }
+        }
+        self.listener = Some(listener);
+    }
+
+    /// Applies finished worker results; returns the touched slots (their
+    /// buffered frames may now be decodable, and their output needs a
+    /// flush).
+    fn apply_completions(&mut self) -> Vec<usize> {
+        let done_list: Vec<Done> =
+            std::mem::take(&mut *self.completions.lock().expect("completion queue lock"));
+        let mut touched = Vec::new();
+        for done in done_list {
+            let conn = self
+                .conns
+                .get_mut(done.token)
+                .and_then(Option::as_mut)
+                .filter(|conn| conn.gen == done.gen);
+            let Some(conn) = conn else {
+                // The connection closed while the worker ran: discard the
+                // result, but retire the session it may have opened.
+                if let Some((_, session)) = done.open {
+                    session.retire();
+                }
+                continue;
+            };
+            if done.handshake_done {
+                conn.handshaking = false;
+                handshake_hist().record_duration(conn.opened_at.elapsed());
+            }
+            if let Some(version) = done.set_version {
+                conn.version = version;
+            }
+            if let Some(channel) = done.channel_done {
+                conn.pending_channels.remove(&channel);
+            }
+            if let Some((channel, session)) = done.open {
+                if let Some(replaced) = conn.channels.insert(channel, session) {
+                    replaced.retire();
+                }
+            }
+            if done.request_done {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+            }
+            for frame in &done.frames {
+                conn.writer.queue_frame(frame);
+            }
+            if done.close {
+                conn.close_after_flush = true;
+            }
+            touched.push(done.token);
+        }
+        touched
+    }
+
+    /// Decodes and dispatches every frame currently available on the
+    /// connection (buffered + whatever the socket holds), then flushes.
+    fn pump_read(&mut self, slot: usize) {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let started = Instant::now();
+        let mut frames = 0usize;
+        let max = self.shared.config.max_frame_bytes;
+        if conn.version == LEGACY_PROTOCOL_VERSION {
+            self.pump_v2(slot, &mut conn);
+        }
+        while conn.wants_read() {
+            if conn.version == LEGACY_PROTOCOL_VERSION {
+                match conn.reader.poll::<v2::ClientMsg>(&mut conn.stream, max) {
+                    Ok(Some(msg)) => {
+                        frames += 1;
+                        conn.last_frame = Instant::now();
+                        if conn.v2_queue.len() >= self.shared.config.max_pipeline {
+                            conn.queue_error(
+                                None,
+                                None,
+                                format!(
+                                    "pipeline window of {} exceeded",
+                                    self.shared.config.max_pipeline
+                                ),
+                            );
+                            conn.close_after_flush = true;
+                        } else {
+                            conn.v2_queue.push_back(msg);
+                            self.pump_v2(slot, &mut conn);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(error) => {
+                        if !self.read_error(&mut conn, error) {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                match conn.reader.poll::<ClientMsg>(&mut conn.stream, max) {
+                    Ok(Some(msg)) => {
+                        frames += 1;
+                        conn.last_frame = Instant::now();
+                        if conn.version == 0 {
+                            self.handle_pre(slot, &mut conn, msg);
+                        } else {
+                            self.handle_v3(slot, &mut conn, msg);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(error) => {
+                        if !self.read_error(&mut conn, error) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if frames > 0 {
+            frame_read_hist().record_duration(started.elapsed());
+        }
+        maybe_goodbye(&mut conn);
+        flush_conn(&mut conn);
+        self.conns[slot] = Some(conn);
+    }
+
+    /// Handles a frame-read failure; returns whether reading may continue.
+    fn read_error(&mut self, conn: &mut Conn, error: FrameError) -> bool {
+        match error {
+            // Mid-batch (or idle) disconnect: tolerated, sessions retired.
+            FrameError::Closed | FrameError::Torn { .. } | FrameError::Io(_) => {
+                conn.dead = true;
+                false
+            }
+            FrameError::Oversized { .. } => {
+                // Oversized frames cannot be skipped (the buffer holds only
+                // their prefix); close rather than desynchronise.
+                if conn.version == 0 {
+                    self.shared
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                conn.queue_error(None, None, error.to_string());
+                conn.close_after_flush = true;
+                false
+            }
+            FrameError::Malformed(_) => {
+                conn.queue_error(None, None, error.to_string());
+                if conn.version == 0 {
+                    // A garbage handshake is a rejection; established
+                    // connections may continue (the bad frame is consumed).
+                    self.shared
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.close_after_flush = true;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// First frame on a connection: must be a version-acceptable `Hello`
+    /// (admission control also gates here).
+    fn handle_pre(&mut self, slot: usize, conn: &mut Conn, msg: ClientMsg) {
+        let hello = match msg {
+            ClientMsg::Hello(hello) => hello,
+            other => {
+                self.shared
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.queue_error(None, None, format!("expected Hello, got {other:?}"));
+                conn.close_after_flush = true;
+                return;
+            }
+        };
+        if hello.version != PROTOCOL_VERSION && hello.version != LEGACY_PROTOCOL_VERSION {
+            self.shared
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            conn.queue_error(
+                None,
+                None,
+                format!(
+                    "protocol version mismatch: client speaks v{}, server speaks v{} \
+                     (v{} still accepted)",
+                    hello.version, PROTOCOL_VERSION, LEGACY_PROTOCOL_VERSION
+                ),
+            );
+            conn.close_after_flush = true;
+            handshake_hist().record_duration(conn.opened_at.elapsed());
+            return;
+        }
+        if let Some(limit) = self.shared.config.backlog_limit {
+            let pending = self.shared.registry.pending_requests();
+            if pending > limit {
+                self.shared
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let wait_ms = gcnrl_telemetry::global()
+                    .histogram("service.queue_wait.ns")
+                    .snapshot()
+                    .mean()
+                    / 1e6;
+                conn.queue_error(
+                    None,
+                    None,
+                    format!(
+                        "busy: {pending} evaluation requests pending exceed the backlog \
+                         limit of {limit} (mean queue wait {wait_ms:.1} ms); retry later"
+                    ),
+                );
+                conn.close_after_flush = true;
+                handshake_hist().record_duration(conn.opened_at.elapsed());
+                return;
+            }
+        }
+        conn.handshaking = true;
+        if self
+            .tasks
+            .send(Task::Hello {
+                token: slot,
+                gen: conn.gen,
+                hello,
+                peer: conn.peer,
+            })
+            .is_err()
+        {
+            conn.dead = true;
+        }
+    }
+
+    /// One decoded v3 frame on an established connection.
+    fn handle_v3(&mut self, slot: usize, conn: &mut Conn, msg: ClientMsg) {
+        match msg {
+            ClientMsg::Hello(_) => {
+                conn.queue_error(
+                    None,
+                    None,
+                    "duplicate Hello on an established connection".to_owned(),
+                );
+            }
+            ClientMsg::Open {
+                id,
+                channel,
+                benchmark,
+                node,
+                session,
+                weight,
+            } => {
+                if conn.channels.contains_key(&channel) || conn.pending_channels.contains(&channel)
+                {
+                    conn.queue_error(
+                        Some(id),
+                        Some(channel),
+                        format!("channel {channel} is already open"),
+                    );
+                    return;
+                }
+                conn.pending_channels.insert(channel);
+                conn.in_flight += 1;
+                if self
+                    .tasks
+                    .send(Task::Open {
+                        token: slot,
+                        gen: conn.gen,
+                        id,
+                        channel,
+                        benchmark,
+                        node,
+                        session,
+                        weight,
+                        peer: conn.peer,
+                    })
+                    .is_err()
+                {
+                    conn.dead = true;
+                }
+            }
+            ClientMsg::Close { id, channel } => match conn.channels.remove(&channel) {
+                Some(session) => {
+                    session.retire();
+                    conn.queue_msg(&ServerMsg::Closed { id, channel });
+                }
+                None => {
+                    conn.queue_error(
+                        Some(id),
+                        Some(channel),
+                        format!("channel {channel} is not open"),
+                    );
+                }
+            },
+            ClientMsg::EvalBatch {
+                id,
+                channel,
+                params,
+            } => {
+                let Some(session) = conn.channels.get(&channel) else {
+                    conn.queue_error(
+                        Some(id),
+                        Some(channel),
+                        format!("channel {channel} is not open"),
+                    );
+                    return;
+                };
+                if conn.in_flight >= self.shared.config.max_pipeline {
+                    conn.queue_error(
+                        Some(id),
+                        Some(channel),
+                        format!(
+                            "pipeline window of {} exceeded",
+                            self.shared.config.max_pipeline
+                        ),
+                    );
+                    return;
+                }
+                // Submit inline so the service dispatcher sees the whole
+                // pipelined window and packs full rounds; the worker only
+                // harvests the result.
+                match session.try_submit(params) {
+                    Ok(pending) => {
+                        pipeline_depth_hist().record(conn.in_flight as u64 + 1);
+                        conn.in_flight += 1;
+                        if self
+                            .tasks
+                            .send(Task::Wait {
+                                token: slot,
+                                gen: conn.gen,
+                                version: conn.version,
+                                id,
+                                channel,
+                                pending,
+                            })
+                            .is_err()
+                        {
+                            conn.dead = true;
+                        }
+                    }
+                    Err(_) => {
+                        conn.queue_error(
+                            Some(id),
+                            Some(channel),
+                            "the evaluation service has been shut down".to_owned(),
+                        );
+                    }
+                }
+            }
+            ClientMsg::Stats { id, channel } => match conn.channels.get(&channel) {
+                Some(session) => {
+                    let service = session.service();
+                    let stats = WireStats {
+                        engine: service.engine_stats(),
+                        session: session.session_stats(),
+                        last_batch: service.engine().last_batch(),
+                    };
+                    conn.queue_msg(&ServerMsg::Stats { id, channel, stats });
+                }
+                None => {
+                    conn.queue_error(
+                        Some(id),
+                        Some(channel),
+                        format!("channel {channel} is not open"),
+                    );
+                }
+            },
+            ClientMsg::Metrics { id } => {
+                conn.queue_msg(&ServerMsg::Metrics {
+                    id,
+                    snapshot: gcnrl_telemetry::global().snapshot(),
+                });
+            }
+            ClientMsg::Goodbye => {
+                conn.goodbye_wanted = true;
+            }
+        }
+    }
+
+    /// Serves the v2 compat queue: strictly one request at a time, so the
+    /// in-order responses a blocking legacy client relies on are preserved
+    /// even with multiple workers completing out of order.
+    fn pump_v2(&mut self, slot: usize, conn: &mut Conn) {
+        while conn.in_flight == 0 && !conn.goodbye_queued && !conn.goodbye_wanted {
+            let Some(msg) = conn.v2_queue.pop_front() else {
+                return;
+            };
+            match msg {
+                v2::ClientMsg::Hello(_) => {
+                    conn.queue_error(
+                        None,
+                        None,
+                        "duplicate Hello on an established connection".to_owned(),
+                    );
+                }
+                v2::ClientMsg::EvalBatch { params } => {
+                    let Some(session) = conn.channels.get(&0) else {
+                        conn.queue_error(None, None, "connection has no session".to_owned());
+                        continue;
+                    };
+                    match session.try_submit(params) {
+                        Ok(pending) => {
+                            pipeline_depth_hist().record(1);
+                            conn.in_flight = 1;
+                            if self
+                                .tasks
+                                .send(Task::Wait {
+                                    token: slot,
+                                    gen: conn.gen,
+                                    version: LEGACY_PROTOCOL_VERSION,
+                                    id: 0,
+                                    channel: 0,
+                                    pending,
+                                })
+                                .is_err()
+                            {
+                                conn.dead = true;
+                            }
+                        }
+                        Err(_) => {
+                            conn.queue_error(
+                                None,
+                                None,
+                                "the evaluation service has been shut down".to_owned(),
+                            );
+                        }
+                    }
+                }
+                v2::ClientMsg::Stats => match conn.channels.get(&0) {
+                    Some(session) => {
+                        let service = session.service();
+                        conn.queue_msg(&v2::ServerMsg::Stats(WireStats {
+                            engine: service.engine_stats(),
+                            session: session.session_stats(),
+                            last_batch: service.engine().last_batch(),
+                        }));
+                    }
+                    None => {
+                        conn.queue_error(None, None, "connection has no session".to_owned());
+                    }
+                },
+                v2::ClientMsg::Metrics => {
+                    conn.queue_msg(&v2::ServerMsg::Metrics(
+                        gcnrl_telemetry::global().snapshot(),
+                    ));
+                }
+                v2::ClientMsg::Goodbye => {
+                    conn.goodbye_wanted = true;
+                    conn.v2_queue.clear();
+                }
+            }
+        }
+    }
+
+    /// During a drain, says Goodbye to quiet connections and force-closes
+    /// everything at the deadline.
+    fn drain_tick(&mut self) {
+        let Some(deadline) = self.drain else { return };
+        let now = Instant::now();
+        let quiet = self.shared.config.poll_interval * 3;
+        for conn in self.conns.iter_mut().flatten() {
+            if conn.dead || conn.goodbye_queued {
+                if now >= deadline {
+                    conn.dead = true;
+                }
+                continue;
+            }
+            let idle = conn.in_flight == 0
+                && !conn.handshaking
+                && conn.writer.is_empty()
+                && conn.v2_queue.is_empty()
+                && !conn.reader.mid_frame()
+                && now.duration_since(conn.last_frame) >= quiet;
+            if now >= deadline || idle {
+                conn.queue_msg(&ServerMsg::Goodbye);
+                conn.goodbye_queued = true;
+                conn.close_after_flush = true;
+                flush_conn(conn);
+                if now >= deadline {
+                    conn.dead = true;
+                }
+            }
+        }
+    }
+
+    /// Closes every connection that has finished (or died), retiring its
+    /// sessions.
+    fn sweep_closes(&mut self) {
+        for slot in 0..self.conns.len() {
+            let done = self.conns[slot]
+                .as_ref()
+                .is_some_and(|conn| conn.closable());
+            if !done {
+                continue;
+            }
+            if let Some(mut conn) = self.conns[slot].take() {
+                // The connection is done: retire each channel's session —
+                // weight entries are pruned and statistics fold into the
+                // service-level closed-session aggregate, so neither
+                // dispatcher snapshot nor stats map grows with every
+                // connection a long-lived server has ever hosted.
+                for (_, session) in conn.channels.drain() {
+                    session.retire();
+                }
+                self.shared
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+                connections_gauge().dec();
+            }
+        }
+    }
+}
+
+/// Acknowledges a client `Goodbye` once everything in flight is answered.
+fn maybe_goodbye(conn: &mut Conn) {
+    if conn.goodbye_wanted && !conn.goodbye_queued && conn.in_flight == 0 {
+        conn.queue_msg(&ServerMsg::Goodbye);
+        conn.goodbye_queued = true;
+        conn.close_after_flush = true;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::write_frame;
-    use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-    use gcnrl_exec::EngineConfig;
-    use std::io::Write;
+    use gcnrl_exec::testing::LatencyEvaluator;
+    use gcnrl_exec::{BatchEvaluator, EngineConfig, EvalService, ServiceConfig};
 
     fn test_server() -> EvalServer {
-        EvalServer::bind(
-            "127.0.0.1:0",
-            ServerConfig {
-                registry: RegistryConfig {
-                    engine: EngineConfig::serial(),
-                    ..RegistryConfig::default()
-                },
-                ..ServerConfig::default()
-            },
-        )
-        .expect("bind loopback")
+        test_server_with(ServerConfig::default())
+    }
+
+    fn test_server_with(mut config: ServerConfig) -> EvalServer {
+        config.registry = RegistryConfig {
+            engine: EngineConfig::serial(),
+            ..RegistryConfig::default()
+        };
+        EvalServer::bind("127.0.0.1:0", config).expect("bind loopback")
     }
 
     fn raw_hello(version: u32) -> ClientMsg {
@@ -512,13 +1372,20 @@ mod tests {
             .expect("server reply")
     }
 
+    fn nominal() -> gcnrl_circuit::ParamVector {
+        Benchmark::TwoStageTia
+            .circuit()
+            .design_space(&TechnologyNode::tsmc180())
+            .nominal()
+    }
+
     #[test]
     fn version_mismatch_is_rejected_with_an_error_frame() {
         let server = test_server();
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
         write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION + 7)).expect("send hello");
         match read_reply(&mut stream) {
-            ServerMsg::Error { message } => {
+            ServerMsg::Error { message, .. } => {
                 assert!(message.contains("version mismatch"), "{message}");
             }
             other => panic!("expected Error, got {other:?}"),
@@ -536,7 +1403,7 @@ mod tests {
     fn first_message_must_be_hello() {
         let server = test_server();
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
-        write_frame(&mut stream, &ClientMsg::Stats).expect("send");
+        write_frame(&mut stream, &ClientMsg::Stats { id: 1, channel: 0 }).expect("send");
         assert!(matches!(read_reply(&mut stream), ServerMsg::Error { .. }));
         server.shutdown();
     }
@@ -561,18 +1428,24 @@ mod tests {
             panic!("second client rejected");
         };
         assert_eq!(welcome.version, PROTOCOL_VERSION);
-        let space = Benchmark::TwoStageTia
-            .circuit()
-            .design_space(&TechnologyNode::tsmc180());
         write_frame(
             &mut stream,
             &ClientMsg::EvalBatch {
-                params: vec![space.nominal()],
+                id: 9,
+                channel: 0,
+                params: vec![nominal()],
             },
         )
         .expect("send batch");
         match read_reply(&mut stream) {
-            ServerMsg::BatchResult { reports } => assert_eq!(reports.len(), 1),
+            ServerMsg::BatchResult {
+                id,
+                channel,
+                reports,
+            } => {
+                assert_eq!((id, channel), (9, 0));
+                assert_eq!(reports.len(), 1);
+            }
             other => panic!("expected BatchResult, got {other:?}"),
         }
         write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
@@ -586,6 +1459,175 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_clients_ride_the_compat_shim_with_in_order_replies() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // A v2 client may write its whole conversation eagerly; the shim
+        // must answer strictly in order.
+        write_frame(
+            &mut stream,
+            &v2::ClientMsg::Hello(Hello {
+                version: LEGACY_PROTOCOL_VERSION,
+                benchmark: Benchmark::TwoStageTia,
+                node: TechnologyNode::tsmc180(),
+                session: Some("legacy".to_owned()),
+                weight: None,
+            }),
+        )
+        .expect("send hello");
+        let params = vec![nominal()];
+        write_frame(
+            &mut stream,
+            &v2::ClientMsg::EvalBatch {
+                params: params.clone(),
+            },
+        )
+        .expect("send batch 1");
+        write_frame(&mut stream, &v2::ClientMsg::EvalBatch { params }).expect("send batch 2");
+        write_frame(&mut stream, &v2::ClientMsg::Stats).expect("send stats");
+        write_frame(&mut stream, &v2::ClientMsg::Goodbye).expect("send goodbye");
+
+        let mut reader = FrameReader::new();
+        let mut next = || {
+            reader
+                .read_msg::<v2::ServerMsg>(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+                .expect("v2 reply")
+        };
+        let v2::ServerMsg::Welcome(welcome) = next() else {
+            panic!("expected v2 Welcome");
+        };
+        assert_eq!(welcome.version, LEGACY_PROTOCOL_VERSION);
+        let v2::ServerMsg::BatchResult { reports: first } = next() else {
+            panic!("expected first BatchResult");
+        };
+        let v2::ServerMsg::BatchResult { reports: second } = next() else {
+            panic!("expected second BatchResult");
+        };
+        // Identical candidates: the second batch is a cache hit with
+        // bit-identical reports.
+        assert_eq!(first, second);
+        let v2::ServerMsg::Stats(stats) = next() else {
+            panic!("expected v2 Stats");
+        };
+        assert_eq!(stats.session.submitted, 2);
+        assert_eq!(stats.session.resolved, 2);
+        assert_eq!(stats.engine.simulated, 1);
+        assert!(matches!(next(), v2::ServerMsg::Goodbye));
+        server.shutdown();
+    }
+
+    #[test]
+    fn channels_multiplex_sessions_and_responses_carry_request_ids() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Welcome(_)));
+        // Open a second logical session (different benchmark) on channel 1.
+        write_frame(
+            &mut stream,
+            &ClientMsg::Open {
+                id: 1,
+                channel: 1,
+                benchmark: Benchmark::Ldo,
+                node: TechnologyNode::tsmc180(),
+                session: Some("side".to_owned()),
+                weight: None,
+            },
+        )
+        .expect("send open");
+        match read_reply(&mut stream) {
+            ServerMsg::Opened {
+                id,
+                channel,
+                session,
+                ..
+            } => {
+                assert_eq!((id, channel), (1, 1));
+                assert_eq!(session, "side");
+            }
+            other => panic!("expected Opened, got {other:?}"),
+        }
+        // Duplicate channel numbers are rejected per-request.
+        write_frame(
+            &mut stream,
+            &ClientMsg::Open {
+                id: 2,
+                channel: 1,
+                benchmark: Benchmark::Ldo,
+                node: TechnologyNode::tsmc180(),
+                session: None,
+                weight: None,
+            },
+        )
+        .expect("send duplicate open");
+        match read_reply(&mut stream) {
+            ServerMsg::Error { id, message, .. } => {
+                assert_eq!(id, Some(2));
+                assert!(message.contains("already open"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Pipeline one batch per channel; responses may come back in any
+        // order and are matched by id.
+        let ldo = Benchmark::Ldo
+            .circuit()
+            .design_space(&TechnologyNode::tsmc180())
+            .nominal();
+        write_frame(
+            &mut stream,
+            &ClientMsg::EvalBatch {
+                id: 3,
+                channel: 0,
+                params: vec![nominal()],
+            },
+        )
+        .expect("send tia batch");
+        write_frame(
+            &mut stream,
+            &ClientMsg::EvalBatch {
+                id: 4,
+                channel: 1,
+                params: vec![ldo],
+            },
+        )
+        .expect("send ldo batch");
+        let mut seen = std::collections::BTreeMap::new();
+        for _ in 0..2 {
+            match read_reply(&mut stream) {
+                ServerMsg::BatchResult {
+                    id,
+                    channel,
+                    reports,
+                } => {
+                    seen.insert(id, (channel, reports.len()));
+                }
+                other => panic!("expected BatchResult, got {other:?}"),
+            }
+        }
+        assert_eq!(seen.get(&3), Some(&(0, 1)));
+        assert_eq!(seen.get(&4), Some(&(1, 1)));
+        // Close the side channel, keep using channel 0.
+        write_frame(&mut stream, &ClientMsg::Close { id: 5, channel: 1 }).expect("send close");
+        assert!(matches!(
+            read_reply(&mut stream),
+            ServerMsg::Closed { id: 5, channel: 1 }
+        ));
+        write_frame(&mut stream, &ClientMsg::Stats { id: 6, channel: 0 }).expect("send stats");
+        match read_reply(&mut stream) {
+            ServerMsg::Stats { id, stats, .. } => {
+                assert_eq!(id, 6);
+                assert_eq!(stats.session.submitted, 1);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Goodbye));
+        server.shutdown();
+        // Two benchmarks → two registry services under one connection.
+        assert_eq!(server.stats().services.len(), 2);
+    }
+
+    #[test]
     fn shutdown_answers_requests_already_in_flight_before_goodbye() {
         let server = test_server();
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
@@ -594,13 +1636,12 @@ mod tests {
         // Submit a batch and shut the server down while it is in flight: the
         // graceful drain must still answer it with BatchResult (and only
         // then Goodbye), never swallow it.
-        let space = Benchmark::TwoStageTia
-            .circuit()
-            .design_space(&TechnologyNode::tsmc180());
         write_frame(
             &mut stream,
             &ClientMsg::EvalBatch {
-                params: vec![space.nominal()],
+                id: 11,
+                channel: 0,
+                params: vec![nominal()],
             },
         )
         .expect("send batch");
@@ -610,7 +1651,10 @@ mod tests {
             .read_msg::<ServerMsg>(&mut stream, DEFAULT_MAX_FRAME_BYTES)
             .expect("in-flight reply")
         {
-            ServerMsg::BatchResult { reports } => assert_eq!(reports.len(), 1),
+            ServerMsg::BatchResult { id, reports, .. } => {
+                assert_eq!(id, 11);
+                assert_eq!(reports.len(), 1);
+            }
             other => panic!("in-flight request dropped at shutdown: {other:?}"),
         }
         assert!(matches!(
@@ -619,6 +1663,62 @@ mod tests {
                 .expect("goodbye"),
             ServerMsg::Goodbye
         ));
+    }
+
+    #[test]
+    fn admission_control_rejects_hellos_past_the_backlog_threshold() {
+        let server = test_server_with(ServerConfig {
+            backlog_limit: Some(0),
+            ..ServerConfig::default()
+        });
+        // A deterministic slow evaluator keeps one request provably pending
+        // while the second handshake arrives.
+        let node = TechnologyNode::tsmc180();
+        let slow = EvalService::new(
+            BatchEvaluator::new(
+                Box::new(LatencyEvaluator::new(Duration::from_millis(400))),
+                EngineConfig::serial(),
+            ),
+            ServiceConfig::default(),
+        );
+        server
+            .registry()
+            .insert_service(Benchmark::TwoStageTia, &node, slow);
+
+        let mut busy = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut busy, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut busy), ServerMsg::Welcome(_)));
+        write_frame(
+            &mut busy,
+            &ClientMsg::EvalBatch {
+                id: 1,
+                channel: 0,
+                params: vec![nominal()],
+            },
+        )
+        .expect("send batch");
+        // Wait until the request is provably pending in the service queue.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.registry().pending_requests() == 0 {
+            assert!(Instant::now() < deadline, "request never became pending");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let mut turned_away = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut turned_away, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        match read_reply(&mut turned_away) {
+            ServerMsg::Error { message, .. } => {
+                assert!(message.contains("busy"), "{message}");
+            }
+            other => panic!("expected busy Error, got {other:?}"),
+        }
+        // The admitted client's batch still resolves.
+        match read_reply(&mut busy) {
+            ServerMsg::BatchResult { id, .. } => assert_eq!(id, 1),
+            other => panic!("expected BatchResult, got {other:?}"),
+        }
+        assert_eq!(server.stats().admission_rejected, 1);
+        server.shutdown();
     }
 
     #[test]
@@ -644,8 +1744,9 @@ mod tests {
         let addr = server.local_addr();
         server.shutdown();
         server.shutdown();
-        // A post-shutdown connection is either refused outright or accepted
-        // by the OS backlog and never served — a read sees EOF, not Welcome.
+        // The listener dropped at drain start: a post-shutdown connection is
+        // refused outright, or was accepted by the OS backlog and never
+        // served — a read sees EOF/reset, not Welcome.
         if let Ok(mut stream) = TcpStream::connect(addr) {
             let _ = write_frame(&mut stream, &raw_hello(PROTOCOL_VERSION));
             let mut reader = FrameReader::new();

@@ -73,6 +73,16 @@ impl Gauge {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Increments the gauge by one (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the gauge by one (e.g. a connection closed).
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
     /// The current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)

@@ -14,7 +14,8 @@ use gcn_rl_circuit_designer::gcnrl::{
 };
 use gcn_rl_circuit_designer::rl::DdpgConfig;
 use gcn_rl_circuit_designer::serve::{
-    protocol, EvalServer, RegistryConfig, RemoteBackend, RemoteConfig, ServerConfig,
+    protocol, EvalServer, ReconnectConfig, RegistryConfig, RemoteBackend, RemoteConfig,
+    ServerConfig,
 };
 
 const BENCHMARK: Benchmark = Benchmark::TwoStageTia;
@@ -218,7 +219,7 @@ fn protocol_rejects_version_mismatch_and_survives_mid_batch_disconnects() {
         .read_msg::<ServerMsg>(&mut stream, protocol::DEFAULT_MAX_FRAME_BYTES)
         .expect("handshake reply")
     {
-        ServerMsg::Error { message } => assert!(message.contains("version"), "{message}"),
+        ServerMsg::Error { message, .. } => assert!(message.contains("version"), "{message}"),
         other => panic!("expected version rejection, got {other:?}"),
     }
     drop(stream);
@@ -259,6 +260,152 @@ fn protocol_rejects_version_mismatch_and_survives_mid_batch_disconnects() {
 }
 
 #[test]
+fn pipelined_and_multiplexed_clients_match_solo_local_runs() {
+    let node = TechnologyNode::tsmc180();
+    let tia_space = BENCHMARK.circuit().design_space(&node);
+    let ldo_space = Benchmark::Ldo.circuit().design_space(&node);
+    let batches: Vec<Vec<_>> = (0..6)
+        .map(|i| {
+            (0..3)
+                .map(|j| {
+                    let unit: Vec<f64> = (0..tia_space.num_parameters())
+                        .map(|k| ((i * 31 + j * 7 + k) % 97) as f64 / 96.0)
+                        .collect();
+                    tia_space.from_unit(&unit)
+                })
+                .collect()
+        })
+        .collect();
+    let ldo_batch: Vec<_> = (0..4)
+        .map(|i| {
+            let unit: Vec<f64> = (0..ldo_space.num_parameters())
+                .map(|k| ((i * 13 + k * 5) % 89) as f64 / 88.0)
+                .collect();
+            ldo_space.from_unit(&unit)
+        })
+        .collect();
+
+    // Local references: one private session per benchmark.
+    let local_tia: Vec<_> = batches
+        .iter()
+        .map(|b| local_session().evaluate_batch(b))
+        .collect();
+    let local_ldo = EvalService::for_benchmark(
+        Benchmark::Ldo,
+        &node,
+        EngineConfig::serial(),
+        ServiceConfig::default(),
+    )
+    .session()
+    .evaluate_batch(&ldo_batch);
+
+    // Remote: every TIA batch rides the wire concurrently (the full
+    // pipeline window in flight at once), the LDO batch goes through a
+    // multiplexed channel on the same socket — and not a bit may change.
+    let server = open_server();
+    let remote = RemoteBackend::connect_with(
+        server.local_addr(),
+        BENCHMARK,
+        &node,
+        RemoteConfig {
+            session: Some("pipelined".to_owned()),
+            pipeline: batches.len(),
+            ..RemoteConfig::default()
+        },
+    )
+    .expect("connect");
+    let ldo = remote
+        .open_channel(Benchmark::Ldo, &node, Some("side-ldo".to_owned()), 1)
+        .expect("open channel");
+    let in_flight: Vec<_> = batches
+        .iter()
+        .map(|b| remote.submit_batch(b).expect("submit"))
+        .collect();
+    let ldo_pending = ldo.submit_batch(&ldo_batch).expect("submit ldo");
+    for (reply, reference) in in_flight.into_iter().zip(&local_tia) {
+        assert_eq!(
+            &reply.wait().expect("pipelined batch"),
+            reference,
+            "pipelining must not change a single bit"
+        );
+    }
+    assert_eq!(
+        ldo_pending.wait().expect("multiplexed batch"),
+        local_ldo,
+        "channel multiplexing must not change a single bit"
+    );
+    ldo.goodbye().expect("close channel");
+    remote.goodbye().expect("clean close");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.connections_total, 1, "one socket carried everything");
+    assert_eq!(stats.services.len(), 2, "two benchmarks, two services");
+}
+
+#[test]
+fn clients_reconnect_with_backoff_across_a_server_restart() {
+    let node = TechnologyNode::tsmc180();
+    let space = BENCHMARK.circuit().design_space(&node);
+    let batch: Vec<_> = (0..3)
+        .map(|i| {
+            let unit: Vec<f64> = (0..space.num_parameters())
+                .map(|k| ((i * 41 + k * 11) % 83) as f64 / 82.0)
+                .collect();
+            space.from_unit(&unit)
+        })
+        .collect();
+    let reference = local_session().evaluate_batch(&batch);
+
+    let server = open_server();
+    let addr = server.local_addr();
+    let remote = RemoteBackend::connect_with(
+        addr,
+        BENCHMARK,
+        &node,
+        RemoteConfig {
+            session: Some("survivor".to_owned()),
+            reconnect: ReconnectConfig {
+                max_retries: 10,
+                base_delay: std::time::Duration::from_millis(20),
+                max_delay: std::time::Duration::from_millis(200),
+            },
+            ..RemoteConfig::default()
+        },
+    )
+    .expect("connect");
+    assert_eq!(remote.try_evaluate_batch(&batch).expect("first"), reference);
+    assert_eq!(remote.reconnects(), 0);
+
+    // Kill the server and restart a fresh one on the same address: the
+    // client re-handshakes behind the scenes and the next batch still
+    // matches the local reference bit-for-bit.
+    server.shutdown();
+    let server = EvalServer::bind(
+        addr,
+        ServerConfig {
+            registry: RegistryConfig {
+                engine: EngineConfig::serial(),
+                ..RegistryConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("rebind after restart");
+    assert_eq!(
+        remote.try_evaluate_batch(&batch).expect("after restart"),
+        reference,
+        "the restart must be invisible in the results"
+    );
+    assert!(
+        remote.reconnects() >= 1,
+        "the backend should have re-handshaked"
+    );
+    remote.goodbye().expect("clean close");
+    server.shutdown();
+    assert_eq!(server.stats().connections_total, 1);
+}
+
+#[test]
 fn oversized_and_torn_frames_error_at_the_protocol_layer() {
     use protocol::{write_frame, ClientMsg, FrameError, FrameReader};
 
@@ -276,7 +423,7 @@ fn oversized_and_torn_frames_error_at_the_protocol_layer() {
     // Torn: EOF in the middle of a frame is distinguished from a clean
     // close at a frame boundary.
     let mut full = Vec::new();
-    write_frame(&mut full, &ClientMsg::Stats).expect("write frame");
+    write_frame(&mut full, &ClientMsg::Stats { id: 1, channel: 0 }).expect("write frame");
     let mut reader = FrameReader::new();
     let mut cursor = std::io::Cursor::new(full[..full.len() - 2].to_vec());
     assert!(matches!(
