@@ -21,6 +21,22 @@
 //! * `GCNRL_SERVE_BACKLOG` — admission control: reject new handshakes with
 //!   `Error{busy}` while more than this many evaluation requests are
 //!   pending across the registry (unset = admit unconditionally).
+//! * `GCNRL_SERVE_QUEUE_WAIT_MS` — latency-keyed admission control: reject
+//!   new handshakes while the observed `service.queue_wait.ns` p90 (sliding
+//!   window, merged across services) exceeds this many milliseconds. The
+//!   backlog count above stays as the hard fallback.
+//! * `GCNRL_SERVE_REBALANCE_MS` — when set, rebalance the per-service cache
+//!   budget (`GCNRL_SERVE_CACHE_CAP`) live at this period, proportional to
+//!   each service's observed hit+miss traffic, instead of keeping the
+//!   static even split.
+//! * `GCNRL_SERVE_PEERS` — comma-separated addresses of *all* shards in a
+//!   sharded tier (including this one, as the clients dial it). Enables
+//!   protocol-v4 peering: a mis-routed or re-hashed key whose rendezvous
+//!   owner is another live shard is pulled over `CacheQuery`/`CacheFill`
+//!   instead of re-simulated.
+//! * `GCNRL_SERVE_ADDRS` — client side of the sharded tier: bench binaries
+//!   and trainers seeing this route each candidate to a shard by rendezvous
+//!   hash via `ShardedBackend` instead of dialing `GCNRL_SERVE_ADDR`.
 //! * `GCNRL_SERVE_WORKERS` — reactor worker threads harvesting resolved
 //!   batches (default 4; the engine has its own compute pool).
 //! * `GCNRL_THREADS` / `GCNRL_CACHE_PATH` — engine template, as everywhere.
@@ -33,18 +49,25 @@
 //!   assert cross-client cache hits, a clean drain, a live `Metrics` RPC
 //!   snapshot, a kill-and-restart reconnect scenario and (with
 //!   `GCNRL_METRICS_ADDR` set) a Prometheus scrape, then exit.
+//! * `GCNRL_SERVE_SHARDED_SMOKE` — run the sharded-tier CI smoke instead of
+//!   serving: bind two peered shards on ephemeral ports, run this many
+//!   concurrent `ShardedBackend` clients, assert cross-shard `CacheFill`
+//!   pulls, kill one shard mid-run and assert every client fails over with
+//!   results bit-identical to a solo local run, then exit.
 
 use gcnrl_bench::{
     budget_from_env, env_for_backend, env_for_session, serve_pipeline, service_session,
     ExperimentConfig,
 };
-use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_exec::{env_usize, EngineConfig, ServiceConfig};
+use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+use gcnrl_exec::{env_usize, BatchEvaluator, EngineConfig, ServiceConfig};
 use gcnrl_serve::{
     EvalServer, MetricsHttpServer, ReconnectConfig, RegistryConfig, RemoteBackend, RemoteConfig,
-    ServerConfig,
+    ServerConfig, ShardedBackend, ShardedConfig,
 };
 use std::io::{Read, Write};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 fn server_config() -> ServerConfig {
     let mut service = ServiceConfig::default();
@@ -65,6 +88,12 @@ fn server_config() -> ServerConfig {
         backlog_limit: env_usize("GCNRL_SERVE_BACKLOG")
             .map(|limit| limit as u64)
             .or(defaults.backlog_limit),
+        queue_wait_limit: env_usize("GCNRL_SERVE_QUEUE_WAIT_MS")
+            .map(|ms| Duration::from_millis(ms as u64))
+            .or(defaults.queue_wait_limit),
+        rebalance_interval: env_usize("GCNRL_SERVE_REBALANCE_MS")
+            .map(|ms| Duration::from_millis(ms as u64))
+            .or(defaults.rebalance_interval),
         ..defaults
     }
 }
@@ -128,6 +157,152 @@ fn restart_smoke(benchmark: Benchmark, node: &TechnologyNode) {
     server.shutdown();
     assert_eq!(server.stats().connections_total, 1);
     println!("restart smoke OK: reconnect-with-backoff across a server restart");
+}
+
+fn sharded_client_config(seed: usize) -> ShardedConfig {
+    ShardedConfig {
+        remote: RemoteConfig {
+            reconnect: ReconnectConfig {
+                max_retries: 2,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(50),
+            },
+            ..smoke_client_config(format!("sharded-smoke-{seed}"))
+        },
+        ..ShardedConfig::default()
+    }
+}
+
+/// The sharded-tier CI smoke: two peered shards on ephemeral ports,
+/// concurrent `ShardedBackend` clients routing by rendezvous hash, a
+/// cross-shard `CacheFill` pull witnessed on shard 0, then one shard is
+/// killed mid-run and every client must fail over to the survivor with
+/// results bit-identical to a solo local run.
+fn sharded_smoke(clients: usize) {
+    let benchmark = Benchmark::TwoStageTia;
+    let node = TechnologyNode::tsmc180();
+    let space = benchmark.circuit().design_space(&node);
+    let batches: Vec<Vec<ParamVector>> = (0..clients)
+        .map(|client| {
+            (0..8)
+                .map(|i| {
+                    let unit: Vec<f64> = (0..space.num_parameters())
+                        .map(|k| ((client * 29 + i * 13 + k * 7) % 97) as f64 / 96.0)
+                        .collect();
+                    space.from_unit(&unit)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Solo local reference: the sharded tier must be invisible in the
+    // results, shard kill included.
+    let engine = BatchEvaluator::for_benchmark(benchmark, &node, EngineConfig::serial());
+    let reference: Vec<Vec<_>> = batches.iter().map(|b| engine.evaluate_batch(b)).collect();
+
+    let mut config = server_config();
+    config.rebalance_interval = config
+        .rebalance_interval
+        .or(Some(Duration::from_millis(50)));
+    let mut servers: Vec<EvalServer> = (0..2)
+        .map(|_| EvalServer::bind("127.0.0.1:0", config.clone()).expect("bind shard"))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    for server in &servers {
+        server.enable_peering(addrs.clone(), server.local_addr().to_string());
+    }
+    println!("sharded smoke: {clients} clients over shards {addrs:?}");
+
+    // Barriers fence the kill: every client finishes its first pass, the
+    // main thread shoots shard 1, then the clients re-evaluate through the
+    // failover path with their connections still open.
+    let warmed = Arc::new(Barrier::new(clients + 1));
+    let resume = Arc::new(Barrier::new(clients + 1));
+    let workers: Vec<_> = batches
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(seed, batch)| {
+            let addrs = addrs.clone();
+            let node = node.clone();
+            let warmed = Arc::clone(&warmed);
+            let resume = Arc::clone(&resume);
+            std::thread::spawn(move || {
+                let sharded =
+                    ShardedBackend::connect(&addrs, benchmark, &node, sharded_client_config(seed))
+                        .expect("sharded client connect");
+                let before = sharded
+                    .try_evaluate_batch(&batch)
+                    .expect("pre-kill sharded batch");
+                warmed.wait();
+                resume.wait();
+                let after = sharded
+                    .try_evaluate_batch(&batch)
+                    .expect("post-kill sharded batch");
+                let live = sharded.live_shards();
+                let _ = sharded.goodbye();
+                (before, after, live)
+            })
+        })
+        .collect();
+
+    warmed.wait();
+
+    // Cross-shard pull witness: every key is now cached on its rendezvous
+    // owner, so a plain client asking shard 0 for the full union forces it
+    // to fill shard-1-owned keys over CacheQuery/CacheFill, not re-simulate.
+    let union: Vec<ParamVector> = batches.iter().flatten().cloned().collect();
+    let probe = RemoteBackend::connect_with(
+        addrs[0].as_str(),
+        benchmark,
+        &node,
+        smoke_client_config("sharded-peer-probe".to_owned()),
+    )
+    .expect("peer probe connect");
+    let pulled = probe.try_evaluate_batch(&union).expect("peer pull batch");
+    assert_eq!(
+        pulled,
+        reference.concat(),
+        "peer-pulled reports diverged from the local reference"
+    );
+    let peer_fills = servers[0].stats().peer_fills;
+    assert!(
+        peer_fills > 0,
+        "no cross-shard CacheFill pulls observed on shard 0"
+    );
+    probe.goodbye().expect("peer probe goodbye");
+
+    let victim = servers.remove(1);
+    victim.shutdown();
+    drop(victim);
+    resume.wait();
+
+    for (seed, worker) in workers.into_iter().enumerate() {
+        let (before, after, live) = worker.join().expect("sharded client thread");
+        assert_eq!(
+            before, reference[seed],
+            "client {seed}: pre-kill sharded run diverged from the local reference"
+        );
+        assert_eq!(
+            after, reference[seed],
+            "client {seed}: post-kill failover run diverged from the local reference"
+        );
+        assert_eq!(
+            live,
+            vec![addrs[0].clone()],
+            "client {seed}: dead shard still counted as live after failover"
+        );
+    }
+
+    let survivor = &servers[0];
+    survivor.shutdown();
+    print_stats(survivor);
+    let stats = survivor.stats();
+    assert_eq!(stats.connections_active, 0, "connections not drained");
+    println!(
+        "sharded smoke OK: {clients} clients bit-identical across a shard kill, \
+         {peer_fills} cross-shard CacheFill pulls"
+    );
 }
 
 fn print_stats(server: &EvalServer) {
@@ -323,6 +498,11 @@ fn smoke(server: &EvalServer, metrics: Option<&MetricsHttpServer>, clients: usiz
 }
 
 fn main() {
+    if let Some(clients) = env_usize("GCNRL_SERVE_SHARDED_SMOKE") {
+        sharded_smoke(clients.max(2));
+        return;
+    }
+
     let addr = std::env::var("GCNRL_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7733".to_owned());
     let server = EvalServer::bind(&addr, server_config()).unwrap_or_else(|error| {
         panic!("failed to bind evaluation server on {addr}: {error}");
@@ -332,6 +512,19 @@ fn main() {
         server.local_addr(),
         gcnrl_serve::PROTOCOL_VERSION
     );
+
+    // Sharded-tier peering: with the full ring in GCNRL_SERVE_PEERS, this
+    // shard pulls mis-routed/re-hashed keys from their rendezvous owners
+    // over CacheQuery/CacheFill instead of re-simulating.
+    if let Some(peers) = gcnrl_telemetry::env_string("GCNRL_SERVE_PEERS") {
+        let ring: Vec<String> = peers
+            .split(',')
+            .map(|addr| addr.trim().to_owned())
+            .filter(|addr| !addr.is_empty())
+            .collect();
+        server.enable_peering(ring.clone(), server.local_addr().to_string());
+        println!("peering enabled over ring {ring:?}");
+    }
 
     // Optional Prometheus scrape endpoint over the process-wide telemetry
     // registry. Strict-parsed: a malformed address panics at startup.

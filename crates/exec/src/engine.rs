@@ -229,6 +229,39 @@ impl BatchEvaluator {
         )
     }
 
+    /// The content-addressed cache key this engine files `params` under —
+    /// the identity shard peers exchange in `CacheQuery` frames.
+    pub fn cache_key(&self, params: &ParamVector) -> CacheKey {
+        self.key_for(params)
+    }
+
+    /// Reads the cached report for `key` without touching hit/miss counters
+    /// or LRU order (peer probes must not distort the signals admission and
+    /// rebalancing key on).
+    pub fn peek_cached(&self, key: &CacheKey) -> Option<PerformanceReport> {
+        self.lock_state().cache.peek(key)
+    }
+
+    /// Inserts an externally produced `key → report` (a peer shard's cached
+    /// result) as if it had been simulated here: it lands in the cache and
+    /// the persistence log, so later lookups hit locally.
+    pub fn seed_cache(&self, key: CacheKey, report: PerformanceReport) {
+        self.lock_state().insert_fresh(key, report);
+    }
+
+    /// Live capacity of the result cache (diverges from
+    /// `config().cache_capacity` after a [`resize_cache`](Self::resize_cache)).
+    pub fn cache_capacity(&self) -> usize {
+        self.lock_state().cache.capacity()
+    }
+
+    /// Resizes the result cache in place; shrinking evicts coldest-first
+    /// (see [`ResultCache::resize`]). The registry's budget rebalancer calls
+    /// this periodically.
+    pub fn resize_cache(&self, capacity: usize) {
+        self.lock_state().cache.resize(capacity);
+    }
+
     fn lock_state(&self) -> std::sync::MutexGuard<'_, EngineState> {
         // The engine never panics while holding the lock, but a poisoned
         // mutex (caller panic during a test assertion) should not cascade.

@@ -81,7 +81,7 @@ pub use engine::{BatchEvaluator, EngineConfig};
 // (gcnrl-telemetry) so every layer shares it; re-exported for the existing
 // `gcnrl_exec::env_usize` call sites.
 pub use gcnrl_telemetry::env_usize;
-pub use key::{quantize, CacheKey};
+pub use key::{quantize, CacheKey, DEFAULT_QUANTIZE_DIGITS};
 pub use pool::WorkerPool;
 pub use service::{
     panic_message, ClosedSessionStats, EvalService, PendingBatch, ServiceClosed, ServiceConfig,

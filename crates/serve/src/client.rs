@@ -150,6 +150,7 @@ enum Reply {
         metric_specs: Vec<MetricSpec>,
     },
     Closed,
+    CacheFill(Vec<Option<PerformanceReport>>),
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -271,6 +272,12 @@ impl ClientInner {
                 let slot = state.pending.remove(&id).expect("checked present");
                 return match slot.result.expect("checked resolved") {
                     Ok(reply) => Ok(reply),
+                    // A slot failed with the connection's own broken reason
+                    // died with the transport (reconnects exhausted) — that
+                    // is a disconnect, not the server rejecting the request.
+                    Err(message) if state.broken.as_deref() == Some(message.as_str()) => {
+                        Err(ServeError::Disconnected(message))
+                    }
                     Err(message) => Err(ServeError::Rejected(message)),
                 };
             }
@@ -334,6 +341,9 @@ fn reader_loop(inner: &Arc<ClientInner>, mut stream: TcpStream) {
                     }
                     ServerMsg::Closed { id, .. } => {
                         deliver(&mut state, id, Ok(Reply::Closed));
+                    }
+                    ServerMsg::CacheFill { id, hits } => {
+                        deliver(&mut state, id, Ok(Reply::CacheFill(hits)));
                     }
                     ServerMsg::Error {
                         id: Some(id),
@@ -831,6 +841,35 @@ impl RemoteBackend {
             Reply::Stats(stats) => Ok(stats),
             _ => Err(ServeError::Protocol(
                 "expected Stats for a Stats request".to_owned(),
+            )),
+        }
+    }
+
+    /// Asks the server whether its result caches hold `keys` (protocol v4
+    /// peering). One slot comes back per key, in query order —
+    /// `Some(report)` for a cache hit, `None` for a miss. Probes are
+    /// non-polluting on the server side (no counter or LRU effect).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn cache_query(
+        &self,
+        keys: Vec<gcnrl_exec::CacheKey>,
+    ) -> Result<Vec<Option<PerformanceReport>>, ServeError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let id = self
+            .inner
+            .send(SlotKind::Control, move |id| ClientMsg::CacheQuery {
+                id,
+                keys,
+            })?;
+        match self.inner.wait(id)? {
+            Reply::CacheFill(hits) => Ok(hits),
+            _ => Err(ServeError::Protocol(
+                "expected CacheFill for a CacheQuery request".to_owned(),
             )),
         }
     }

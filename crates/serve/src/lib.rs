@@ -50,12 +50,14 @@ mod metrics_http;
 mod poll;
 mod registry;
 mod server;
+mod sharded;
 
 pub use client::{ReconnectConfig, RemoteBackend, RemoteConfig, ServeError};
 pub use metrics_http::MetricsHttpServer;
-pub use protocol::{FrameError, WireStats, PROTOCOL_VERSION};
+pub use protocol::{FrameError, WireStats, PREV_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
 pub use server::{EvalServer, ServerConfig, ServerStats};
+pub use sharded::{addrs_from_env, rendezvous_owner, ShardedBackend, ShardedConfig};
 
 #[cfg(test)]
 mod tests {
@@ -227,6 +229,51 @@ mod tests {
             .collect();
         simulated.sort_unstable();
         assert_eq!(simulated, vec![2, 3]);
+    }
+
+    #[test]
+    fn sharded_backend_routes_deterministically_and_survives_a_killed_shard() {
+        let node = TechnologyNode::tsmc180();
+        let batch = candidates(Benchmark::TwoStageTia, &node, 12);
+        // The solo local reference every sharded run must match bit-for-bit.
+        let local =
+            BatchEvaluator::for_benchmark(Benchmark::TwoStageTia, &node, EngineConfig::serial());
+        let reference = local.evaluate_batch(&batch);
+
+        let mut servers: Vec<EvalServer> = (0..3).map(|_| serial_server()).collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let sharded = ShardedBackend::connect(
+            &addrs,
+            Benchmark::TwoStageTia,
+            &node,
+            ShardedConfig::default(),
+        )
+        .expect("connect ring");
+        assert_eq!(sharded.live_shards(), addrs);
+        // Routing is a pure function of the candidate: stable across calls.
+        for params in &batch {
+            assert_eq!(sharded.shard_for(params), sharded.shard_for(params));
+        }
+        let first = sharded.try_evaluate_batch(&batch).expect("first pass");
+        assert_eq!(first, reference, "sharded run diverged from local");
+
+        // Kill one of the three shards; its keys re-hash onto the survivors
+        // and the batch must still complete, bit-identically.
+        let victim = servers.remove(1);
+        victim.shutdown();
+        drop(victim);
+        let second = sharded.try_evaluate_batch(&batch).expect("post-kill pass");
+        assert_eq!(second, reference, "failover changed evaluation results");
+        assert_eq!(sharded.live_shards().len(), 2, "dead shard not marked");
+        // Survivor-owned keys did not move: a third pass is all cache hits.
+        let hits_before = EvalBackend::stats(&sharded).cache_hits;
+        let third = sharded.try_evaluate_batch(&batch).expect("warm pass");
+        assert_eq!(third, reference);
+        assert!(EvalBackend::stats(&sharded).cache_hits > hits_before);
+        sharded.goodbye().expect("clean close");
+        for server in servers {
+            server.shutdown();
+        }
     }
 
     #[test]

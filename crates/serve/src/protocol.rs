@@ -35,22 +35,32 @@
 //! mid-batch disconnects).
 
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
-use gcnrl_exec::{BatchReport, ExecStats, SessionStats};
+use gcnrl_exec::{BatchReport, CacheKey, ExecStats, SessionStats};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
 use gcnrl_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version of the wire protocol; bumped on incompatible message changes.
-/// The handshake rejects clients speaking anything but this or
-/// [`LEGACY_PROTOCOL_VERSION`].
+/// The handshake rejects clients speaking anything but this,
+/// [`PREV_PROTOCOL_VERSION`] or [`LEGACY_PROTOCOL_VERSION`].
+///
+/// v4: adds the shard-peering frames [`ClientMsg::CacheQuery`] /
+/// [`ServerMsg::CacheFill`], so a shard holding a key another shard needs
+/// can hand the cached report over instead of forcing a re-simulation.
+/// Every v3 shape is unchanged — v3 clients are served identically.
 ///
 /// v3: requests carry an `id` (responses may return out of order —
 /// pipelining) and a `channel` (several logical sessions per socket —
 /// multiplexing). v2 clients are still served via the [`v2`] compat shapes.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
-/// The previous protocol version the server still accepts: blocking
+/// The previous protocol version: v3 pipelining/multiplexing without the
+/// peering frames. Served identically to v4 (the v3 message shapes are a
+/// strict subset), minus `CacheQuery`.
+pub const PREV_PROTOCOL_VERSION: u32 = 3;
+
+/// The oldest protocol version the server still accepts: blocking
 /// one-request-at-a-time clients speaking the [`v2`] message shapes.
 pub const LEGACY_PROTOCOL_VERSION: u32 = 2;
 
@@ -168,6 +178,19 @@ pub enum ClientMsg {
         /// Request id, echoed on the response.
         id: u64,
     },
+    /// Shard peering (v4): asks whether any of the server's result caches
+    /// hold these content-addressed keys. Sent shard-to-shard when a
+    /// mis-routed or failover-re-hashed key's owner is a different server,
+    /// so the receiver can pull the owner's cached report instead of
+    /// re-simulating. Valid *before* a session handshake (a peer probe binds
+    /// no benchmark), answered by [`ServerMsg::CacheFill`]. Cache reads are
+    /// non-polluting: probes touch neither hit/miss counters nor LRU order.
+    CacheQuery {
+        /// Request id, echoed on the response.
+        id: u64,
+        /// The content-addressed keys to look up.
+        keys: Vec<CacheKey>,
+    },
     /// Close the connection cleanly (all channels retire).
     Goodbye,
 }
@@ -220,6 +243,15 @@ pub enum ServerMsg {
         id: u64,
         /// The process-wide registry snapshot.
         snapshot: RegistrySnapshot,
+    },
+    /// Cache-peering answer to [`ClientMsg::CacheQuery`] (v4): one slot per
+    /// queried key, in query order — `Some(report)` when any of the server's
+    /// services had the key cached, `None` otherwise.
+    CacheFill {
+        /// Echo of the request id.
+        id: u64,
+        /// Per-key lookup results, in query order.
+        hits: Vec<Option<PerformanceReport>>,
     },
     /// The request failed (handshake rejection, admission control,
     /// evaluator panic, malformed message). `id`/`channel` are `None` for
@@ -698,6 +730,80 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(hello.version, LEGACY_PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn v4_peering_frames_round_trip_with_order_preserved() {
+        let keys = vec![
+            CacheKey {
+                benchmark: Benchmark::TwoStageTia,
+                node: "tsmc180".to_owned(),
+                param_bits: vec![1, 2, 3],
+            },
+            CacheKey {
+                benchmark: Benchmark::Ldo,
+                node: "tsmc180".to_owned(),
+                param_bits: vec![9],
+            },
+        ];
+        let query = ClientMsg::CacheQuery {
+            id: 21,
+            keys: keys.clone(),
+        };
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&query));
+        let back: ClientMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read");
+        assert_eq!(back, query);
+
+        let mut report = PerformanceReport::new();
+        report.set("gain_db", 1.0 / 7.0);
+        let fill = ServerMsg::CacheFill {
+            id: 21,
+            hits: vec![Some(report.clone()), None],
+        };
+        let mut cursor = std::io::Cursor::new(frame_bytes(&fill));
+        let back: ServerMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read");
+        let ServerMsg::CacheFill { id, hits } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(id, 21);
+        assert_eq!(hits, vec![Some(report), None]);
+    }
+
+    #[test]
+    fn v3_shapes_are_unchanged_under_the_v4_enums() {
+        // A v3 client's frames must decode identically on a v4 server (and
+        // v4 answers in v3 shapes must decode on a v3 client): the v3
+        // variants did not change, v4 only *adds* CacheQuery/CacheFill.
+        let v3_hello = ClientMsg::Hello(Hello {
+            version: PREV_PROTOCOL_VERSION,
+            benchmark: Benchmark::TwoStageTia,
+            node: TechnologyNode::tsmc180(),
+            session: None,
+            weight: None,
+        });
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(frame_bytes(&v3_hello));
+        let back: ClientMsg = reader
+            .read_msg(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read v3 hello under v4");
+        let ClientMsg::Hello(hello) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(hello.version, PREV_PROTOCOL_VERSION);
+        // The externally tagged JSON of a shared variant is byte-identical
+        // across versions — nothing for a v3 peer to trip on.
+        let batch = ClientMsg::EvalBatch {
+            id: 5,
+            channel: 1,
+            params: vec![ParamVector::new(vec![ComponentParams::Resistance(2.0)])],
+        };
+        let json = serde_json::to_string(&batch).expect("serialize");
+        assert!(json.starts_with("{\"EvalBatch\""), "{json}");
     }
 
     #[test]

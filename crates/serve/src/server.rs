@@ -35,19 +35,22 @@
 
 use crate::poll::PollSet;
 use crate::protocol::{
-    encode_frame, v2, ClientMsg, FrameError, FrameReader, FrameWriter, Hello, ServerMsg, Welcome,
-    WireStats, DEFAULT_MAX_FRAME_BYTES, LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    encode_frame, v2, write_frame, ClientMsg, FrameError, FrameReader, FrameWriter, Hello,
+    ServerMsg, Welcome, WireStats, DEFAULT_MAX_FRAME_BYTES, LEGACY_PROTOCOL_VERSION,
+    PREV_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
-use gcnrl_circuit::{benchmarks::Benchmark, TechnologyNode};
-use gcnrl_exec::{panic_message, PendingBatch, SessionHandle};
+use crate::sharded::rendezvous_owner;
+use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
+use gcnrl_exec::{panic_message, CacheKey, PendingBatch, SessionHandle};
+use gcnrl_sim::PerformanceReport;
 use serde::Serialize;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -81,6 +84,20 @@ pub struct ServerConfig {
     /// with an `Error{busy}` frame (`GCNRL_SERVE_BACKLOG` in the serve
     /// binary). `None` admits unconditionally.
     pub backlog_limit: Option<u64>,
+    /// Latency-keyed admission control: when set, a `Hello` arriving while
+    /// the observed dispatch queue-wait p90 (over a sliding window of recent
+    /// requests, merged across services) exceeds this limit is rejected with
+    /// an `Error{busy}` frame (`GCNRL_SERVE_QUEUE_WAIT_MS` in the serve
+    /// binary). [`ServerConfig::backlog_limit`] stays as the hard fallback.
+    pub queue_wait_limit: Option<Duration>,
+    /// Deadline of one peer `CacheQuery` round trip (connect + request +
+    /// response) on the v4 peering path. A peer slower than this is treated
+    /// as a miss and the batch simulates locally.
+    pub peer_timeout: Duration,
+    /// When set, the reactor periodically re-apportions the registry's cache
+    /// budget across services by observed demand
+    /// (`ServiceRegistry::rebalance_cache`). `None` keeps the static split.
+    pub rebalance_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +110,9 @@ impl Default for ServerConfig {
             workers: 4,
             max_pipeline: 1024,
             backlog_limit: None,
+            queue_wait_limit: None,
+            peer_timeout: Duration::from_millis(500),
+            rebalance_interval: None,
         }
     }
 }
@@ -108,10 +128,114 @@ pub struct ServerStats {
     /// malformed hello).
     pub connections_rejected: u64,
     /// Handshakes turned away by admission control (backlog over
-    /// [`ServerConfig::backlog_limit`]).
+    /// [`ServerConfig::backlog_limit`] or queue-wait p90 over
+    /// [`ServerConfig::queue_wait_limit`]).
     pub admission_rejected: u64,
+    /// Peer `CacheQuery` round trips issued on the v4 peering path.
+    pub peer_queries: u64,
+    /// Cached reports pulled from peers instead of re-simulated.
+    pub peer_fills: u64,
     /// Per-service statistics of every instantiated registry entry.
     pub services: Vec<ServiceEntryStats>,
+}
+
+/// The shard ring this server peers within (protocol v4): set post-bind via
+/// [`EvalServer::enable_peering`] once every shard's concrete address is
+/// known. `self_addr` must appear in `peers` spelled identically to how
+/// clients spell it, so client routing and server-side ownership agree.
+#[derive(Debug, Clone)]
+struct PeeringRing {
+    peers: Vec<String>,
+    self_addr: String,
+}
+
+/// One cached outbound link to a peer shard (blocking, timeout-bounded;
+/// used by workers only — never the reactor thread).
+struct PeerLink {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+struct PeerSlot {
+    link: Option<PeerLink>,
+    next_id: u64,
+}
+
+/// Lazily-connected outbound links to peer shards. The pool lock is held
+/// only to fetch a per-peer slot; the slot's own lock covers the I/O, so
+/// queries to different peers proceed concurrently.
+#[derive(Default)]
+struct PeerPool {
+    links: Mutex<HashMap<String, Arc<Mutex<PeerSlot>>>>,
+}
+
+impl PeerPool {
+    /// One `CacheQuery` round trip to `addr`. Any transport hiccup drops the
+    /// cached link and reports failure — the caller simulates locally; the
+    /// next query reconnects.
+    fn query(
+        &self,
+        addr: &str,
+        timeout: Duration,
+        keys: &[CacheKey],
+    ) -> Result<Vec<Option<PerformanceReport>>, ()> {
+        let slot = Arc::clone(
+            self.links
+                .lock()
+                .expect("peer pool lock")
+                .entry(addr.to_owned())
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(PeerSlot {
+                        link: None,
+                        next_id: 0,
+                    }))
+                }),
+        );
+        let mut slot = slot.lock().expect("peer slot lock");
+        if slot.link.is_none() {
+            let sock = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .ok_or(())?;
+            let stream = TcpStream::connect_timeout(&sock, timeout).map_err(|_| ())?;
+            stream.set_read_timeout(Some(timeout)).map_err(|_| ())?;
+            stream.set_write_timeout(Some(timeout)).map_err(|_| ())?;
+            let _ = stream.set_nodelay(true);
+            slot.link = Some(PeerLink {
+                stream,
+                reader: FrameReader::new(),
+            });
+        }
+        slot.next_id += 1;
+        let id = slot.next_id;
+        let link = slot.link.as_mut().expect("link just ensured");
+        let sent = write_frame(
+            &mut link.stream,
+            &ClientMsg::CacheQuery {
+                id,
+                keys: keys.to_vec(),
+            },
+        );
+        if sent.is_err() {
+            slot.link = None;
+            return Err(());
+        }
+        // The peer answers CacheQuery pre-handshake and in order; anything
+        // else on this dedicated link means the link is out of sync.
+        match link
+            .reader
+            .read_msg::<ServerMsg>(&mut link.stream, DEFAULT_MAX_FRAME_BYTES)
+        {
+            Ok(ServerMsg::CacheFill { id: got, hits }) if got == id && hits.len() == keys.len() => {
+                Ok(hits)
+            }
+            _ => {
+                slot.link = None;
+                Err(())
+            }
+        }
+    }
 }
 
 struct ServerShared {
@@ -122,6 +246,19 @@ struct ServerShared {
     connections_active: AtomicU64,
     connections_rejected: AtomicU64,
     admission_rejected: AtomicU64,
+    peer_queries: AtomicU64,
+    peer_fills: AtomicU64,
+    peering: RwLock<Option<PeeringRing>>,
+    peer_pool: PeerPool,
+}
+
+/// The labeled `serve.connections{shard=...}` gauge when peering is on.
+fn shard_connections_gauge(shared: &ServerShared) -> Option<Arc<gcnrl_telemetry::Gauge>> {
+    let ring = shared.peering.read().expect("peering lock").clone()?;
+    Some(gcnrl_telemetry::global().gauge(&gcnrl_telemetry::labeled(
+        "serve.connections",
+        &[("shard", &ring.self_addr)],
+    )))
 }
 
 /// The evaluation server. Dropping it (or calling [`EvalServer::shutdown`])
@@ -177,6 +314,10 @@ impl EvalServer {
             connections_active: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
             admission_rejected: AtomicU64::new(0),
+            peer_queries: AtomicU64::new(0),
+            peer_fills: AtomicU64::new(0),
+            peering: RwLock::new(None),
+            peer_pool: PeerPool::default(),
         });
         let (task_tx, task_rx) = channel::<Task>();
         let task_rx = Arc::new(Mutex::new(task_rx));
@@ -204,6 +345,10 @@ impl EvalServer {
                 conns: Vec::new(),
                 next_gen: 0,
                 drain: None,
+                next_rebalance: shared
+                    .config
+                    .rebalance_interval
+                    .map(|interval| Instant::now() + interval),
                 poll: PollSet::new(),
             };
             std::thread::Builder::new()
@@ -238,8 +383,21 @@ impl EvalServer {
             connections_active: self.shared.connections_active.load(Ordering::Relaxed),
             connections_rejected: self.shared.connections_rejected.load(Ordering::Relaxed),
             admission_rejected: self.shared.admission_rejected.load(Ordering::Relaxed),
+            peer_queries: self.shared.peer_queries.load(Ordering::Relaxed),
+            peer_fills: self.shared.peer_fills.load(Ordering::Relaxed),
             services: self.shared.registry.stats(),
         }
+    }
+
+    /// Joins this server into a shard ring (protocol v4 peering): a batch
+    /// containing locally-missing candidates owned — by rendezvous hash over
+    /// `peers` — by another shard pulls their cached reports from that owner
+    /// (`CacheQuery`/`CacheFill`) instead of re-simulating. Call after
+    /// `bind` once every shard's concrete address is known; `self_addr` must
+    /// appear in `peers` spelled exactly as clients spell it.
+    pub fn enable_peering(&self, peers: Vec<String>, self_addr: String) {
+        *self.shared.peering.write().expect("peering lock") =
+            Some(PeeringRing { peers, self_addr });
     }
 
     /// Graceful drain: the listener drops (freeing the port), every
@@ -307,6 +465,20 @@ enum Task {
         channel: u32,
         pending: PendingBatch,
     },
+    /// An `EvalBatch` whose locally-missing candidates are owned by peer
+    /// shards: pull their cached reports (`CacheQuery`) and seed the local
+    /// cache before submitting. Blocking peer I/O must not stall the
+    /// reactor, so — unlike the inline fast path — the submit happens on a
+    /// worker; the completion re-enters the reactor as a [`Task::Wait`].
+    Batch {
+        token: usize,
+        gen: u64,
+        version: u32,
+        id: u64,
+        channel: u32,
+        session: SessionHandle,
+        params: Vec<ParamVector>,
+    },
 }
 
 /// A worker's result, applied to the connection by the reactor.
@@ -319,13 +491,17 @@ struct Done {
     set_version: Option<u32>,
     /// The handshake finished (success or failure) — resume reading.
     handshake_done: bool,
-    /// A session to install under a channel number.
-    open: Option<(u32, SessionHandle)>,
+    /// A session (and its name) to install under a channel number.
+    open: Option<(u32, SessionHandle, String)>,
     /// The `Open` for this channel finished (success or failure) — release
     /// the reservation.
     channel_done: Option<u32>,
     /// One in-flight request (`Open`/`Wait`) completed.
     request_done: bool,
+    /// A [`Task::Batch`] submitted its batch after the peer pulls: the
+    /// reactor re-dispatches it as a [`Task::Wait`] (the request stays in
+    /// flight — `request_done` belongs to the eventual `Wait` completion).
+    wait: Option<(u32, u64, u32, PendingBatch)>,
     /// Close the connection once the queued frames flush.
     close: bool,
 }
@@ -341,6 +517,7 @@ impl Done {
             open: None,
             channel_done: None,
             request_done: false,
+            wait: None,
             close: false,
         }
     }
@@ -457,13 +634,13 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
                     done.frames.push(
                         encode_frame(&ServerMsg::Welcome(Welcome {
                             version,
-                            session: name,
+                            session: name.clone(),
                             metric_specs: specs,
                         }))
                         .unwrap_or_default(),
                     );
                     done.set_version = Some(version);
-                    done.open = Some((0, session));
+                    done.open = Some((0, session, name));
                 }
                 Err(payload) => {
                     shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
@@ -507,12 +684,12 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
                         encode_frame(&ServerMsg::Opened {
                             id,
                             channel,
-                            session: name,
+                            session: name.clone(),
                             metric_specs: specs,
                         })
                         .unwrap_or_default(),
                     );
-                    done.open = Some((channel, handle));
+                    done.open = Some((channel, handle, name));
                 }
                 Err(payload) => {
                     done.frames.push(error_frame(
@@ -558,6 +735,82 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
             done.frames.push(frame);
             done
         }
+        Task::Batch {
+            token,
+            gen,
+            version,
+            id,
+            channel,
+            session,
+            params,
+        } => {
+            let mut done = Done::base(token, gen);
+            let ring = shared.peering.read().expect("peering lock").clone();
+            if let Some(ring) = ring {
+                let service = session.service();
+                let engine = service.engine();
+                // Group the locally-missing, peer-owned keys by their owner
+                // so each peer gets one round trip; BTreeMap keeps the
+                // query order deterministic.
+                let mut by_owner: BTreeMap<String, Vec<CacheKey>> = BTreeMap::new();
+                for param in &params {
+                    let key = engine.cache_key(param);
+                    if engine.peek_cached(&key).is_some() {
+                        continue;
+                    }
+                    let owner =
+                        rendezvous_owner(key.digest(), ring.peers.iter().map(String::as_str));
+                    if let Some(owner) = owner {
+                        if owner != ring.self_addr {
+                            by_owner.entry(owner.to_owned()).or_default().push(key);
+                        }
+                    }
+                }
+                for (owner, keys) in by_owner {
+                    shared.peer_queries.fetch_add(1, Ordering::Relaxed);
+                    gcnrl_telemetry::global()
+                        .counter(&gcnrl_telemetry::labeled(
+                            "serve.peer.queries",
+                            &[("peer", &owner)],
+                        ))
+                        .inc();
+                    // A failed or timed-out peer is simply a miss: the
+                    // candidates simulate locally, bit-identically.
+                    let Ok(hits) =
+                        shared
+                            .peer_pool
+                            .query(&owner, shared.config.peer_timeout, &keys)
+                    else {
+                        continue;
+                    };
+                    for (key, hit) in keys.into_iter().zip(hits) {
+                        if let Some(report) = hit {
+                            engine.seed_cache(key, report);
+                            shared.peer_fills.fetch_add(1, Ordering::Relaxed);
+                            gcnrl_telemetry::global()
+                                .counter(&gcnrl_telemetry::labeled(
+                                    "serve.peer.fills",
+                                    &[("peer", &owner)],
+                                ))
+                                .inc();
+                        }
+                    }
+                }
+            }
+            match session.try_submit(params) {
+                Ok(pending) => done.wait = Some((version, id, channel, pending)),
+                Err(_) => {
+                    done.request_done = true;
+                    done.frames.push(error_frame(
+                        version,
+                        Some(id),
+                        Some(channel),
+                        "the evaluation service has been shut down".to_owned(),
+                    ));
+                }
+            }
+            done
+        }
     }
 }
 
@@ -576,6 +829,8 @@ struct Conn {
     handshaking: bool,
     /// Open logical sessions by channel number (0 = the handshake session).
     channels: HashMap<u32, SessionHandle>,
+    /// Session names by channel number (per-session labeled metrics).
+    session_names: HashMap<u32, String>,
     /// Channels with an `Open` in flight (reserved against duplicates).
     pending_channels: HashSet<u32>,
     /// Requests handed to workers and not yet completed.
@@ -609,6 +864,7 @@ impl Conn {
             version: 0,
             handshaking: false,
             channels: HashMap::new(),
+            session_names: HashMap::new(),
             pending_channels: HashSet::new(),
             in_flight: 0,
             v2_queue: VecDeque::new(),
@@ -662,6 +918,21 @@ fn pipeline_depth_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
     HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.pipeline_depth"))
 }
 
+/// Records the pipeline depth a submit observed — the global histogram plus
+/// the per-session labeled family `serve.pipeline_depth{session=...}`.
+fn record_depth(conn: &Conn, channel: u32) {
+    let depth = conn.in_flight as u64 + 1;
+    pipeline_depth_hist().record(depth);
+    if let Some(name) = conn.session_names.get(&channel) {
+        gcnrl_telemetry::global()
+            .histogram(&gcnrl_telemetry::labeled(
+                "serve.pipeline_depth",
+                &[("session", name)],
+            ))
+            .record(depth);
+    }
+}
+
 fn reactor_wake_hist() -> &'static Arc<gcnrl_telemetry::Histogram> {
     static HIST: OnceLock<Arc<gcnrl_telemetry::Histogram>> = OnceLock::new();
     HIST.get_or_init(|| gcnrl_telemetry::global().histogram("serve.reactor_wake.ns"))
@@ -706,6 +977,9 @@ struct Reactor {
     next_gen: u64,
     /// Set when the drain begins: the force-close deadline.
     drain: Option<Instant>,
+    /// Next cache-budget rebalance, when [`ServerConfig::rebalance_interval`]
+    /// is set (resolution is the poll tick).
+    next_rebalance: Option<Instant>,
     poll: PollSet,
 }
 
@@ -721,6 +995,17 @@ impl Reactor {
                 let now = Instant::now();
                 for conn in self.conns.iter_mut().flatten() {
                     conn.last_frame = now;
+                }
+            }
+            if let Some(due) = self.next_rebalance {
+                if Instant::now() >= due {
+                    self.shared.registry.rebalance_cache();
+                    let interval = self
+                        .shared
+                        .config
+                        .rebalance_interval
+                        .unwrap_or(self.shared.config.poll_interval);
+                    self.next_rebalance = Some(Instant::now() + interval);
                 }
             }
             let touched = self.apply_completions();
@@ -808,6 +1093,9 @@ impl Reactor {
                         .connections_active
                         .fetch_add(1, Ordering::Relaxed);
                     connections_gauge().inc();
+                    if let Some(gauge) = shard_connections_gauge(&self.shared) {
+                        gauge.inc();
+                    }
                     self.next_gen += 1;
                     let conn = Conn::new(stream, peer, self.next_gen);
                     match self.conns.iter().position(Option::is_none) {
@@ -839,7 +1127,7 @@ impl Reactor {
             let Some(conn) = conn else {
                 // The connection closed while the worker ran: discard the
                 // result, but retire the session it may have opened.
-                if let Some((_, session)) = done.open {
+                if let Some((_, session, _)) = done.open {
                     session.retire();
                 }
                 continue;
@@ -854,13 +1142,32 @@ impl Reactor {
             if let Some(channel) = done.channel_done {
                 conn.pending_channels.remove(&channel);
             }
-            if let Some((channel, session)) = done.open {
+            if let Some((channel, session, name)) = done.open {
+                conn.session_names.insert(channel, name);
                 if let Some(replaced) = conn.channels.insert(channel, session) {
                     replaced.retire();
                 }
             }
             if done.request_done {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
+            }
+            if let Some((version, id, channel, pending)) = done.wait {
+                // A peer-assisted batch is now submitted: hand the harvest
+                // back to the worker pool (the request stays in flight).
+                if self
+                    .tasks
+                    .send(Task::Wait {
+                        token: done.token,
+                        gen: done.gen,
+                        version,
+                        id,
+                        channel,
+                        pending,
+                    })
+                    .is_err()
+                {
+                    conn.dead = true;
+                }
             }
             for frame in &done.frames {
                 conn.writer.queue_frame(frame);
@@ -983,6 +1290,15 @@ impl Reactor {
     fn handle_pre(&mut self, slot: usize, conn: &mut Conn, msg: ClientMsg) {
         let hello = match msg {
             ClientMsg::Hello(hello) => hello,
+            // Peer shards probe the cache without a handshake (v4 peering):
+            // the connection stays pre-handshake (version 0), so a link may
+            // carry any number of queries, and admission control does not
+            // apply — a peer pull is how a busy shard *avoids* work.
+            ClientMsg::CacheQuery { id, keys } => {
+                let hits = self.shared.registry.peek_cached(&keys);
+                conn.queue_msg(&ServerMsg::CacheFill { id, hits });
+                return;
+            }
             other => {
                 self.shared
                     .connections_rejected
@@ -992,7 +1308,10 @@ impl Reactor {
                 return;
             }
         };
-        if hello.version != PROTOCOL_VERSION && hello.version != LEGACY_PROTOCOL_VERSION {
+        if hello.version != PROTOCOL_VERSION
+            && hello.version != PREV_PROTOCOL_VERSION
+            && hello.version != LEGACY_PROTOCOL_VERSION
+        {
             self.shared
                 .connections_rejected
                 .fetch_add(1, Ordering::Relaxed);
@@ -1001,13 +1320,38 @@ impl Reactor {
                 None,
                 format!(
                     "protocol version mismatch: client speaks v{}, server speaks v{} \
-                     (v{} still accepted)",
-                    hello.version, PROTOCOL_VERSION, LEGACY_PROTOCOL_VERSION
+                     (v{} and v{} still accepted)",
+                    hello.version, PROTOCOL_VERSION, PREV_PROTOCOL_VERSION, LEGACY_PROTOCOL_VERSION
                 ),
             );
             conn.close_after_flush = true;
             handshake_hist().record_duration(conn.opened_at.elapsed());
             return;
+        }
+        if let Some(limit) = self.shared.config.queue_wait_limit {
+            // Latency-keyed admission: reject while the observed dispatch
+            // queue-wait p90 over the recent window exceeds the limit. The
+            // backlog count below stays as the hard fallback.
+            if let Some(p90) = self.shared.registry.queue_wait_p90() {
+                if p90 > limit {
+                    self.shared
+                        .admission_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.queue_error(
+                        None,
+                        None,
+                        format!(
+                            "busy: observed queue-wait p90 of {:.1} ms exceeds the \
+                             admission limit of {:.1} ms; retry later",
+                            p90.as_secs_f64() * 1e3,
+                            limit.as_secs_f64() * 1e3
+                        ),
+                    );
+                    conn.close_after_flush = true;
+                    handshake_hist().record_duration(conn.opened_at.elapsed());
+                    return;
+                }
+            }
         }
         if let Some(limit) = self.shared.config.backlog_limit {
             let pending = self.shared.registry.pending_requests();
@@ -1095,9 +1439,16 @@ impl Reactor {
                     conn.dead = true;
                 }
             }
+            ClientMsg::CacheQuery { id, keys } => {
+                // Also valid on an established connection: answer from the
+                // local caches without touching hit/miss counters.
+                let hits = self.shared.registry.peek_cached(&keys);
+                conn.queue_msg(&ServerMsg::CacheFill { id, hits });
+            }
             ClientMsg::Close { id, channel } => match conn.channels.remove(&channel) {
                 Some(session) => {
                     session.retire();
+                    conn.session_names.remove(&channel);
                     conn.queue_msg(&ServerMsg::Closed { id, channel });
                 }
                 None => {
@@ -1132,12 +1483,48 @@ impl Reactor {
                     );
                     return;
                 }
+                // Peering divert: when this server is part of a shard ring
+                // and the batch contains a locally-missing candidate owned
+                // by a peer, the peer pull involves blocking I/O — hand the
+                // whole submit to a worker instead of stalling the reactor.
+                let ring = self.shared.peering.read().expect("peering lock").clone();
+                let divert = ring.is_some_and(|ring| {
+                    let service = session.service();
+                    let engine = service.engine();
+                    params.iter().any(|param| {
+                        let key = engine.cache_key(param);
+                        engine.peek_cached(&key).is_none()
+                            && rendezvous_owner(key.digest(), ring.peers.iter().map(String::as_str))
+                                .is_some_and(|owner| owner != ring.self_addr)
+                    })
+                });
+                if divert {
+                    let session = session.clone();
+                    record_depth(conn, channel);
+                    conn.in_flight += 1;
+                    if self
+                        .tasks
+                        .send(Task::Batch {
+                            token: slot,
+                            gen: conn.gen,
+                            version: conn.version,
+                            id,
+                            channel,
+                            session,
+                            params,
+                        })
+                        .is_err()
+                    {
+                        conn.dead = true;
+                    }
+                    return;
+                }
                 // Submit inline so the service dispatcher sees the whole
                 // pipelined window and packs full rounds; the worker only
                 // harvests the result.
                 match session.try_submit(params) {
                     Ok(pending) => {
-                        pipeline_depth_hist().record(conn.in_flight as u64 + 1);
+                        record_depth(conn, channel);
                         conn.in_flight += 1;
                         if self
                             .tasks
@@ -1216,7 +1603,7 @@ impl Reactor {
                     };
                     match session.try_submit(params) {
                         Ok(pending) => {
-                            pipeline_depth_hist().record(1);
+                            record_depth(conn, 0);
                             conn.in_flight = 1;
                             if self
                                 .tasks
@@ -1322,6 +1709,9 @@ impl Reactor {
                     .connections_active
                     .fetch_sub(1, Ordering::Relaxed);
                 connections_gauge().dec();
+                if let Some(gauge) = shard_connections_gauge(&self.shared) {
+                    gauge.dec();
+                }
             }
         }
     }
@@ -1377,6 +1767,20 @@ mod tests {
             .circuit()
             .design_space(&TechnologyNode::tsmc180())
             .nominal()
+    }
+
+    fn distinct_candidates(n: usize) -> Vec<ParamVector> {
+        let space = Benchmark::TwoStageTia
+            .circuit()
+            .design_space(&TechnologyNode::tsmc180());
+        (0..n)
+            .map(|i| {
+                let unit: Vec<f64> = (0..space.num_parameters())
+                    .map(|j| ((i * 17 + j * 3) % 89) as f64 / 88.0)
+                    .collect();
+                space.from_unit(&unit)
+            })
+            .collect()
     }
 
     #[test]
@@ -1736,6 +2140,178 @@ mod tests {
         let mut fine = gcnrl_sim::PerformanceReport::new();
         fine.set("gain_db", 42.0);
         assert_eq!(first_non_finite(&[fine]), None);
+    }
+
+    #[test]
+    fn previous_protocol_v3_clients_are_served_unchanged() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut stream, &raw_hello(PREV_PROTOCOL_VERSION)).expect("send hello");
+        let ServerMsg::Welcome(welcome) = read_reply(&mut stream) else {
+            panic!("v3 client rejected");
+        };
+        assert_eq!(welcome.version, PREV_PROTOCOL_VERSION);
+        write_frame(
+            &mut stream,
+            &ClientMsg::EvalBatch {
+                id: 3,
+                channel: 0,
+                params: vec![nominal()],
+            },
+        )
+        .expect("send batch");
+        match read_reply(&mut stream) {
+            ServerMsg::BatchResult { id, reports, .. } => {
+                assert_eq!(id, 3);
+                assert_eq!(reports.len(), 1);
+            }
+            other => panic!("expected BatchResult, got {other:?}"),
+        }
+        write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
+        assert!(matches!(read_reply(&mut stream), ServerMsg::Goodbye));
+        server.shutdown();
+        assert_eq!(server.stats().connections_rejected, 0);
+    }
+
+    #[test]
+    fn pre_handshake_cache_queries_answer_from_the_local_cache() {
+        let server = test_server();
+        let node = TechnologyNode::tsmc180();
+        let candidate = nominal();
+        // The exact content-addressed key the server's engine uses.
+        let key = server
+            .registry()
+            .service_for(Benchmark::TwoStageTia, &node)
+            .engine()
+            .cache_key(&candidate);
+        // A probe link never handshakes; it may carry any number of queries.
+        let mut probe = TcpStream::connect(server.local_addr()).expect("connect probe");
+        write_frame(
+            &mut probe,
+            &ClientMsg::CacheQuery {
+                id: 7,
+                keys: vec![key.clone()],
+            },
+        )
+        .expect("send query");
+        match read_reply(&mut probe) {
+            ServerMsg::CacheFill { id, hits } => {
+                assert_eq!(id, 7);
+                assert_eq!(hits, vec![None], "nothing cached yet");
+            }
+            other => panic!("expected CacheFill, got {other:?}"),
+        }
+        // Evaluate the candidate through a normal connection...
+        let mut client = TcpStream::connect(server.local_addr()).expect("connect client");
+        write_frame(&mut client, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut client), ServerMsg::Welcome(_)));
+        write_frame(
+            &mut client,
+            &ClientMsg::EvalBatch {
+                id: 1,
+                channel: 0,
+                params: vec![candidate],
+            },
+        )
+        .expect("send batch");
+        let ServerMsg::BatchResult { reports, .. } = read_reply(&mut client) else {
+            panic!("expected BatchResult");
+        };
+        // ...and the same probe link now sees the bit-identical report.
+        write_frame(
+            &mut probe,
+            &ClientMsg::CacheQuery {
+                id: 8,
+                keys: vec![key],
+            },
+        )
+        .expect("send second query");
+        match read_reply(&mut probe) {
+            ServerMsg::CacheFill { id, hits } => {
+                assert_eq!(id, 8);
+                assert_eq!(hits, vec![Some(reports[0].clone())]);
+            }
+            other => panic!("expected CacheFill, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_wait_admission_rejects_hellos_once_the_p90_exceeds_the_limit() {
+        let server = test_server_with(ServerConfig {
+            queue_wait_limit: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        });
+        // No dispatches observed yet: the first client is admitted.
+        let mut first = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut first, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        assert!(matches!(read_reply(&mut first), ServerMsg::Welcome(_)));
+        // One dispatched batch records a strictly positive queue wait.
+        write_frame(
+            &mut first,
+            &ClientMsg::EvalBatch {
+                id: 1,
+                channel: 0,
+                params: vec![nominal()],
+            },
+        )
+        .expect("send batch");
+        assert!(matches!(
+            read_reply(&mut first),
+            ServerMsg::BatchResult { .. }
+        ));
+        // The observed p90 now exceeds the zero limit: the next Hello
+        // bounces, while the admitted connection keeps being served.
+        let mut second = TcpStream::connect(server.local_addr()).expect("connect");
+        write_frame(&mut second, &raw_hello(PROTOCOL_VERSION)).expect("send hello");
+        match read_reply(&mut second) {
+            ServerMsg::Error { message, .. } => {
+                assert!(message.contains("queue-wait"), "{message}");
+            }
+            other => panic!("expected busy Error, got {other:?}"),
+        }
+        write_frame(&mut first, &ClientMsg::Stats { id: 2, channel: 0 }).expect("send stats");
+        assert!(matches!(read_reply(&mut first), ServerMsg::Stats { .. }));
+        assert_eq!(server.stats().admission_rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn peer_shards_pull_cached_results_instead_of_resimulating() {
+        use crate::client::RemoteBackend;
+        let node = TechnologyNode::tsmc180();
+        let a = test_server();
+        let b = test_server();
+        let addr_a = a.local_addr().to_string();
+        let addr_b = b.local_addr().to_string();
+        let ring = vec![addr_a.clone(), addr_b.clone()];
+        a.enable_peering(ring.clone(), addr_a);
+        b.enable_peering(ring, addr_b);
+        let batch = distinct_candidates(24);
+        // Warm shard B with the whole batch: B pulls the A-owned keys from
+        // A, misses (A is cold), and simulates everything locally — peering
+        // never blocks progress.
+        let warm = RemoteBackend::connect(b.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect shard b");
+        let reference = warm.try_evaluate_batch(&batch).expect("warm batch");
+        // Shard A now pulls every B-owned report over CacheQuery/CacheFill
+        // instead of re-simulating it.
+        let remote = RemoteBackend::connect(a.local_addr(), Benchmark::TwoStageTia, &node)
+            .expect("connect shard a");
+        let reports = remote.try_evaluate_batch(&batch).expect("peered batch");
+        assert_eq!(reports, reference, "peer fills must be bit-identical");
+        let stats = a.stats();
+        assert!(stats.peer_queries >= 1, "A never queried its peer");
+        assert!(stats.peer_fills >= 1, "no cross-shard cache fill happened");
+        // Everything pulled from B was not simulated again on A.
+        let a_sim = a.stats().services[0].engine.simulated;
+        let b_sim = b.stats().services[0].engine.simulated;
+        assert_eq!(b_sim, 24);
+        assert_eq!(a_sim + stats.peer_fills, 24);
+        remote.goodbye().expect("clean close a");
+        warm.goodbye().expect("clean close b");
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]

@@ -44,8 +44,8 @@ mod trace;
 
 pub use env::{env_socket_addr, env_string, env_usize};
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
-    HISTOGRAM_BUCKETS,
+    global, labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    RegistrySnapshot, HISTOGRAM_BUCKETS,
 };
 pub use trace::{
     disable_trace, set_trace_file, trace_enabled, trace_event, SpanGuard, TRACE_ENV_VAR,

@@ -389,45 +389,138 @@ impl RegistrySnapshot {
     }
 
     /// Renders the snapshot in Prometheus text exposition format (0.0.4).
-    /// Metric names have `.`/`-` mapped to `_`; histogram `le` labels are
-    /// raw bucket bounds (nanoseconds for `*.ns` histograms).
+    /// Metric names have `.`/`-` mapped to `_`; a `{label="..."}` suffix
+    /// built by [`labeled`] passes through untouched, and every member of a
+    /// labeled family shares one `# TYPE` header. Histogram `le` labels are
+    /// raw bucket bounds (nanoseconds for `*.ns` histograms) and are merged
+    /// into the family's own labels.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        let mut type_header = |out: &mut String, family: &str, kind: &str| {
+            if last_family.as_deref() != Some(family) {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last_family = Some(family.to_owned());
+            }
+        };
         for (name, value) in &self.counters {
-            let name = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            let (family, labels) = prometheus_parts(name);
+            type_header(&mut out, &family, "counter");
+            let _ = writeln!(out, "{family}{} {value}", render_labels(&labels));
         }
         for (name, value) in &self.gauges {
-            let name = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            let (family, labels) = prometheus_parts(name);
+            type_header(&mut out, &family, "gauge");
+            let _ = writeln!(out, "{family}{} {value}", render_labels(&labels));
         }
         for (name, hist) in &self.histograms {
-            let name = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            let (family, labels) = prometheus_parts(name);
+            type_header(&mut out, &family, "histogram");
             let mut cumulative = 0u64;
             for (i, &n) in hist.buckets.iter().enumerate() {
                 cumulative += n;
-                match bucket_bound(i) {
-                    Some(bound) => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-                    }
-                    None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                    }
-                }
+                let le = match bucket_bound(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_owned(),
+                };
+                let mut with_le = labels.clone();
+                with_le.push(("le".to_owned(), le));
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {cumulative}",
+                    render_labels(&with_le)
+                );
             }
-            let _ = writeln!(out, "{name}_sum {}", hist.sum);
-            let _ = writeln!(out, "{name}_count {}", hist.count);
+            let suffix = render_labels(&labels);
+            let _ = writeln!(out, "{family}_sum{suffix} {}", hist.sum);
+            let _ = writeln!(out, "{family}_count{suffix} {}", hist.count);
         }
         out
     }
 }
 
-fn prometheus_name(name: &str) -> String {
-    name.replace(['.', '-'], "_")
+/// Builds the registry name of one member of a labeled metric family:
+/// `labeled("serve.connections", &[("shard", "0")])` →
+/// `serve.connections{shard="0"}`. Members of a family are ordinary,
+/// independently registered metrics — the label block is part of the name —
+/// so snapshots stay name-ordered, deterministic and mergeable with no new
+/// machinery; [`RegistrySnapshot::render_prometheus`] re-parses the block
+/// into proper `{label="..."}` exposition syntax. Pass labels in a fixed
+/// order at every call site: the name is the identity.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    use std::fmt::Write as _;
+    let mut name = String::from(family);
+    name.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            name.push(',');
+        }
+        let _ = write!(
+            name,
+            "{key}=\"{}\"",
+            value.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    name.push('}');
+    name
+}
+
+/// Splits a registry name into its sanitised Prometheus family and parsed
+/// `(label, value)` pairs (empty when the name carries no label block).
+fn prometheus_parts(name: &str) -> (String, Vec<(String, String)>) {
+    let (base, block) = match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    };
+    let family = base.replace(['.', '-'], "_");
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while let Some((key, tail)) = rest.split_once("=\"") {
+        // Values are escaped by `labeled`; scan to the closing unescaped quote.
+        let mut value = String::new();
+        let mut chars = tail.char_indices();
+        let mut end = tail.len();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, escaped)) = chars.next() {
+                        value.push(escaped);
+                    }
+                }
+                '"' => {
+                    end = i + 1;
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        labels.push((key.trim_start_matches(',').replace(['.', '-'], "_"), value));
+        rest = &tail[end.min(tail.len())..];
+    }
+    (family, labels)
+}
+
+/// Renders parsed labels back into `{key="value"}` exposition syntax
+/// (empty string for an unlabeled metric).
+fn render_labels(labels: &[(String, String)]) -> String {
+    use std::fmt::Write as _;
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{key}=\"{}\"",
+            value.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// The process-wide registry every layer of the stack records into.
@@ -563,6 +656,73 @@ mod tests {
         assert!(text.contains("exec_batch_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("exec_batch_ns_sum 103"));
         assert!(text.contains("exec_batch_ns_count 2"));
+    }
+
+    #[test]
+    fn labeled_families_render_with_label_syntax_and_one_type_header() {
+        assert_eq!(
+            labeled("serve.connections", &[("shard", "0")]),
+            "serve.connections{shard=\"0\"}"
+        );
+        let registry = MetricsRegistry::new();
+        registry
+            .gauge(&labeled("serve.connections", &[("shard", "a:1")]))
+            .set(3);
+        registry
+            .gauge(&labeled("serve.connections", &[("shard", "b:2")]))
+            .set(5);
+        let hist = registry.histogram(&labeled(
+            "serve.pipeline-depth",
+            &[("shard", "a:1"), ("session", "t0")],
+        ));
+        hist.record(2);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("serve_connections{shard=\"a:1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_connections{shard=\"b:2\"} 5"),
+            "{text}"
+        );
+        // One TYPE header covers the whole family.
+        assert_eq!(text.matches("# TYPE serve_connections gauge").count(), 1);
+        // Histogram members merge their own labels with the `le` bound and
+        // carry them on _sum/_count too.
+        assert!(
+            text.contains("serve_pipeline_depth_bucket{shard=\"a:1\",session=\"t0\",le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_pipeline_depth_count{shard=\"a:1\",session=\"t0\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_snapshots_stay_deterministic_and_mergeable() {
+        let a = MetricsRegistry::new();
+        a.counter(&labeled("peer.fills", &[("shard", "1")])).add(2);
+        a.counter(&labeled("peer.fills", &[("shard", "0")])).add(1);
+        let b = MetricsRegistry::new();
+        b.counter(&labeled("peer.fills", &[("shard", "1")])).add(10);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("peer.fills{shard=\"0\"}"), Some(1));
+        assert_eq!(merged.counter("peer.fills{shard=\"1\"}"), Some(12));
+        let names: Vec<&String> = merged.counters.iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            ["peer.fills{shard=\"0\"}", "peer.fills{shard=\"1\"}"]
+        );
+    }
+
+    #[test]
+    fn labeled_values_escape_quotes_and_backslashes() {
+        let name = labeled("m", &[("path", "a\\b\"c")]);
+        let (family, labels) = prometheus_parts(&name);
+        assert_eq!(family, "m");
+        assert_eq!(labels, vec![("path".to_owned(), "a\\b\"c".to_owned())]);
     }
 
     #[test]
