@@ -41,8 +41,13 @@
 //!   batches (default 4; the engine has its own compute pool).
 //! * `GCNRL_THREADS` / `GCNRL_CACHE_PATH` — engine template, as everywhere.
 //! * `GCNRL_METRICS_ADDR` — when set (`host:port`), also bind a plain-HTTP
-//!   Prometheus scrape endpoint exposing the process's telemetry registry
-//!   (handshake/frame/dispatch/solver latency histograms, queue gauges).
+//!   introspection endpoint: `/metrics` (Prometheus scrape of the process's
+//!   telemetry registry), `/healthz` (liveness), `/readyz` (drain- and
+//!   admission-aware readiness, wired to this server's admission limits)
+//!   and `/traces` (the flight recorder's recent request trees as JSON).
+//! * `GCNRL_TRACE` / `GCNRL_SLOW_MS` / `GCNRL_FLIGHT_RECORDER` — telemetry
+//!   knobs honoured as everywhere: JSONL span sink with distributed trace
+//!   ids, slow-request tree dumps, flight-recorder ring capacity.
 //! * `GCNRL_SERVE_SMOKE` — run the CI smoke instead of serving: bind, run
 //!   this many concurrent pipelined remote random-search clients over real
 //!   loopback TCP, assert their runs are bit-identical to solo local runs,
@@ -54,6 +59,13 @@
 //!   concurrent `ShardedBackend` clients, assert cross-shard `CacheFill`
 //!   pulls, kill one shard mid-run and assert every client fails over with
 //!   results bit-identical to a solo local run, then exit.
+//! * `GCNRL_SERVE_MULTIPROC_SMOKE` — run the cross-process tracing smoke:
+//!   re-exec this binary twice as real peered shard processes (each tracing
+//!   to `trace_shard{i}.jsonl`), drive one `ShardedBackend` batch through a
+//!   cold shard so it peer-pulls the warm one, assert results bit-identical
+//!   to a solo local run, then assert the client's root trace id shows up
+//!   in all three JSONL files — one request tree provably spanning three
+//!   processes — and exit.
 
 use gcnrl_bench::{
     budget_from_env, env_for_backend, env_for_session, serve_pipeline, service_session,
@@ -305,6 +317,159 @@ fn sharded_smoke(clients: usize) {
     );
 }
 
+/// Cross-process distributed-tracing smoke: the sharded smokes above run
+/// every shard in-process, so they cannot prove that a trace context
+/// survives the wire between real processes. This one re-execs the `serve`
+/// binary twice as peered shard processes, each with its own `GCNRL_TRACE`
+/// sink, warms shard 1, then sends one `ShardedBackend` batch through shard
+/// 0 only — forcing a cross-process `CacheQuery`/`CacheFill` pull — and
+/// asserts the client's deterministic root trace id appears in all three
+/// JSONL files, with shard 1's file carrying the `serve.cache_query.ns`
+/// segment of the pull.
+fn multiproc_smoke() {
+    let benchmark = Benchmark::TwoStageTia;
+    let node = TechnologyNode::tsmc180();
+
+    // The client's own sink: honour GCNRL_TRACE when CI set it, else default
+    // next to the shard files.
+    let client_trace = match std::env::var("GCNRL_TRACE") {
+        Ok(path) if !path.is_empty() => path,
+        _ => {
+            gcnrl_telemetry::set_trace_file("trace_client.jsonl").expect("open client trace sink");
+            "trace_client.jsonl".to_owned()
+        }
+    };
+
+    // Reserve two loopback ports so the whole peer ring is known before any
+    // shard starts (ephemeral discovery would need stdout parsing; the
+    // bind-and-drop window is negligible for a smoke).
+    let ring: Vec<String> = (0..2)
+        .map(|_| {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve shard port");
+            probe.local_addr().expect("reserved addr").to_string()
+        })
+        .collect();
+    let exe = std::env::current_exe().expect("current executable");
+    let shard_traces: Vec<String> = (0..2).map(|i| format!("trace_shard{i}.jsonl")).collect();
+    let mut children: Vec<std::process::Child> = (0..2)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .env_remove("GCNRL_SERVE_MULTIPROC_SMOKE")
+                .env_remove("GCNRL_SERVE_SMOKE")
+                .env_remove("GCNRL_SERVE_SHARDED_SMOKE")
+                .env_remove("GCNRL_METRICS_ADDR")
+                .env_remove("GCNRL_SERVE_ADDRS")
+                .env("GCNRL_SERVE_ADDR", &ring[i])
+                .env("GCNRL_SERVE_PEERS", ring.join(","))
+                .env("GCNRL_TRACE", &shard_traces[i])
+                .spawn()
+                .unwrap_or_else(|error| panic!("spawn shard {i}: {error}"))
+        })
+        .collect();
+    let kill_children = |children: &mut Vec<std::process::Child>| {
+        for child in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+
+    // Wait until both shards answer their listener.
+    for addr in &ring {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            match std::net::TcpStream::connect(addr.as_str()) {
+                Ok(_) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(error) => {
+                    kill_children(&mut children);
+                    panic!("shard {addr} never came up: {error}");
+                }
+            }
+        }
+    }
+    println!("multiproc smoke: shards up on {ring:?}");
+
+    let space = benchmark.circuit().design_space(&node);
+    let batch: Vec<ParamVector> = (0..16)
+        .map(|i| {
+            let unit: Vec<f64> = (0..space.num_parameters())
+                .map(|k| ((i * 19 + k * 5) % 91) as f64 / 90.0)
+                .collect();
+            space.from_unit(&unit)
+        })
+        .collect();
+    let engine = BatchEvaluator::for_benchmark(benchmark, &node, EngineConfig::serial());
+    let reference = engine.evaluate_batch(&batch);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Warm shard 1 with the whole batch, then route the sharded client
+        // through shard 0 only: every shard-1-owned key must come back over
+        // the cross-process peer wire.
+        let warm = RemoteBackend::connect_with(
+            ring[1].as_str(),
+            benchmark,
+            &node,
+            smoke_client_config("multiproc-warm".to_owned()),
+        )
+        .expect("connect warm shard");
+        let warmed = warm.try_evaluate_batch(&batch).expect("warm batch");
+        assert_eq!(warmed, reference, "warm shard diverged from local run");
+        warm.goodbye().expect("warm goodbye");
+
+        let sharded = ShardedBackend::connect(
+            &ring[..1],
+            benchmark,
+            &node,
+            ShardedConfig {
+                remote: smoke_client_config("multiproc".to_owned()),
+                ..ShardedConfig::default()
+            },
+        )
+        .expect("connect sharded client");
+        let reports = sharded.try_evaluate_batch(&batch).expect("traced batch");
+        assert_eq!(reports, reference, "traced multiproc run changed a bit");
+        sharded.goodbye().expect("sharded goodbye");
+    }));
+    gcnrl_telemetry::disable_trace();
+    kill_children(&mut children);
+    if let Err(panic) = outcome {
+        std::panic::resume_unwind(panic);
+    }
+
+    // One tree across three processes: the sharded session is "multiproc"
+    // and this was its first batch, so the root trace id is deterministic.
+    // Substring probes are enough for a smoke — `traceview` in CI does the
+    // full structural reassembly.
+    let trace_id = gcnrl_telemetry::trace_id_for("multiproc", 0);
+    let id_probe = format!("\"trace_id\":{trace_id}");
+    for (path, want_query) in [
+        (client_trace.as_str(), false),
+        (shard_traces[0].as_str(), false),
+        (shard_traces[1].as_str(), true),
+    ] {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|error| panic!("read trace file {path}: {error}"));
+        assert!(
+            text.lines().any(|line| line.contains(&id_probe)),
+            "{path}: the client's trace id never reached this process"
+        );
+        if want_query {
+            assert!(
+                text.lines().any(|line| {
+                    line.contains(&id_probe) && line.contains("\"name\":\"serve.cache_query.ns\"")
+                }),
+                "{path}: no cross-process peer cache query joined the client's trace"
+            );
+        }
+    }
+    println!(
+        "multiproc smoke OK: trace {trace_id:#018x} spans the client and both shard processes, \
+         peer pull included"
+    );
+}
+
 fn print_stats(server: &EvalServer) {
     let stats = server.stats();
     println!(
@@ -502,6 +667,10 @@ fn main() {
         sharded_smoke(clients.max(2));
         return;
     }
+    if env_usize("GCNRL_SERVE_MULTIPROC_SMOKE").is_some() {
+        multiproc_smoke();
+        return;
+    }
 
     let addr = std::env::var("GCNRL_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7733".to_owned());
     let server = EvalServer::bind(&addr, server_config()).unwrap_or_else(|error| {
@@ -526,10 +695,12 @@ fn main() {
         println!("peering enabled over ring {ring:?}");
     }
 
-    // Optional Prometheus scrape endpoint over the process-wide telemetry
-    // registry. Strict-parsed: a malformed address panics at startup.
+    // Optional introspection endpoint over the process-wide telemetry
+    // registry: /metrics, /healthz, /readyz (wired to this server's drain
+    // state and admission limits) and /traces. Strict-parsed: a malformed
+    // address panics at startup.
     let metrics = gcnrl_telemetry::env_socket_addr("GCNRL_METRICS_ADDR").map(|addr| {
-        let endpoint = MetricsHttpServer::bind(addr)
+        let endpoint = MetricsHttpServer::bind_with(addr, server.readiness_check())
             .unwrap_or_else(|error| panic!("failed to bind metrics endpoint on {addr}: {error}"));
         println!("metrics endpoint listening on {}", endpoint.local_addr());
         endpoint

@@ -157,22 +157,48 @@ pub fn serve_pipeline() -> Option<usize> {
 }
 
 /// The evaluation backend a bench run should use for `(benchmark, node)`:
-/// a [`RemoteBackend`](gcnrl_serve::RemoteBackend) session on the shared
-/// server named by `GCNRL_SERVE_ADDR` when that knob is set, otherwise a
-/// session of a fresh local [`EvalService`] over `engine`. Results are
-/// bit-identical either way; the knob only moves where the engine and its
-/// cache live.
+/// a [`ShardedBackend`](gcnrl_serve::ShardedBackend) over the ring named by
+/// `GCNRL_SERVE_ADDRS` when that knob is set, else a
+/// [`RemoteBackend`](gcnrl_serve::RemoteBackend) session on the single
+/// shared server named by `GCNRL_SERVE_ADDR`, else a session of a fresh
+/// local [`EvalService`] over `engine`. Results are bit-identical in all
+/// three modes; the knobs only move where the engines and their caches
+/// live.
 ///
 /// # Panics
 ///
-/// Panics when `GCNRL_SERVE_ADDR` is set but the server is unreachable or
-/// rejects the handshake — a bench pointed at a dead server must fail
+/// Panics when `GCNRL_SERVE_ADDRS` is set but every shard is unreachable,
+/// or when `GCNRL_SERVE_ADDR` is set but that server is unreachable or
+/// rejects the handshake — a bench pointed at a dead tier must fail
 /// loudly, not silently fall back to a private engine.
 pub fn backend_for(
     benchmark: Benchmark,
     node: &TechnologyNode,
     engine: EngineConfig,
 ) -> Box<dyn gcnrl_exec::EvalBackend> {
+    if let Some(addrs) = gcnrl_serve::addrs_from_env() {
+        let sharded = gcnrl_serve::ShardedBackend::connect(
+            &addrs,
+            benchmark,
+            node,
+            gcnrl_serve::ShardedConfig {
+                remote: gcnrl_serve::RemoteConfig {
+                    session: Some(format!("bench:{benchmark}@{}", node.name)),
+                    pipeline: serve_pipeline()
+                        .unwrap_or(gcnrl_serve::RemoteConfig::default().pipeline),
+                    ..gcnrl_serve::RemoteConfig::default()
+                },
+                ..gcnrl_serve::ShardedConfig::default()
+            },
+        )
+        .unwrap_or_else(|error| {
+            panic!(
+                "GCNRL_SERVE_ADDRS={} is set but unusable: {error}",
+                addrs.join(",")
+            )
+        });
+        return Box::new(sharded);
+    }
     match serve_addr() {
         Some(addr) => {
             let remote = gcnrl_serve::RemoteBackend::connect_with(
@@ -234,10 +260,10 @@ pub fn env_for_session(session: &SessionHandle, cfg: &ExperimentConfig) -> Sizin
 /// Builds a calibrated environment with an explicit evaluation-engine
 /// configuration (the sharded coordinator's per-cell path: the calibration
 /// sweep and the optimisation run both stay on the cell's engine budget,
-/// multiplexed through one service session). When `GCNRL_SERVE_ADDR` is
-/// set, the environment instead rides a session of that shared evaluation
-/// server (see [`backend_for`]) and `engine` is unused — the server owns the
-/// engine configuration.
+/// multiplexed through one service session). When `GCNRL_SERVE_ADDRS` or
+/// `GCNRL_SERVE_ADDR` is set, the environment instead rides the sharded
+/// tier / shared evaluation server (see [`backend_for`]) and `engine` is
+/// unused — the servers own the engine configuration.
 pub fn make_env_with_engine(
     benchmark: Benchmark,
     node: &TechnologyNode,

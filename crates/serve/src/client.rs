@@ -24,9 +24,11 @@ use crate::protocol::{
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{BatchReport, EvalBackend, ExecStats};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
+use gcnrl_telemetry::{trace_id_for, SpanHandle, TraceContext};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -559,6 +561,10 @@ pub struct PendingReply {
     /// `None` for an empty batch, which never touches the wire.
     id: Option<u64>,
     expected: usize,
+    /// The `serve.rpc.ns` span covering this request's submit→resolve
+    /// lifetime; finished when the reply resolves (or the handle is
+    /// abandoned).
+    span: Option<SpanHandle>,
 }
 
 impl PendingReply {
@@ -569,11 +575,15 @@ impl PendingReply {
     /// [`ServeError::Rejected`] when the server failed the batch,
     /// [`ServeError::Disconnected`] when the connection died and every
     /// reconnect attempt failed.
-    pub fn wait(self) -> Result<Vec<PerformanceReport>, ServeError> {
+    pub fn wait(mut self) -> Result<Vec<PerformanceReport>, ServeError> {
         let Some(id) = self.id else {
             return Ok(Vec::new());
         };
-        match self.inner.wait(id)? {
+        let outcome = self.inner.wait(id);
+        if let Some(span) = self.span.as_mut() {
+            span.finish();
+        }
+        match outcome? {
             Reply::Batch(reports) => {
                 if reports.len() == self.expected {
                     Ok(reports)
@@ -610,6 +620,9 @@ pub struct RemoteBackend {
     node: TechnologyNode,
     metric_specs: Vec<MetricSpec>,
     session: String,
+    /// Per-handle request counter seeding deterministic root trace ids when
+    /// no ambient trace context exists (the solo-client case).
+    trace_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for RemoteBackend {
@@ -695,6 +708,7 @@ impl RemoteBackend {
             node: node.clone(),
             metric_specs: welcome.metric_specs,
             session: welcome.session,
+            trace_seq: AtomicU64::new(0),
         })
     }
 
@@ -769,6 +783,7 @@ impl RemoteBackend {
                     node: node.clone(),
                     metric_specs,
                     session,
+                    trace_seq: AtomicU64::new(0),
                 })
             }
             _ => Err(ServeError::Protocol(
@@ -782,6 +797,12 @@ impl RemoteBackend {
     /// window is full). Results come back through [`PendingReply::wait`],
     /// in input order within the batch regardless of response reordering.
     ///
+    /// Each submission opens a `serve.rpc.ns` span — a child of the ambient
+    /// trace context when one is active (the sharded fan-out case), else the
+    /// root of a fresh deterministic trace keyed on this handle's session
+    /// name and request counter — and the span's context rides the v5 frame
+    /// so server-side spans parent under it.
+    ///
     /// # Errors
     ///
     /// Transport errors; a full window blocks rather than erroring.
@@ -791,8 +812,17 @@ impl RemoteBackend {
                 inner: Arc::clone(&self.inner),
                 id: None,
                 expected: 0,
+                span: None,
             });
         }
+        let span = match TraceContext::current() {
+            Some(parent) => SpanHandle::child_of("serve.rpc.ns", parent),
+            None => {
+                let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+                SpanHandle::root("serve.rpc.ns", trace_id_for(&self.session, seq))
+            }
+        };
+        let trace = Some(span.context());
         let channel = self.channel;
         let owned = params.to_vec();
         let id = self
@@ -801,11 +831,13 @@ impl RemoteBackend {
                 id,
                 channel,
                 params: owned,
+                trace,
             })?;
         Ok(PendingReply {
             inner: Arc::clone(&self.inner),
             id: Some(id),
             expected: params.len(),
+            span: Some(span),
         })
     }
 
@@ -860,11 +892,13 @@ impl RemoteBackend {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        let trace = TraceContext::current();
         let id = self
             .inner
             .send(SlotKind::Control, move |id| ClientMsg::CacheQuery {
                 id,
                 keys,
+                trace,
             })?;
         match self.inner.wait(id)? {
             Reply::CacheFill(hits) => Ok(hits),

@@ -54,7 +54,11 @@ mod sharded;
 
 pub use client::{ReconnectConfig, RemoteBackend, RemoteConfig, ServeError};
 pub use metrics_http::MetricsHttpServer;
-pub use protocol::{FrameError, WireStats, PREV_PROTOCOL_VERSION, PROTOCOL_VERSION};
+pub use metrics_http::ReadinessCheck;
+pub use protocol::{
+    FrameError, WireStats, ACCEPTED_PROTOCOL_VERSIONS, LEGACY_PROTOCOL_VERSION,
+    PREV_PROTOCOL_VERSION, PROTOCOL_VERSION, V3_PROTOCOL_VERSION,
+};
 pub use registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
 pub use server::{EvalServer, ServerConfig, ServerStats};
 pub use sharded::{addrs_from_env, rendezvous_owner, ShardedBackend, ShardedConfig};

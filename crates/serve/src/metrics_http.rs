@@ -1,12 +1,21 @@
 //! A minimal plain-HTTP listener exposing the process's telemetry registry
-//! in Prometheus text format.
+//! and health introspection endpoints.
 //!
-//! One endpoint, one format: any `GET` answers with
-//! [`MetricsRegistry::render_prometheus`](gcnrl_telemetry::MetricsRegistry::render_prometheus)
-//! of the global registry. Std-only (hand-rolled HTTP/1.1 response, no
-//! routing, no keep-alive) — enough for a Prometheus scraper or a `curl`,
-//! and nothing more. The serve binary binds one when `GCNRL_METRICS_ADDR`
-//! is set.
+//! Four resources, hand-rolled HTTP/1.1 (std-only, no keep-alive):
+//!
+//! | Path | Answer |
+//! |------|--------|
+//! | `/metrics` (or `/`) | the global registry in Prometheus text format |
+//! | `/healthz` | `200 ok` while the listener lives (liveness) |
+//! | `/readyz` | `200 ready` / `503 <reason>` from the readiness check |
+//! | `/traces` | recent flight-recorder span trees as a JSON array |
+//!
+//! Anything else is a proper `404` with a `text/plain` body. The serve
+//! binary binds one when `GCNRL_METRICS_ADDR` is set, wiring `/readyz` to
+//! the eval server's drain- and admission-aware [`EvalServer::readiness`]
+//! (via [`MetricsHttpServer::bind_with`]).
+//!
+//! [`EvalServer::readiness`]: crate::EvalServer::readiness
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -15,7 +24,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// The Prometheus scrape endpoint. Dropping it (or calling
+/// A pluggable readiness probe for `/readyz`: `Ok(())` renders `200 ready`,
+/// `Err(reason)` renders `503` with the reason as the body.
+pub type ReadinessCheck = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// The metrics/health endpoint. Dropping it (or calling
 /// [`MetricsHttpServer::shutdown`]) stops the listener.
 pub struct MetricsHttpServer {
     addr: SocketAddr,
@@ -33,12 +46,23 @@ impl std::fmt::Debug for MetricsHttpServer {
 
 impl MetricsHttpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// serving scrapes of the global telemetry registry.
+    /// serving scrapes; `/readyz` always answers `200 ready`.
     ///
     /// # Errors
     ///
     /// Returns the bind error (address in use, permission, ...).
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(addr, Arc::new(|| Ok(())))
+    }
+
+    /// Like [`bind`](Self::bind), with a readiness check backing `/readyz` —
+    /// the serve binary passes the eval server's drain- and admission-aware
+    /// probe here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, ...).
+    pub fn bind_with(addr: impl ToSocketAddrs, ready: ReadinessCheck) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -46,7 +70,7 @@ impl MetricsHttpServer {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("gcnrl-metrics-http".to_owned())
-                .spawn(move || accept_loop(&listener, &shutdown))
+                .spawn(move || accept_loop(&listener, &shutdown, &ready))
                 .expect("spawn gcnrl-metrics-http accept loop")
         };
         Ok(MetricsHttpServer {
@@ -80,19 +104,19 @@ impl Drop for MetricsHttpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, ready: &ReadinessCheck) {
     loop {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return; // the shutdown wake-up (or a late scraper)
                 }
-                // Scrapes are cheap (render + one write), so they are served
+                // Requests are cheap (render + one write), so they are served
                 // inline on the accept thread; a slow reader is bounded by
                 // the write timeout rather than wedging the loop forever.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                serve_scrape(&mut stream);
+                serve_request(&mut stream, ready);
             }
             Err(_) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -104,11 +128,26 @@ fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool) {
     }
 }
 
-/// Reads (and discards) the request head, then answers every request with
-/// the rendered registry — there is only one resource to serve, so the
-/// request line is irrelevant. Transport errors are ignored (the scraper
-/// retries next interval).
-fn serve_scrape(stream: &mut TcpStream) {
+/// Extracts the request path (without query string) from the first line of
+/// an HTTP/1.1 request head; `None` when the head is malformed.
+fn request_path(head: &[u8]) -> Option<String> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    Some(
+        target
+            .split_once('?')
+            .map_or(target, |(path, _)| path)
+            .to_owned(),
+    )
+}
+
+/// Reads the request head, routes on the path, and writes one HTTP/1.1
+/// response. Transport errors are ignored (the scraper retries next
+/// interval).
+fn serve_request(stream: &mut TcpStream, ready: &ReadinessCheck) {
     let mut head = Vec::new();
     let mut chunk = [0u8; 1024];
     // Best-effort: stop at the blank line ending the request head, on EOF,
@@ -119,10 +158,31 @@ fn serve_scrape(stream: &mut TcpStream) {
             Ok(n) => head.extend_from_slice(&chunk[..n]),
         }
     }
-    let body = gcnrl_telemetry::global().render_prometheus();
+    let path = request_path(&head).unwrap_or_else(|| "/".to_owned());
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const JSON: &str = "application/json";
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" | "/" => (
+            "200 OK",
+            PROM,
+            gcnrl_telemetry::global().render_prometheus(),
+        ),
+        "/healthz" => ("200 OK", TEXT, "ok\n".to_owned()),
+        "/readyz" => match ready() {
+            Ok(()) => ("200 OK", TEXT, "ready\n".to_owned()),
+            Err(reason) => ("503 Service Unavailable", TEXT, format!("{reason}\n")),
+        },
+        "/traces" => ("200 OK", JSON, gcnrl_telemetry::recent_traces_json()),
+        _ => (
+            "404 Not Found",
+            TEXT,
+            format!("no such resource: {path}\nknown: /metrics /healthz /readyz /traces\n"),
+        ),
+    };
     let response = format!(
-        "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\
          \r\n\
@@ -137,11 +197,12 @@ fn serve_scrape(stream: &mut TcpStream) {
 mod tests {
     use super::*;
 
-    /// Issues one `GET` against `addr` and returns the raw response text.
-    fn scrape(addr: SocketAddr) -> String {
+    /// Issues one `GET` for `path` against `addr` and returns the raw
+    /// response text.
+    fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
         stream
-            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
             .expect("send request");
         let mut response = String::new();
         stream
@@ -159,15 +220,24 @@ mod tests {
             .histogram("serve.metrics_http.test_latency.ns")
             .record(1500);
         let server = MetricsHttpServer::bind("127.0.0.1:0").expect("bind metrics endpoint");
-        let response = scrape(server.local_addr());
+        let response = get(server.local_addr(), "/metrics");
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
         assert!(
             response.contains("Content-Type: text/plain; version=0.0.4"),
             "{response}"
         );
-        // Prometheus name mangling: dots become underscores.
+        // Prometheus name mangling: dots become underscores; HELP/TYPE
+        // headers precede each family.
         assert!(
             response.contains("serve_metrics_http_test_counter 5"),
+            "{response}"
+        );
+        assert!(
+            response.contains("# TYPE serve_metrics_http_test_counter counter"),
+            "{response}"
+        );
+        assert!(
+            response.contains("# HELP serve_metrics_http_test_counter"),
             "{response}"
         );
         assert!(
@@ -175,11 +245,66 @@ mod tests {
             "{response}"
         );
         assert!(response.contains("le=\"+Inf\""), "{response}");
-        // A second scrape works (one connection per scrape).
-        let again = scrape(server.local_addr());
+        // A second scrape works (one connection per scrape), and the bare
+        // root aliases /metrics.
+        let again = get(server.local_addr(), "/");
         assert!(again.contains("serve_metrics_http_test_counter"), "{again}");
         server.shutdown();
         // Idempotent shutdown; further connections are refused or unserved.
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_ready_traces_and_404_routes_answer_distinctly() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let probe = Arc::clone(&flag);
+        let server = MetricsHttpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(move || {
+                if probe.load(Ordering::SeqCst) {
+                    Ok(())
+                } else {
+                    Err("draining: 3 requests in flight".to_owned())
+                }
+            }),
+        )
+        .expect("bind metrics endpoint");
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let ready = get(addr, "/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200 OK\r\n"), "{ready}");
+        assert!(ready.ends_with("ready\n"), "{ready}");
+        flag.store(false, Ordering::SeqCst);
+        let not_ready = get(addr, "/readyz?verbose=1");
+        assert!(
+            not_ready.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{not_ready}"
+        );
+        assert!(not_ready.contains("draining: 3 requests"), "{not_ready}");
+
+        let traces = get(addr, "/traces");
+        assert!(traces.starts_with("HTTP/1.1 200 OK\r\n"), "{traces}");
+        assert!(
+            traces.contains("Content-Type: application/json"),
+            "{traces}"
+        );
+        let body = traces.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.starts_with('['), "a JSON array: {traces}");
+
+        let missing = get(addr, "/nope");
+        assert!(
+            missing.starts_with("HTTP/1.1 404 Not Found\r\n"),
+            "{missing}"
+        );
+        assert!(
+            missing.contains("Content-Type: text/plain"),
+            "404 must carry a Content-Type: {missing}"
+        );
+        assert!(missing.contains("no such resource: /nope"), "{missing}");
         server.shutdown();
     }
 }

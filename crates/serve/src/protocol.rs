@@ -37,13 +37,20 @@
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{BatchReport, CacheKey, ExecStats, SessionStats};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
-use gcnrl_telemetry::RegistrySnapshot;
+use gcnrl_telemetry::{RegistrySnapshot, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Version of the wire protocol; bumped on incompatible message changes.
-/// The handshake rejects clients speaking anything but this,
-/// [`PREV_PROTOCOL_VERSION`] or [`LEGACY_PROTOCOL_VERSION`].
+/// The handshake rejects clients speaking anything outside
+/// [`ACCEPTED_PROTOCOL_VERSIONS`].
+///
+/// v5: [`ClientMsg::EvalBatch`] and [`ClientMsg::CacheQuery`] carry an
+/// optional distributed-tracing context (`trace_id`/`span_id`), so
+/// server-side engine/cache/peer-pull spans parent under the caller's span
+/// and a sharded fan-out reassembles into one request tree. The field is
+/// `Option` and a missing JSON key decodes as `None`, so every v4 frame is
+/// a valid v5 frame — v4 clients are served identically.
 ///
 /// v4: adds the shard-peering frames [`ClientMsg::CacheQuery`] /
 /// [`ServerMsg::CacheFill`], so a shard holding a key another shard needs
@@ -53,16 +60,28 @@ use std::io::{Read, Write};
 /// v3: requests carry an `id` (responses may return out of order —
 /// pipelining) and a `channel` (several logical sessions per socket —
 /// multiplexing). v2 clients are still served via the [`v2`] compat shapes.
-pub const PROTOCOL_VERSION: u32 = 4;
+pub const PROTOCOL_VERSION: u32 = 5;
 
-/// The previous protocol version: v3 pipelining/multiplexing without the
-/// peering frames. Served identically to v4 (the v3 message shapes are a
-/// strict subset), minus `CacheQuery`.
-pub const PREV_PROTOCOL_VERSION: u32 = 3;
+/// The previous protocol version: v4 peering without the optional trace
+/// context. Served identically to v5 (the trace field is optional and
+/// defaults to `None`).
+pub const PREV_PROTOCOL_VERSION: u32 = 4;
+
+/// The v3 pipelining/multiplexing protocol, still accepted: served
+/// identically minus the peering frames and trace context.
+pub const V3_PROTOCOL_VERSION: u32 = 3;
 
 /// The oldest protocol version the server still accepts: blocking
 /// one-request-at-a-time clients speaking the [`v2`] message shapes.
 pub const LEGACY_PROTOCOL_VERSION: u32 = 2;
+
+/// Every protocol version the handshake accepts, newest first.
+pub const ACCEPTED_PROTOCOL_VERSIONS: [u32; 4] = [
+    PROTOCOL_VERSION,
+    PREV_PROTOCOL_VERSION,
+    V3_PROTOCOL_VERSION,
+    LEGACY_PROTOCOL_VERSION,
+];
 
 /// Default cap on one frame's payload size (32 MiB). A `u32` length prefix
 /// could announce 4 GiB; the cap keeps a corrupt or hostile peer from making
@@ -74,8 +93,8 @@ pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 << 20;
 /// the first frame before knowing the peer's version.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hello {
-    /// Client protocol version; must equal [`PROTOCOL_VERSION`] or
-    /// [`LEGACY_PROTOCOL_VERSION`].
+    /// Client protocol version; must be one of
+    /// [`ACCEPTED_PROTOCOL_VERSIONS`].
     pub version: u32,
     /// Benchmark channel 0 evaluates (selects the registry service).
     pub benchmark: Benchmark,
@@ -164,6 +183,11 @@ pub enum ClientMsg {
         channel: u32,
         /// Candidate sizings, evaluated in order.
         params: Vec<ParamVector>,
+        /// Distributed-tracing context (v5): when present, server-side spans
+        /// for this request parent under the caller's span. Absent on v4 and
+        /// earlier frames (a missing key decodes as `None`); never affects
+        /// results.
+        trace: Option<TraceContext>,
     },
     /// Request the channel's session/engine statistics.
     Stats {
@@ -190,6 +214,10 @@ pub enum ClientMsg {
         id: u64,
         /// The content-addressed keys to look up.
         keys: Vec<CacheKey>,
+        /// Distributed-tracing context (v5): links the owner shard's
+        /// cache-lookup span under the pulling shard's peer-pull span.
+        /// Absent on v4 frames (decodes as `None`).
+        trace: Option<TraceContext>,
     },
     /// Close the connection cleanly (all channels retire).
     Goodbye,
@@ -648,6 +676,10 @@ mod tests {
                 id: 7,
                 channel: 0,
                 params: vec![ParamVector::new(vec![ComponentParams::Resistance(1.25)])],
+                trace: Some(TraceContext {
+                    trace_id: 0xdead_beef,
+                    span_id: 42,
+                }),
             },
             ClientMsg::Open {
                 id: 8,
@@ -749,6 +781,7 @@ mod tests {
         let query = ClientMsg::CacheQuery {
             id: 21,
             keys: keys.clone(),
+            trace: None,
         };
         let mut reader = FrameReader::new();
         let mut cursor = std::io::Cursor::new(frame_bytes(&query));
@@ -801,9 +834,51 @@ mod tests {
             id: 5,
             channel: 1,
             params: vec![ParamVector::new(vec![ComponentParams::Resistance(2.0)])],
+            trace: None,
         };
         let json = serde_json::to_string(&batch).expect("serialize");
         assert!(json.starts_with("{\"EvalBatch\""), "{json}");
+    }
+
+    #[test]
+    fn v4_frames_without_a_trace_key_decode_with_trace_none() {
+        // A v4 client's EvalBatch/CacheQuery carry no `trace` member at all;
+        // the v5 enums must decode them with `trace: None` (and a v5 frame
+        // whose trace is None round-trips to the same value).
+        let v4_batch = "{\"EvalBatch\":{\"id\":3,\"channel\":0,\"params\":[]}}";
+        let back: ClientMsg = serde_json::from_str(v4_batch).expect("decode v4 batch");
+        assert_eq!(
+            back,
+            ClientMsg::EvalBatch {
+                id: 3,
+                channel: 0,
+                params: vec![],
+                trace: None,
+            }
+        );
+        let v4_query = "{\"CacheQuery\":{\"id\":4,\"keys\":[]}}";
+        let back: ClientMsg = serde_json::from_str(v4_query).expect("decode v4 query");
+        assert_eq!(
+            back,
+            ClientMsg::CacheQuery {
+                id: 4,
+                keys: vec![],
+                trace: None,
+            }
+        );
+        // And a v5 trace context survives the round trip bit-exactly.
+        let with_trace = ClientMsg::EvalBatch {
+            id: 5,
+            channel: 2,
+            params: vec![],
+            trace: Some(TraceContext {
+                trace_id: u64::MAX,
+                span_id: 1,
+            }),
+        };
+        let json = serde_json::to_string(&with_trace).expect("serialize");
+        let back: ClientMsg = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, with_trace);
     }
 
     #[test]

@@ -210,6 +210,43 @@ impl ServiceRegistry {
         Some(Duration::from_nanos(samples[rank]))
     }
 
+    /// Evaluates the same queue-wait/backlog admission limits a `Hello`
+    /// frame is gated on, as a readiness report: `Ok(())` when a new session
+    /// would be admitted, `Err(reason)` with the limit that would reject it.
+    /// Backs the serve tier's `/readyz` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// The human-readable reason admission would currently refuse.
+    pub fn admission_report(
+        &self,
+        queue_wait_limit: Option<Duration>,
+        backlog_limit: Option<u64>,
+    ) -> Result<(), String> {
+        if let Some(limit) = queue_wait_limit {
+            if let Some(p90) = self.queue_wait_p90() {
+                if p90 > limit {
+                    return Err(format!(
+                        "busy: observed queue-wait p90 of {:.1} ms exceeds the \
+                         admission limit of {:.1} ms",
+                        p90.as_secs_f64() * 1e3,
+                        limit.as_secs_f64() * 1e3
+                    ));
+                }
+            }
+        }
+        if let Some(limit) = backlog_limit {
+            let pending = self.pending_requests();
+            if pending > limit {
+                return Err(format!(
+                    "busy: {pending} evaluation requests pending exceed the \
+                     backlog limit of {limit}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Answers a protocol-v4 `CacheQuery`: one slot per key, in query order —
     /// `Some(report)` when any instantiated service's result cache holds the
     /// key, `None` otherwise. Probes are non-polluting (no hit/miss counter,

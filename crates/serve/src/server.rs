@@ -36,14 +36,15 @@
 use crate::poll::PollSet;
 use crate::protocol::{
     encode_frame, v2, write_frame, ClientMsg, FrameError, FrameReader, FrameWriter, Hello,
-    ServerMsg, Welcome, WireStats, DEFAULT_MAX_FRAME_BYTES, LEGACY_PROTOCOL_VERSION,
-    PREV_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ServerMsg, Welcome, WireStats, ACCEPTED_PROTOCOL_VERSIONS, DEFAULT_MAX_FRAME_BYTES,
+    LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::registry::{RegistryConfig, ServiceEntryStats, ServiceRegistry};
 use crate::sharded::rendezvous_owner;
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{panic_message, CacheKey, PendingBatch, SessionHandle};
 use gcnrl_sim::PerformanceReport;
+use gcnrl_telemetry::{SpanHandle, TraceContext};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
@@ -215,6 +216,9 @@ impl PeerPool {
             &ClientMsg::CacheQuery {
                 id,
                 keys: keys.to_vec(),
+                // The pulling shard's peer-pull span (when active) parents
+                // the owner's cache-lookup span into the same request tree.
+                trace: TraceContext::current(),
             },
         );
         if sent.is_err() {
@@ -400,6 +404,29 @@ impl EvalServer {
             Some(PeeringRing { peers, self_addr });
     }
 
+    /// Whether this server would currently admit a new session: `Err` with
+    /// a reason while draining, or while the same queue-wait/backlog
+    /// admission limits that gate `Hello` frames are exceeded. This is what
+    /// the `/readyz` endpoint reports (see
+    /// [`readiness_check`](Self::readiness_check)).
+    ///
+    /// # Errors
+    ///
+    /// The human-readable reason the server is not ready.
+    pub fn readiness(&self) -> Result<(), String> {
+        readiness_of(&self.shared)
+    }
+
+    /// A clonable [`ReadinessCheck`](crate::metrics_http::ReadinessCheck)
+    /// over this server's state, for
+    /// [`MetricsHttpServer::bind_with`](crate::MetricsHttpServer::bind_with).
+    /// The probe holds only the shared server state, so it stays valid (and
+    /// reports "draining") across shutdown.
+    pub fn readiness_check(&self) -> crate::metrics_http::ReadinessCheck {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || readiness_of(&shared))
+    }
+
     /// Graceful drain: the listener drops (freeing the port), every
     /// connection finishes what is in flight, gets `Goodbye` and closes,
     /// then the workers drain and every service dispatcher joins.
@@ -430,6 +457,16 @@ impl Drop for EvalServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Drain- and admission-aware readiness: the `/readyz` answer.
+fn readiness_of(shared: &ServerShared) -> Result<(), String> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err("draining: shutdown in progress".to_owned());
+    }
+    shared
+        .registry
+        .admission_report(shared.config.queue_wait_limit, shared.config.backlog_limit)
 }
 
 /// Work handed from the reactor to the worker pool. Every task carries the
@@ -464,6 +501,9 @@ enum Task {
         id: u64,
         channel: u32,
         pending: PendingBatch,
+        /// The request's `serve.request.ns` server segment (v5 tracing);
+        /// finished once the batch resolves.
+        segment: Option<SpanHandle>,
     },
     /// An `EvalBatch` whose locally-missing candidates are owned by peer
     /// shards: pull their cached reports (`CacheQuery`) and seed the local
@@ -478,6 +518,10 @@ enum Task {
         channel: u32,
         session: SessionHandle,
         params: Vec<ParamVector>,
+        /// The request's `serve.request.ns` server segment (v5 tracing);
+        /// peer-pull spans nest under it, and it travels on to the
+        /// harvesting [`Task::Wait`].
+        segment: Option<SpanHandle>,
     },
 }
 
@@ -501,7 +545,8 @@ struct Done {
     /// A [`Task::Batch`] submitted its batch after the peer pulls: the
     /// reactor re-dispatches it as a [`Task::Wait`] (the request stays in
     /// flight — `request_done` belongs to the eventual `Wait` completion).
-    wait: Option<(u32, u64, u32, PendingBatch)>,
+    /// The trailing slot carries the request's trace segment onward.
+    wait: Option<(u32, u64, u32, PendingBatch, Option<SpanHandle>)>,
     /// Close the connection once the queued frames flush.
     close: bool,
 }
@@ -709,10 +754,19 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
             id,
             channel,
             pending,
+            mut segment,
         } => {
             let mut done = Done::base(token, gen);
             done.request_done = true;
-            let frame = match pending.try_wait() {
+            let outcome = pending.try_wait();
+            // The server segment closes when the batch resolves: its
+            // duration covers submit→harvest, and finishing it files the
+            // segment with the flight recorder (the parent lives in the
+            // client process).
+            if let Some(segment) = segment.as_mut() {
+                segment.finish();
+            }
+            let frame = match outcome {
                 Ok(reports) => match first_non_finite(&reports) {
                     // JSON cannot carry inf/NaN losslessly (they render as
                     // null); failing the request loudly beats silently
@@ -743,8 +797,13 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
             channel,
             session,
             params,
+            segment,
         } => {
             let mut done = Done::base(token, gen);
+            // Peer pulls run with the request segment's context ambient, so
+            // each per-owner `serve.peer_pull.ns` span nests under it (and
+            // the owner's cache-query span, carried on the wire, under that).
+            let _trace_scope = segment.as_ref().map(SpanHandle::enter);
             let ring = shared.peering.read().expect("peering lock").clone();
             if let Some(ring) = ring {
                 let service = session.service();
@@ -774,6 +833,7 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
                             &[("peer", &owner)],
                         ))
                         .inc();
+                    let _pull_span = gcnrl_telemetry::span!("serve.peer_pull.ns");
                     // A failed or timed-out peer is simply a miss: the
                     // candidates simulate locally, bit-identically.
                     let Ok(hits) =
@@ -797,8 +857,9 @@ fn process_task(shared: &ServerShared, task: Task) -> Done {
                     }
                 }
             }
+            drop(_trace_scope);
             match session.try_submit(params) {
-                Ok(pending) => done.wait = Some((version, id, channel, pending)),
+                Ok(pending) => done.wait = Some((version, id, channel, pending, segment)),
                 Err(_) => {
                     done.request_done = true;
                     done.frames.push(error_frame(
@@ -1151,7 +1212,7 @@ impl Reactor {
             if done.request_done {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
             }
-            if let Some((version, id, channel, pending)) = done.wait {
+            if let Some((version, id, channel, pending, segment)) = done.wait {
                 // A peer-assisted batch is now submitted: hand the harvest
                 // back to the worker pool (the request stays in flight).
                 if self
@@ -1163,6 +1224,7 @@ impl Reactor {
                         id,
                         channel,
                         pending,
+                        segment,
                     })
                     .is_err()
                 {
@@ -1294,8 +1356,14 @@ impl Reactor {
             // the connection stays pre-handshake (version 0), so a link may
             // carry any number of queries, and admission control does not
             // apply — a peer pull is how a busy shard *avoids* work.
-            ClientMsg::CacheQuery { id, keys } => {
+            ClientMsg::CacheQuery { id, keys, trace } => {
+                // The lookup span links under the pulling shard's peer-pull
+                // span when the query carried a context (v5).
+                let mut segment = trace.map(|ctx| SpanHandle::remote("serve.cache_query.ns", ctx));
                 let hits = self.shared.registry.peek_cached(&keys);
+                if let Some(segment) = segment.as_mut() {
+                    segment.finish();
+                }
                 conn.queue_msg(&ServerMsg::CacheFill { id, hits });
                 return;
             }
@@ -1308,20 +1376,23 @@ impl Reactor {
                 return;
             }
         };
-        if hello.version != PROTOCOL_VERSION
-            && hello.version != PREV_PROTOCOL_VERSION
-            && hello.version != LEGACY_PROTOCOL_VERSION
-        {
+        if !ACCEPTED_PROTOCOL_VERSIONS.contains(&hello.version) {
             self.shared
                 .connections_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            let accepted = ACCEPTED_PROTOCOL_VERSIONS
+                .iter()
+                .skip(1)
+                .map(|v| format!("v{v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             conn.queue_error(
                 None,
                 None,
                 format!(
                     "protocol version mismatch: client speaks v{}, server speaks v{} \
-                     (v{} and v{} still accepted)",
-                    hello.version, PROTOCOL_VERSION, PREV_PROTOCOL_VERSION, LEGACY_PROTOCOL_VERSION
+                     ({accepted} still accepted)",
+                    hello.version, PROTOCOL_VERSION
                 ),
             );
             conn.close_after_flush = true;
@@ -1439,10 +1510,14 @@ impl Reactor {
                     conn.dead = true;
                 }
             }
-            ClientMsg::CacheQuery { id, keys } => {
+            ClientMsg::CacheQuery { id, keys, trace } => {
                 // Also valid on an established connection: answer from the
                 // local caches without touching hit/miss counters.
+                let mut segment = trace.map(|ctx| SpanHandle::remote("serve.cache_query.ns", ctx));
                 let hits = self.shared.registry.peek_cached(&keys);
+                if let Some(segment) = segment.as_mut() {
+                    segment.finish();
+                }
                 conn.queue_msg(&ServerMsg::CacheFill { id, hits });
             }
             ClientMsg::Close { id, channel } => match conn.channels.remove(&channel) {
@@ -1463,6 +1538,7 @@ impl Reactor {
                 id,
                 channel,
                 params,
+                trace,
             } => {
                 let Some(session) = conn.channels.get(&channel) else {
                     conn.queue_error(
@@ -1483,6 +1559,10 @@ impl Reactor {
                     );
                     return;
                 }
+                // The server-side segment of the request tree: a remote
+                // child of the client's `serve.rpc.ns` span (v5 frames; v4
+                // and older carry no context and record no segment).
+                let segment = trace.map(|ctx| SpanHandle::remote("serve.request.ns", ctx));
                 // Peering divert: when this server is part of a shard ring
                 // and the batch contains a locally-missing candidate owned
                 // by a peer, the peer pull involves blocking I/O — hand the
@@ -1512,6 +1592,7 @@ impl Reactor {
                             channel,
                             session,
                             params,
+                            segment,
                         })
                         .is_err()
                     {
@@ -1535,6 +1616,7 @@ impl Reactor {
                                 id,
                                 channel,
                                 pending,
+                                segment,
                             })
                             .is_err()
                         {
@@ -1614,6 +1696,7 @@ impl Reactor {
                                     id: 0,
                                     channel: 0,
                                     pending,
+                                    segment: None,
                                 })
                                 .is_err()
                             {
@@ -1838,6 +1921,7 @@ mod tests {
                 id: 9,
                 channel: 0,
                 params: vec![nominal()],
+                trace: None,
             },
         )
         .expect("send batch");
@@ -1983,6 +2067,7 @@ mod tests {
                 id: 3,
                 channel: 0,
                 params: vec![nominal()],
+                trace: None,
             },
         )
         .expect("send tia batch");
@@ -1992,6 +2077,7 @@ mod tests {
                 id: 4,
                 channel: 1,
                 params: vec![ldo],
+                trace: None,
             },
         )
         .expect("send ldo batch");
@@ -2046,6 +2132,7 @@ mod tests {
                 id: 11,
                 channel: 0,
                 params: vec![nominal()],
+                trace: None,
             },
         )
         .expect("send batch");
@@ -2098,6 +2185,7 @@ mod tests {
                 id: 1,
                 channel: 0,
                 params: vec![nominal()],
+                trace: None,
             },
         )
         .expect("send batch");
@@ -2143,32 +2231,36 @@ mod tests {
     }
 
     #[test]
-    fn previous_protocol_v3_clients_are_served_unchanged() {
+    fn previous_protocol_v4_and_v3_clients_are_served_unchanged() {
+        use crate::protocol::{PREV_PROTOCOL_VERSION, V3_PROTOCOL_VERSION};
         let server = test_server();
-        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
-        write_frame(&mut stream, &raw_hello(PREV_PROTOCOL_VERSION)).expect("send hello");
-        let ServerMsg::Welcome(welcome) = read_reply(&mut stream) else {
-            panic!("v3 client rejected");
-        };
-        assert_eq!(welcome.version, PREV_PROTOCOL_VERSION);
-        write_frame(
-            &mut stream,
-            &ClientMsg::EvalBatch {
-                id: 3,
-                channel: 0,
-                params: vec![nominal()],
-            },
-        )
-        .expect("send batch");
-        match read_reply(&mut stream) {
-            ServerMsg::BatchResult { id, reports, .. } => {
-                assert_eq!(id, 3);
-                assert_eq!(reports.len(), 1);
+        for version in [PREV_PROTOCOL_VERSION, V3_PROTOCOL_VERSION] {
+            let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+            write_frame(&mut stream, &raw_hello(version)).expect("send hello");
+            let ServerMsg::Welcome(welcome) = read_reply(&mut stream) else {
+                panic!("v{version} client rejected");
+            };
+            assert_eq!(welcome.version, version);
+            // Hand-frame the batch exactly as a pre-v5 client would: no
+            // `trace` key at all.
+            let json = format!(
+                "{{\"EvalBatch\":{{\"id\":3,\"channel\":0,\"params\":[{}]}}}}",
+                serde_json::to_string(&nominal()).expect("serialize params")
+            );
+            let mut frame = (json.len() as u32).to_be_bytes().to_vec();
+            frame.extend_from_slice(json.as_bytes());
+            use std::io::Write as _;
+            stream.write_all(&frame).expect("send batch");
+            match read_reply(&mut stream) {
+                ServerMsg::BatchResult { id, reports, .. } => {
+                    assert_eq!(id, 3);
+                    assert_eq!(reports.len(), 1);
+                }
+                other => panic!("expected BatchResult, got {other:?}"),
             }
-            other => panic!("expected BatchResult, got {other:?}"),
+            write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
+            assert!(matches!(read_reply(&mut stream), ServerMsg::Goodbye));
         }
-        write_frame(&mut stream, &ClientMsg::Goodbye).expect("send goodbye");
-        assert!(matches!(read_reply(&mut stream), ServerMsg::Goodbye));
         server.shutdown();
         assert_eq!(server.stats().connections_rejected, 0);
     }
@@ -2191,6 +2283,7 @@ mod tests {
             &ClientMsg::CacheQuery {
                 id: 7,
                 keys: vec![key.clone()],
+                trace: None,
             },
         )
         .expect("send query");
@@ -2211,6 +2304,7 @@ mod tests {
                 id: 1,
                 channel: 0,
                 params: vec![candidate],
+                trace: None,
             },
         )
         .expect("send batch");
@@ -2223,6 +2317,7 @@ mod tests {
             &ClientMsg::CacheQuery {
                 id: 8,
                 keys: vec![key],
+                trace: None,
             },
         )
         .expect("send second query");
@@ -2253,6 +2348,7 @@ mod tests {
                 id: 1,
                 channel: 0,
                 params: vec![nominal()],
+                trace: None,
             },
         )
         .expect("send batch");

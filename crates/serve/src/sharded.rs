@@ -30,7 +30,9 @@ use crate::client::{PendingReply, RemoteBackend, RemoteConfig, ServeError};
 use gcnrl_circuit::{benchmarks::Benchmark, ParamVector, TechnologyNode};
 use gcnrl_exec::{BatchReport, CacheKey, EvalBackend, ExecStats, DEFAULT_QUANTIZE_DIGITS};
 use gcnrl_sim::{MetricSpec, PerformanceReport};
+use gcnrl_telemetry::{trace_id_for, SpanHandle, TraceContext};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Picks the owner of `digest` among `shards` by rendezvous hashing: each
@@ -110,6 +112,9 @@ pub struct ShardedBackend {
     node: TechnologyNode,
     metric_specs: Vec<MetricSpec>,
     config: ShardedConfig,
+    /// Batch counter seeding the deterministic root trace id of each
+    /// `evaluate_batch` fan-out.
+    trace_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedBackend {
@@ -191,6 +196,7 @@ impl ShardedBackend {
             node: node.clone(),
             metric_specs,
             config,
+            trace_seq: AtomicU64::new(0),
         })
     }
 
@@ -300,6 +306,19 @@ impl ShardedBackend {
         &self,
         params: &[ParamVector],
     ) -> Result<Vec<PerformanceReport>, ServeError> {
+        // The root of the request tree: every per-shard `serve.rpc.ns` span
+        // below (and, over the wire, each shard's server-side segment and
+        // its peer pulls) parents under this span, so one fan-out
+        // reassembles into a single tree spanning all processes.
+        let root = match TraceContext::current() {
+            Some(parent) => SpanHandle::child_of("sharded.evaluate.ns", parent),
+            None => {
+                let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+                let session = self.config.remote.session.as_deref().unwrap_or("sharded");
+                SpanHandle::root("sharded.evaluate.ns", trace_id_for(session, seq))
+            }
+        };
+        let _trace_scope = root.enter();
         let mut results: Vec<Option<PerformanceReport>> = vec![None; params.len()];
         let mut todo: Vec<usize> = (0..params.len()).collect();
         while !todo.is_empty() {

@@ -69,6 +69,7 @@ fn frames_split_at_every_byte_boundary_reassemble() {
             id: 1,
             channel: 0,
             params: vec![nominal()],
+            trace: None,
         })
         .expect("encode batch"),
     );
@@ -135,6 +136,7 @@ fn write_backpressure_from_a_slow_reader_corrupts_nothing() {
                 id,
                 channel: 0,
                 params: params.clone(),
+                trace: None,
             },
         )
         .expect("send batch");
@@ -216,6 +218,7 @@ fn oversized_frames_close_the_connection_but_not_the_server() {
             id: 1,
             channel: 0,
             params: vec![nominal()],
+            trace: None,
         },
     )
     .expect("send batch");
@@ -249,6 +252,7 @@ fn mid_pipeline_disconnects_leave_the_reactor_healthy() {
                     id,
                     channel: 0,
                     params: vec![nominal()],
+                    trace: None,
                 },
             )
             .expect("send batch");
@@ -272,6 +276,7 @@ fn mid_pipeline_disconnects_leave_the_reactor_healthy() {
             id: 99,
             channel: 0,
             params: vec![nominal()],
+            trace: None,
         },
     )
     .expect("send batch");

@@ -16,6 +16,12 @@
 //!   JSONL event (name, start, duration, optional `key = value` fields) to a
 //!   per-process trace file for offline flame/timeline analysis. When
 //!   tracing is disabled the guard takes no lock and performs no allocation.
+//! * [`TraceContext`] / [`SpanHandle`] — distributed request tracing: a
+//!   deterministic `(trace_id, span_id)` pair rides the serve wire so spans
+//!   in different processes link into one request tree, and an in-process
+//!   ring-buffer **flight recorder** keeps the last N completed trees
+//!   ([`recent_traces`], the `/traces` endpoint) with a `GCNRL_SLOW_MS`
+//!   slow-request log.
 //! * [`env_usize`] / [`env_socket_addr`] — strict `GCNRL_*` knob parsing
 //!   (unset/empty keeps the default, malformed panics), shared by every
 //!   crate that reads configuration from the environment.
@@ -38,10 +44,15 @@
 //! assert_eq!(snapshot.histogram("sim.factor.ns").unwrap().count, 1);
 //! ```
 
+mod context;
 mod env;
 mod metrics;
 mod trace;
 
+pub use context::{
+    recent_traces, recent_traces_json, trace_id_for, ContextGuard, SpanHandle, SpanRecord,
+    TraceContext, TraceTree, FLIGHT_RECORDER_ENV_VAR, SLOW_MS_ENV_VAR,
+};
 pub use env::{env_socket_addr, env_string, env_usize};
 pub use metrics::{
     global, labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,

@@ -391,15 +391,16 @@ impl RegistrySnapshot {
     /// Renders the snapshot in Prometheus text exposition format (0.0.4).
     /// Metric names have `.`/`-` mapped to `_`; a `{label="..."}` suffix
     /// built by [`labeled`] passes through untouched, and every member of a
-    /// labeled family shares one `# TYPE` header. Histogram `le` labels are
-    /// raw bucket bounds (nanoseconds for `*.ns` histograms) and are merged
-    /// into the family's own labels.
+    /// labeled family shares one `# HELP` + `# TYPE` header pair. Histogram
+    /// `le` labels are raw bucket bounds (nanoseconds for `*.ns`
+    /// histograms) and are merged into the family's own labels.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let mut last_family: Option<String> = None;
         let mut type_header = |out: &mut String, family: &str, kind: &str| {
             if last_family.as_deref() != Some(family) {
+                let _ = writeln!(out, "# HELP {family} {}", help_for(family));
                 let _ = writeln!(out, "# TYPE {family} {kind}");
                 last_family = Some(family.to_owned());
             }
@@ -456,14 +457,52 @@ pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             name.push(',');
         }
-        let _ = write!(
-            name,
-            "{key}=\"{}\"",
-            value.replace('\\', "\\\\").replace('"', "\\\"")
-        );
+        let _ = write!(name, "{key}=\"{}\"", escape_label_value(value));
     }
     name.push('}');
     name
+}
+
+/// Escapes a label value for both the registry-name label block and the
+/// Prometheus exposition: backslash, double quote and newline become
+/// `\\`, `\"` and `\n` (the exposition format forbids raw newlines inside
+/// label values).
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One-line `# HELP` text for a sanitised Prometheus family. Families the
+/// workspace records today get a real description; anything else gets a
+/// generic line derived from its naming convention so the exposition is
+/// always well-formed.
+fn help_for(family: &str) -> &'static str {
+    match family {
+        "serve_connections" => "Client connections accepted by the serve tier.",
+        "serve_requests" => "EvalBatch requests processed by the serve tier.",
+        "serve_pipeline_depth" => "In-flight pipelined requests per connection.",
+        "serve_handshake_ns" => "Serve handshake latency in nanoseconds.",
+        "serve_request_ns" => "Server-side request latency in nanoseconds.",
+        "serve_rpc_ns" => "Client-observed serve RPC latency in nanoseconds.",
+        "serve_peer_queries" => "Peer cache queries issued to owner shards.",
+        "serve_peer_fills" => "Cache entries pulled from peer shards.",
+        "serve_peer_pull_ns" => "Peer cache pull latency in nanoseconds.",
+        "serve_cache_query_ns" => "Owner-side peer cache-query latency in nanoseconds.",
+        "serve_shard_requests" => "Sub-batches routed to a shard by the sharded backend.",
+        "serve_shard_failovers" => "Shard failovers taken by the sharded backend.",
+        "sharded_evaluate_ns" => "End-to-end sharded evaluate_batch latency in nanoseconds.",
+        "exec_batch_ns" => "Engine batch execution latency in nanoseconds.",
+        "trace_slow_requests" => "Request trees slower than GCNRL_SLOW_MS.",
+        _ => {
+            if family.ends_with("_ns") {
+                "Latency histogram in nanoseconds."
+            } else {
+                "Workspace metric (see crate docs for the naming scheme)."
+            }
+        }
+    }
 }
 
 /// Splits a registry name into its sanitised Prometheus family and parsed
@@ -485,7 +524,7 @@ fn prometheus_parts(name: &str) -> (String, Vec<(String, String)>) {
             match c {
                 '\\' => {
                     if let Some((_, escaped)) = chars.next() {
-                        value.push(escaped);
+                        value.push(if escaped == 'n' { '\n' } else { escaped });
                     }
                 }
                 '"' => {
@@ -513,11 +552,7 @@ fn render_labels(labels: &[(String, String)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{key}=\"{}\"",
-            value.replace('\\', "\\\\").replace('"', "\\\"")
-        );
+        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
     }
     out.push('}');
     out
@@ -723,6 +758,95 @@ mod tests {
         let (family, labels) = prometheus_parts(&name);
         assert_eq!(family, "m");
         assert_eq!(labels, vec![("path".to_owned(), "a\\b\"c".to_owned())]);
+    }
+
+    #[test]
+    fn labeled_names_are_the_identity_so_equal_labels_collide_on_purpose() {
+        let registry = MetricsRegistry::new();
+        // Same family + same labels → the same underlying metric: `labeled`
+        // builds a deterministic name and the registry dedupes by name.
+        registry
+            .counter(&labeled("hits.total", &[("shard", "0")]))
+            .add(1);
+        registry
+            .counter(&labeled("hits.total", &[("shard", "0")]))
+            .add(2);
+        // A raw name spelled exactly like the mangled one aliases too — the
+        // label block is part of the name, not separate machinery.
+        registry.counter("hits.total{shard=\"0\"}").add(4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hits.total{shard=\"0\"}"), Some(7));
+        assert_eq!(snap.counters.len(), 1, "one member, not three: {snap:?}");
+        // Label order is significant: a permuted spelling is a distinct
+        // member (call sites must pass labels in a fixed order).
+        registry
+            .counter(&labeled("two.total", &[("a", "1"), ("b", "2")]))
+            .inc();
+        registry
+            .counter(&labeled("two.total", &[("b", "2"), ("a", "1")]))
+            .inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("two.total{a=\"1\",b=\"2\"}"), Some(1));
+        assert_eq!(snap.counter("two.total{b=\"2\",a=\"1\"}"), Some(1));
+    }
+
+    #[test]
+    fn labels_round_trip_through_merge_and_prometheus_rendering() {
+        let a = MetricsRegistry::new();
+        let tricky = "line1\nline2\\end\"q\"";
+        a.counter(&labeled("io.errors", &[("path", tricky)])).add(3);
+        let b = MetricsRegistry::new();
+        b.counter(&labeled("io.errors", &[("path", tricky)])).add(4);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        // The mangled names match exactly, so the merge sums the member.
+        let name = labeled("io.errors", &[("path", tricky)]);
+        assert_eq!(merged.counter(&name), Some(7));
+        // The parsed label value is byte-identical to the original.
+        let (family, labels) = prometheus_parts(&name);
+        assert_eq!(family, "io_errors");
+        assert_eq!(labels, vec![("path".to_owned(), tricky.to_owned())]);
+        // The rendered exposition escapes newline/backslash/quote and never
+        // leaks a raw newline into a label value.
+        let text = merged.render_prometheus();
+        assert!(
+            text.contains("io_errors{path=\"line1\\nline2\\\\end\\\"q\\\"\"} 7"),
+            "{text}"
+        );
+        assert!(!text.contains("line1\nline2"), "raw newline leaked: {text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_emits_help_lines_per_family() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(&labeled("serve.connections", &[("shard", "0")]))
+            .inc();
+        registry
+            .counter(&labeled("serve.connections", &[("shard", "1")]))
+            .inc();
+        registry.histogram("custom.solve.ns").record(5);
+        registry.gauge("some.depth").set(1);
+        let text = registry.render_prometheus();
+        // Known families get their curated text; one HELP per family,
+        // directly above the TYPE line.
+        assert!(
+            text.contains(
+                "# HELP serve_connections Client connections accepted by the serve tier.\n\
+                 # TYPE serve_connections counter"
+            ),
+            "{text}"
+        );
+        assert_eq!(text.matches("# HELP serve_connections").count(), 1);
+        // Unknown families fall back by naming convention.
+        assert!(
+            text.contains("# HELP custom_solve_ns Latency histogram in nanoseconds."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP some_depth Workspace metric"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn epoch() -> Instant {
 }
 
 /// Nanoseconds since the process's trace epoch.
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
@@ -98,11 +98,34 @@ pub fn disable_trace() {
 /// Appends one event line to the active sink (no-op when tracing is off —
 /// racing a [`disable_trace`] is benign, the event is simply dropped).
 fn write_event(name: &str, start_ns: u64, dur_ns: u64, fields: &str) {
+    write_event_with_ids(name, start_ns, dur_ns, fields, None);
+}
+
+/// Like [`write_event`], optionally appending the distributed-tracing ids
+/// as extra top-level keys: `trace_id`, `span_id` and (when the parent is
+/// known) `parent_id`. Events without a context keep the original schema
+/// byte-for-byte; `tracecheck` accepts both (extra keys pass through).
+pub(crate) fn write_event_with_ids(
+    name: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    fields: &str,
+    ids: Option<(u64, u64, Option<u64>)>,
+) {
     let mut guard = sink().lock().expect("trace sink lock");
     if let Some(writer) = guard.as_mut() {
+        let ids = match ids {
+            Some((trace_id, span_id, Some(parent_id))) => {
+                format!(",\"trace_id\":{trace_id},\"span_id\":{span_id},\"parent_id\":{parent_id}")
+            }
+            Some((trace_id, span_id, None)) => {
+                format!(",\"trace_id\":{trace_id},\"span_id\":{span_id}")
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             writer,
-            "{{\"name\":{},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\"fields\":{{{fields}}}}}",
+            "{{\"name\":{},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\"fields\":{{{fields}}}{ids}}}",
             crate::json_string(name),
         );
         let _ = writer.flush();
@@ -121,6 +144,13 @@ pub struct SpanGuard {
     /// span entry (fields were never rendered).
     fields: Option<String>,
     start_ns: u64,
+    /// `(trace_id, span_id, parent_id)` when an ambient [`TraceContext`]
+    /// was active at entry: the span joins the distributed trace as a child
+    /// (its own context is pushed for the scope, popped on drop, and the
+    /// completed span is filed with the flight recorder).
+    ///
+    /// [`TraceContext`]: crate::TraceContext
+    ctx: Option<(u64, u64, u64)>,
 }
 
 impl SpanGuard {
@@ -128,6 +158,14 @@ impl SpanGuard {
     /// macro, which caches the histogram handle per call site).
     pub fn enter(name: &'static str, hist: Arc<Histogram>, fields: Option<String>) -> Self {
         let traced = trace_enabled();
+        let ctx = crate::context::TraceContext::current().map(|parent| {
+            let span_id = crate::context::child_span_id(parent, name);
+            crate::context::push_context(crate::context::TraceContext {
+                trace_id: parent.trace_id,
+                span_id,
+            });
+            (parent.trace_id, span_id, parent.span_id)
+        });
         SpanGuard {
             name,
             hist,
@@ -137,7 +175,8 @@ impl SpanGuard {
                 None if traced => Some(String::new()),
                 None => None,
             },
-            start_ns: if traced { now_ns() } else { 0 },
+            start_ns: if traced || ctx.is_some() { now_ns() } else { 0 },
+            ctx,
         }
     }
 }
@@ -146,13 +185,21 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let duration = self.start.elapsed();
         self.hist.record_duration(duration);
-        if let Some(fields) = self.fields.take() {
-            write_event(
+        let dur_ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        if let Some((trace_id, span_id, parent_id)) = self.ctx {
+            crate::context::pop_context();
+            crate::context::record_span(
                 self.name,
+                trace_id,
+                span_id,
+                Some(parent_id),
                 self.start_ns,
-                duration.as_nanos().min(u64::MAX as u128) as u64,
-                &fields,
+                dur_ns,
+                self.fields.as_deref().unwrap_or(""),
+                false,
             );
+        } else if let Some(fields) = self.fields.take() {
+            write_event(self.name, self.start_ns, dur_ns, &fields);
         }
     }
 }
